@@ -1,0 +1,15 @@
+// Figure 8: multi-core performance of BitFlow on the i7-7700HQ profile
+// (AVX2, threads 1 and 4), single-thread float operator = 1x.
+//
+// Paper shape: near-linear scaling — conv2.1 runs 3.9x faster on 4 cores
+// than 1; conv3.1/4.1/5.1 about 3x (shrinking spatial extents); fc and pool
+// scale too.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  std::printf("=== Fig. 8: multi-core BitFlow speedup, i7-7700HQ profile ===\n");
+  bitflow::bench::run_multicore_figure(bitflow::bench::i7_profile());
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 9: multi-core performance of BitFlow on the Xeon Phi 7210 profile
+// (AVX-512, threads 1/4/16/64), single-thread float operator = 1x.
+//
+// Paper shape: conv2.1 keeps scaling to 64 threads (~49x over its own
+// single-thread run, ~493x over float); conv4.1 stops scaling well past 16
+// threads, conv5.1 past 4 — the spatial extents shrink with depth, so the
+// per-thread work no longer dwarfs the fork/join cost.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  std::printf("=== Fig. 9: multi-core BitFlow speedup, Xeon Phi 7210 profile ===\n");
+  bitflow::bench::run_multicore_figure(bitflow::bench::phi_profile());
+  return 0;
+}

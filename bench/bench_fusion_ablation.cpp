@@ -1,0 +1,43 @@
+// Fusion ablation (Table III): fused binarize + bit-pack + transpose of
+// fully connected weights versus the staged pipeline (binarize to a byte
+// matrix, transpose it, pack it).  The fused form touches the float matrix
+// once; the staged form materializes two n*k byte intermediates.
+//
+// This transform runs once per network load (network-level optimization),
+// so the win is in model load latency, not steady-state inference.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bitpack/packer.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace bitflow;
+  using namespace bitflow::bench;
+  std::printf("=== Table III ablation: fused vs staged FC weight transform ===\n\n");
+  std::printf("%-14s %14s %14s %8s\n", "matrix (n x k)", "fused(ms)", "staged(ms)", "ratio");
+  print_rule(56);
+
+  struct Case {
+    std::int64_t n, k;
+    const char* label;
+  };
+  for (const Case cs : {Case{25088, 4096, "fc6"}, Case{4096, 4096, "fc7"},
+                        Case{4096, 1000, "fc8"}}) {
+    std::vector<float> w(static_cast<std::size_t>(cs.n * cs.k));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(cs.n));
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (float& v : w) v = dist(rng);
+    const double fused = runtime::measure_best_seconds(
+        [&] { (void)bitpack::pack_transpose_fc_weights(w.data(), cs.n, cs.k); }, 2, 0.2);
+    const double staged = runtime::measure_best_seconds(
+        [&] { (void)bitpack::pack_transpose_fc_weights_unfused(w.data(), cs.n, cs.k); }, 2,
+        0.2);
+    std::printf("%-5s %4lldx%-5lld %11.1fms %11.1fms %7.1fx\n", cs.label,
+                static_cast<long long>(cs.n), static_cast<long long>(cs.k), fused * 1e3,
+                staged * 1e3, staged / fused);
+  }
+  print_rule(56);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// ISA ablation: the same PressedConv operator forced through every kernel
+// the hardware supports, plus the scheduler's two policies.  Quantifies
+// each step of the paper's rule ladder (Fig. 7's per-rule gains) and what
+// the conservative channel-multiple rules leave on the table versus always
+// using the widest ISA (possible because NHWC packing makes window rows
+// contiguous across taps).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace bitflow;
+  using namespace bitflow::bench;
+  std::printf("=== ISA ablation: forced kernels on the Table IV convolutions ===\n\n");
+  std::printf("%-9s %6s", "operator", "C");
+  for (simd::IsaLevel isa : {simd::IsaLevel::kU64, simd::IsaLevel::kSse, simd::IsaLevel::kAvx2,
+                             simd::IsaLevel::kAvx512}) {
+    std::printf(" %10s", std::string(simd::isa_name(isa)).c_str());
+  }
+  std::printf(" %12s %10s\n", "paper-rule", "widest");
+  print_rule(86);
+
+  runtime::ThreadPool pool(1);
+  for (const auto& spec : models::table4_benchmarks()) {
+    if (spec.kind != graph::LayerKind::kConv) continue;
+    const FilterBank filters =
+        models::random_filters(spec.k, spec.kernel, spec.kernel, spec.c, 99);
+    Tensor input = Tensor::hwc(spec.h, spec.w, spec.c);
+    fill_uniform(input, 98);
+    const std::int64_t oh = spec.h + 2 * spec.pad - spec.kernel + 1;
+    Tensor out = Tensor::hwc(oh, oh, spec.k);
+
+    std::printf("%-9s %6lld", spec.name.c_str(), static_cast<long long>(spec.c));
+    double times[4] = {0, 0, 0, 0};
+    for (int lvl = 0; lvl < 4; ++lvl) {
+      const auto isa = static_cast<simd::IsaLevel>(lvl);
+      if (!simd::cpu_features().supports(isa)) {
+        std::printf(" %10s", "-");
+        continue;
+      }
+      ops::BinaryOpOptions opt;
+      opt.force_isa = isa;
+      ops::BinaryConvOp op(filters, spec.stride, spec.pad, opt);
+      times[lvl] =
+          runtime::measure_best_seconds([&] { op.run(input, pool, out); }, 3, 0.15);
+      std::printf(" %8.3fms", times[lvl] * 1e3);
+    }
+    // Scheduler policies.
+    const auto rule_isa = graph::select_isa(spec.c, simd::cpu_features());
+    const auto widest = simd::cpu_features().best_isa();
+    std::printf(" %9s(%s)", std::string(simd::isa_name(rule_isa)).c_str(),
+                times[static_cast<int>(rule_isa)] > 0 ? "=" : "?");
+    const double rule_t = times[static_cast<int>(rule_isa)];
+    const double widest_t = times[static_cast<int>(widest)];
+    if (rule_t > 0 && widest_t > 0) {
+      std::printf(" %9.2fx\n", rule_t / widest_t);
+    } else {
+      std::printf(" %10s\n", "-");
+    }
+  }
+  print_rule(86);
+  std::printf("'widest' column: paper-rule time / widest-ISA time (>1 means the paper's\n"
+              "conservative channel-multiple rules leave performance on the table).\n");
+  return 0;
+}

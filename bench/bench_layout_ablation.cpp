@@ -1,0 +1,46 @@
+// Layout ablation (Sec. III-B "Locality-aware Layout"): bit-packing cost
+// from NHWC (contiguous channel runs) vs NCHW (each packed word gathers 64
+// values a full image plane apart).  The packing step is on the inference
+// critical path for the network input and for any operator fed float data,
+// so the layout choice is directly user-visible.
+#include <cstdio>
+
+#include "bitpack/packer.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace bitflow;
+  using namespace bitflow::bench;
+  std::printf("=== Layout ablation: channel bit-packing, NHWC vs NCHW ===\n\n");
+  std::printf("%-22s %14s %14s %14s %8s\n", "tensor", "NHWC scalar", "NHWC avx2", "NCHW",
+              "NCHW/NHWC");
+  print_rule(78);
+
+  struct Case {
+    std::int64_t h, w, c;
+  };
+  for (const Case cs : {Case{112, 112, 64}, Case{56, 56, 128}, Case{28, 28, 256},
+                        Case{14, 14, 512}, Case{224, 224, 3}}) {
+    Tensor hwc = Tensor::hwc(cs.h, cs.w, cs.c);
+    fill_uniform(hwc, 7);
+    const Tensor chw = hwc.to_layout(Layout::kCHW);
+    const double t_scalar = runtime::measure_best_seconds(
+        [&] { (void)bitpack::pack_activations_scalar(hwc); }, 3, 0.1);
+    double t_avx2 = 0;
+    if (simd::cpu_features().avx2) {
+      t_avx2 = runtime::measure_best_seconds(
+          [&] { (void)bitpack::pack_activations_avx2(hwc); }, 3, 0.1);
+    }
+    const double t_chw = runtime::measure_best_seconds(
+        [&] { (void)bitpack::pack_activations_from_chw(chw); }, 3, 0.1);
+    std::printf("%4lldx%-4lldx%-5lld %11.3fms %11.3fms %11.3fms %7.1fx\n",
+                static_cast<long long>(cs.h), static_cast<long long>(cs.w),
+                static_cast<long long>(cs.c), t_scalar * 1e3, t_avx2 * 1e3, t_chw * 1e3,
+                t_chw / (t_avx2 > 0 ? t_avx2 : t_scalar));
+  }
+  print_rule(78);
+  std::printf("NHWC keeps each packed word's 64 sources contiguous; NCHW strides them a\n"
+              "full H*W plane apart, defeating both the cache and the AVX2 compare+movemask\n"
+              "packer. The result tensor also lands pre-packed for the next layer (NHWC).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the gemm-level primitives: per-ISA
+// xor+popcount word runs (the Eq. 1 inner loop) and the binarize+pack
+// transforms — the raw numbers behind every figure.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bitpack/packer.hpp"
+#include "simd/bitops.hpp"
+#include "simd/cpu_features.hpp"
+#include "tensor/util.hpp"
+
+namespace {
+
+using namespace bitflow;
+
+std::vector<std::uint64_t> random_words(std::int64_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (auto& w : v) w = rng();
+  return v;
+}
+
+void BM_XorPopcount(benchmark::State& state) {
+  const auto isa = static_cast<simd::IsaLevel>(state.range(0));
+  const std::int64_t n = state.range(1);
+  if (!simd::cpu_features().supports(isa)) {
+    state.SkipWithError("ISA not available");
+    return;
+  }
+  const auto a = random_words(n, 1);
+  const auto b = random_words(n, 2);
+  const auto fn = simd::xor_popcount_fn(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 16);
+  state.SetLabel(std::string(simd::isa_name(isa)));
+}
+
+void BM_OrAccumulate(benchmark::State& state) {
+  const auto isa = static_cast<simd::IsaLevel>(state.range(0));
+  const std::int64_t n = state.range(1);
+  if (!simd::cpu_features().supports(isa)) {
+    state.SkipWithError("ISA not available");
+    return;
+  }
+  auto dst = random_words(n, 3);
+  const auto src = random_words(n, 4);
+  const auto fn = simd::or_accumulate_fn(isa);
+  for (auto _ : state) {
+    fn(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n * 16);
+  state.SetLabel(std::string(simd::isa_name(isa)));
+}
+
+void BM_PackActivationsScalar(benchmark::State& state) {
+  Tensor t = Tensor::hwc(state.range(0), state.range(0), state.range(1));
+  fill_uniform(t, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitpack::pack_activations_scalar(t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * t.num_elements());
+}
+
+void BM_PackActivationsAvx2(benchmark::State& state) {
+  if (!simd::cpu_features().avx2) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  Tensor t = Tensor::hwc(state.range(0), state.range(0), state.range(1));
+  fill_uniform(t, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitpack::pack_activations_avx2(t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * t.num_elements());
+}
+
+void IsaByLength(benchmark::internal::Benchmark* b) {
+  for (int isa = 0; isa < 4; ++isa) {
+    for (std::int64_t n : {8, 24, 72, 392, 4608}) {  // typical conv/fc run lengths
+      b->Args({isa, n});
+    }
+  }
+}
+
+BENCHMARK(BM_XorPopcount)->Apply(IsaByLength);
+BENCHMARK(BM_OrAccumulate)->Apply(IsaByLength);
+BENCHMARK(BM_PackActivationsScalar)->Args({56, 128})->Args({14, 512});
+BENCHMARK(BM_PackActivationsAvx2)->Args({56, 128})->Args({14, 512});
+
+}  // namespace
+
+BENCHMARK_MAIN();

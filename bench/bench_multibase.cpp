@@ -1,0 +1,73 @@
+// Extension bench: multi-base binary weight approximation (the future-work
+// direction the paper cites in Sec. V — Lin et al.'s linear combinations of
+// binary bases).  For a VGG-scale convolution, sweeps the base count M and
+// reports (a) how fast the approximation error of the float weights decays,
+// (b) how close the multi-base output gets to the float convolution of the
+// binarized input, and (c) what M binary passes cost against one float
+// convolution — the accuracy/latency dial BitFlow gains from this advance.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "baseline/float_ops.hpp"
+#include "common.hpp"
+#include "ops/multibase.hpp"
+
+int main() {
+  using namespace bitflow;
+  using namespace bitflow::bench;
+  std::printf("=== extension: multi-base binary weights (ABC-Net-style) ===\n");
+  std::printf("layer: conv4.1 geometry (28x28x256 -> 512 filters, 3x3)\n\n");
+
+  const std::int64_t h = 28, c = 256, k = 512;
+  FilterBank w(k, 3, 3, c);
+  std::mt19937_64 rng(11);
+  std::normal_distribution<float> dist(0.0f, 0.5f);
+  for (float& v : w.elements()) v = dist(rng);
+
+  Tensor in = Tensor::hwc(h, h, c);
+  fill_uniform(in, 12);
+  runtime::ThreadPool pool(1);
+
+  // Reference: float convolution of the *binarized* input (what remains
+  // after the engine's sign() input stage) with the true float weights.
+  Tensor signs = Tensor::hwc(h, h, c);
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    signs.data()[i] = in.data()[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  const Tensor padded = baseline::pad_float(signs, 1, -1.0f);
+  Tensor ref = Tensor::hwc(h, h, k);
+  baseline::float_conv_direct(padded, w, kernels::ConvSpec{3, 3, 1}, pool, ref);
+  double ref_norm = 0;
+  for (std::int64_t i = 0; i < ref.num_elements(); ++i) ref_norm += std::abs(ref.data()[i]);
+  ref_norm /= static_cast<double>(ref.num_elements());
+
+  // Float conv baseline time (im2col + sgemm).
+  ops::FloatConvOp fop(w, 1, 1);
+  Tensor fout = Tensor::hwc(h, h, k);
+  const double t_float =
+      runtime::measure_best_seconds([&] { fop.run(in, pool, fout); }, 2, 0.2);
+
+  std::printf("%-4s %16s %18s %12s %14s\n", "M", "weight RMSE", "output rel.err",
+              "time (ms)", "vs float conv");
+  print_rule(70);
+  for (int m = 1; m <= 4; ++m) {
+    ops::MultiBaseConvOp op(w, m, 1, 1);
+    Tensor out = Tensor::hwc(h, h, k);
+    const double t = runtime::measure_best_seconds([&] { op.run(in, pool, out); }, 3, 0.2);
+    double err = 0;
+    for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+      err += std::abs(out.data()[i] - ref.data()[i]);
+    }
+    err /= static_cast<double>(out.num_elements());
+    double rmse = 0;
+    for (float r : ops::approximation_rmse(w, op.filters())) rmse += r;
+    rmse /= static_cast<double>(k);
+    std::printf("%-4d %16.4f %17.1f%% %12.3f %13.1fx\n", m, rmse, 100.0 * err / ref_norm,
+                t * 1e3, t_float / t);
+  }
+  print_rule(70);
+  std::printf("float conv reference: %.3f ms; output rel.err is mean |diff| over mean |ref|.\n",
+              t_float * 1e3);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small binarized network, run one inference, inspect
+// what the engine did.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole public API surface in ~60 lines:
+//   1. detect the hardware and print the scheduler's kernel mapping;
+//   2. assemble a conv/pool/fc network from float weights;
+//   3. finalize (shape inference + weight packing + memory planning);
+//   4. run batch-1 inference on a random image and read the scores.
+#include <cstdio>
+
+#include "core/bitflow.hpp"
+
+int main() {
+  using namespace bitflow;
+
+  // 1. What machine are we on, and which kernels will the vector execution
+  //    scheduler pick?  (paper Fig. 4 / Fig. 6)
+  std::printf("%s\n", system_report().c_str());
+
+  // 2. Describe the network.  Weights are ordinary floats here (they would
+  //    normally come from training — see train_and_deploy.cpp); the engine
+  //    binarizes and bit-packs them once, at finalize().
+  graph::NetworkConfig config;
+  config.num_threads = 2;
+  config.profile = true;  // record per-layer wall clock
+  graph::BinaryNetwork net(config);
+  net.add_conv("conv1", models::random_filters(/*k=*/64, 3, 3, /*c=*/3, /*seed=*/1),
+               /*stride=*/1, /*pad=*/1);
+  net.add_maxpool("pool1", kernels::PoolSpec{2, 2, 2});
+  net.add_conv("conv2", models::random_filters(128, 3, 3, 64, 2), 1, 1);
+  net.add_maxpool("pool2", kernels::PoolSpec{2, 2, 2});
+  net.add_fc("fc", models::random_fc_weights(8 * 8 * 128, 10, 3), 8 * 8 * 128, 10);
+
+  // 3. Freeze the graph: shape inference, kernel selection, one-time weight
+  //    binarize+pack, and pre-allocation of every buffer with the margins
+  //    that make padding free (paper Fig. 5).
+  net.finalize(graph::TensorDesc{32, 32, 3});
+  std::printf("network: %zu layers, %lld bytes of packed weights\n", net.layers().size(),
+              static_cast<long long>(net.packed_weight_bytes()));
+  for (const auto& l : net.layers()) {
+    std::printf("  %-7s %-8s in %3lldx%-3lldx%-4lld -> out %3lldx%-3lldx%-4lld  kernel=%s\n",
+                l.name.c_str(), graph::layer_kind_name(l.kind), static_cast<long long>(l.in.h),
+                static_cast<long long>(l.in.w), static_cast<long long>(l.in.c),
+                static_cast<long long>(l.out.h), static_cast<long long>(l.out.w),
+                static_cast<long long>(l.out.c), std::string(simd::isa_name(l.isa)).c_str());
+  }
+
+  // 4. Run an inference.
+  Tensor image = Tensor::hwc(32, 32, 3);
+  fill_uniform(image, /*seed=*/42);
+  const auto scores = net.infer(image);
+  std::printf("\nscores:");
+  for (float s : scores) std::printf(" %+.0f", s);
+  std::printf("\nper-stage ms (first entry = input pack):");
+  for (double ms : net.last_profile_ms()) std::printf(" %.3f", ms);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "baseline/float_ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "baseline/sgemm.hpp"
+
+namespace bitflow::baseline {
+
+Tensor pad_float(const Tensor& in, std::int64_t margin, float value) {
+  if (margin < 0) throw std::invalid_argument("pad_float: negative margin");
+  Tensor out = Tensor::hwc(in.height() + 2 * margin, in.width() + 2 * margin, in.channels());
+  if (value != 0.0f) {
+    for (float& v : out.elements()) v = value;
+  }
+  const std::int64_t row_bytes = in.width() * in.channels() * static_cast<std::int64_t>(sizeof(float));
+  for (std::int64_t h = 0; h < in.height(); ++h) {
+    std::memcpy(out.data() + out.index(h + margin, margin, 0),
+                in.data() + in.index(h, 0, 0),
+                static_cast<std::size_t>(row_bytes));
+  }
+  return out;
+}
+
+void float_conv_direct(const Tensor& in, const FilterBank& filters,
+                       const kernels::ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out) {
+  if (in.channels() != filters.channels()) {
+    throw std::invalid_argument("float_conv_direct: channel mismatch");
+  }
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  const std::int64_t num_k = filters.num_filters();
+  if (out.height() != oh || out.width() != ow || out.channels() != num_k) {
+    throw std::invalid_argument("float_conv_direct: output mis-shaped");
+  }
+  const std::int64_t kh = spec.kernel_h, kw = spec.kernel_w, c = in.channels();
+  pool.parallel_for(oh * ow, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t y = idx / ow, x = idx % ow;
+      for (std::int64_t k = 0; k < num_k; ++k) {
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          for (std::int64_t j = 0; j < kw; ++j) {
+            const float* px = in.data() + in.index(y * spec.stride + i, x * spec.stride + j, 0);
+            const float* fw = filters.data() + filters.index(k, i, j, 0);
+            for (std::int64_t cc = 0; cc < c; ++cc) acc += px[cc] * fw[cc];
+          }
+        }
+        out.at(y, x, k) = acc;
+      }
+    }
+  });
+}
+
+void im2col(const Tensor& in, const kernels::ConvSpec& spec, float* cols) {
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  const std::int64_t c = in.channels();
+  const std::int64_t row_len = spec.kernel_h * spec.kernel_w * c;
+  // HWC input: one window row (kw taps x C channels) is contiguous, so the
+  // unfold is kh block copies per output pixel.
+  const std::int64_t copy_floats = spec.kernel_w * c;
+  for (std::int64_t y = 0; y < oh; ++y) {
+    for (std::int64_t x = 0; x < ow; ++x) {
+      float* dst = cols + (y * ow + x) * row_len;
+      for (std::int64_t i = 0; i < spec.kernel_h; ++i) {
+        std::memcpy(dst + i * copy_floats,
+                    in.data() + in.index(y * spec.stride + i, x * spec.stride, 0),
+                    static_cast<std::size_t>(copy_floats) * sizeof(float));
+      }
+    }
+  }
+}
+
+std::vector<float> flatten_filters_transposed(const FilterBank& filters) {
+  const std::int64_t kk = filters.kernel_h() * filters.kernel_w() * filters.channels();
+  const std::int64_t k = filters.num_filters();
+  std::vector<float> wt(static_cast<std::size_t>(kk * k));
+  // Filter k is already contiguous (tap-major, channel-minor) in FilterBank,
+  // which matches the im2col column order; transpose k to the minor axis.
+  const float* src = filters.data();
+  for (std::int64_t f = 0; f < k; ++f) {
+    for (std::int64_t e = 0; e < kk; ++e) {
+      wt[static_cast<std::size_t>(e * k + f)] = src[f * kk + e];
+    }
+  }
+  return wt;
+}
+
+void float_conv_im2col(const Tensor& in, const std::vector<float>& weights_t, std::int64_t k,
+                       const kernels::ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out,
+                       std::vector<float>& cols_scratch) {
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  const std::int64_t row_len = spec.kernel_h * spec.kernel_w * in.channels();
+  if (out.height() != oh || out.width() != ow || out.channels() != k) {
+    throw std::invalid_argument("float_conv_im2col: output mis-shaped");
+  }
+  if (weights_t.size() != static_cast<std::size_t>(row_len * k)) {
+    throw std::invalid_argument("float_conv_im2col: weight matrix mis-shaped");
+  }
+  cols_scratch.resize(static_cast<std::size_t>(oh * ow * row_len));
+  im2col(in, spec, cols_scratch.data());
+  // O (M x K) = cols (M x row_len) * W^T (row_len x K); with HWC output the
+  // result lands directly in the out tensor (channel minor = K minor).
+  sgemm(cols_scratch.data(), weights_t.data(), out.data(), oh * ow, row_len, k, pool);
+}
+
+void float_maxpool(const Tensor& in, const kernels::PoolSpec& spec, runtime::ThreadPool& pool,
+                   Tensor& out) {
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  const std::int64_t c = in.channels();
+  if (out.height() != oh || out.width() != ow || out.channels() != c) {
+    throw std::invalid_argument("float_maxpool: output mis-shaped");
+  }
+  pool.parallel_for(oh, [&](runtime::Range r, int) {
+    for (std::int64_t y = r.begin; y < r.end; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float* dst = &out.at(y, x, 0);
+        for (std::int64_t cc = 0; cc < c; ++cc) dst[cc] = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = 0; i < spec.pool_h; ++i) {
+          for (std::int64_t j = 0; j < spec.pool_w; ++j) {
+            const float* src = in.data() + in.index(y * spec.stride + i, x * spec.stride + j, 0);
+            for (std::int64_t cc = 0; cc < c; ++cc) dst[cc] = std::max(dst[cc], src[cc]);
+          }
+        }
+      }
+    }
+  });
+}
+
+void float_fc(const float* w, const float* x, float* y, std::int64_t n, std::int64_t k_count,
+              runtime::ThreadPool& pool) {
+  // y[k] = sum_n w[nn * k_count + k] * x[nn]: accumulate axpy-style so the
+  // inner loop streams contiguous weight rows and vectorizes.
+  pool.parallel_for(k_count, [&](runtime::Range r, int) {
+    const std::int64_t len = r.size();
+    float* yr = y + r.begin;
+    std::memset(yr, 0, static_cast<std::size_t>(len) * sizeof(float));
+    for (std::int64_t nn = 0; nn < n; ++nn) {
+      const float xv = x[nn];
+      const float* wr = w + nn * k_count + r.begin;
+      for (std::int64_t k = 0; k < len; ++k) yr[k] += xv * wr[k];
+    }
+  });
+}
+
+}  // namespace bitflow::baseline

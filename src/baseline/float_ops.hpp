@@ -1,0 +1,58 @@
+// Full-precision baseline operators ("counterpart float-value operators" in
+// the paper's figures).
+//
+// Convolution goes through the conventional image-to-column route
+// (Sec. II-B, Fig. 2): unfold the input into an M x (kh*kw*C) matrix, then
+// one sgemm against the flattened filters.  A direct (no-unfold) reference
+// convolution is kept alongside for correctness checks.
+//
+// All operators consume HWC tensors; convolutions are *valid* (the caller
+// pads, mirroring the binary path — see pad_float below).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/binary_maxpool.hpp"
+#include "kernels/conv_spec.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/filter_bank.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::baseline {
+
+/// Returns a copy of `in` with `margin` pixels of `value` on each side.
+[[nodiscard]] Tensor pad_float(const Tensor& in, std::int64_t margin, float value = 0.0f);
+
+/// Direct (triple-loop) valid convolution: the correctness reference for
+/// both the float im2col path and (through sign decoding) the binary path.
+void float_conv_direct(const Tensor& in, const FilterBank& filters,
+                       const kernels::ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out);
+
+/// Unfolds `in` for a (kh, kw, stride) valid convolution into `cols`:
+/// row (y*out_w + x) holds the window at (y, x), tap-major then channel —
+/// i.e. column index (i*kw + j)*C + c.  `cols` must have room for
+/// out_h*out_w * kh*kw*C floats.
+void im2col(const Tensor& in, const kernels::ConvSpec& spec, float* cols);
+
+/// im2col + sgemm convolution.  `weights_t` is the (kh*kw*C) x K transposed
+/// flattened filter matrix produced by flatten_filters_transposed (computed
+/// once at init, matching BitFlow's network-level weight preprocessing).
+void float_conv_im2col(const Tensor& in, const std::vector<float>& weights_t, std::int64_t k,
+                       const kernels::ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out,
+                       std::vector<float>& cols_scratch);
+
+/// Flattens a filter bank to the (kh*kw*C) x K matrix float_conv_im2col
+/// expects: element (kk, k) = filter k, flat tap kk.
+[[nodiscard]] std::vector<float> flatten_filters_transposed(const FilterBank& filters);
+
+/// Valid max pooling over an HWC float tensor.
+void float_maxpool(const Tensor& in, const kernels::PoolSpec& spec, runtime::ThreadPool& pool,
+                   Tensor& out);
+
+/// Fully connected layer: y[k] = sum_n w[n*k_count + k] * x[n] (weights in
+/// the paper's row-major n x k layout); y has k_count elements.
+void float_fc(const float* w, const float* x, float* y, std::int64_t n, std::int64_t k_count,
+              runtime::ThreadPool& pool);
+
+}  // namespace bitflow::baseline

@@ -1,0 +1,16 @@
+#include "baseline/sgemm.hpp"
+
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::baseline {
+
+void sgemm(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+           std::int64_t n, runtime::ThreadPool& pool) {
+  if (simd::cpu_features().avx2 && simd::cpu_features().fma) {
+    sgemm_avx2(a, b, c, m, k, n, pool);
+  } else {
+    sgemm_generic(a, b, c, m, k, n, pool);
+  }
+}
+
+}  // namespace bitflow::baseline

@@ -1,0 +1,33 @@
+// Single-precision GEMM for the full-precision baselines.
+//
+// The paper's float comparators are "counterpart full-precision operators"
+// executed through the conventional image-to-column + BLAS-sgemm route; the
+// engine itself is dependency-free, so BitFlow ships its own sgemm: a
+// register-blocked, cache-tiled ikj kernel with an AVX2+FMA inner loop and a
+// portable fallback, dispatched by CPUID.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/thread_pool.hpp"
+
+namespace bitflow::baseline {
+
+/// C (M x N, row-major) = A (M x K, row-major) * B (K x N, row-major).
+/// C is overwritten.  Multi-core parallelism splits the M dimension.
+void sgemm(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+           std::int64_t n, runtime::ThreadPool& pool);
+
+/// Portable scalar/auto-vec implementation (always available).
+void sgemm_generic(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n, runtime::ThreadPool& pool);
+
+/// AVX2 + FMA implementation (requires AVX2 and FMA at runtime).
+void sgemm_avx2(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                std::int64_t n, runtime::ThreadPool& pool);
+
+/// y (M) = A (M x N, row-major) * x (N): the fully connected baseline.
+void sgemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n,
+           runtime::ThreadPool& pool);
+
+}  // namespace bitflow::baseline

@@ -1,0 +1,70 @@
+// AVX2 + FMA sgemm: 2x16 register-blocked micro-kernel inside an
+// L2-resident K panel.  Roughly the arithmetic shape a BLAS would use,
+// without the packing machinery — adequate as the full-precision baseline
+// the binary kernels are measured against.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "baseline/sgemm.hpp"
+
+namespace bitflow::baseline {
+
+void sgemm_avx2(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                std::int64_t n, runtime::ThreadPool& pool) {
+  constexpr std::int64_t kKc = 256;  // K panel height kept hot in L2
+  pool.parallel_for(m, [&](runtime::Range r, int) {
+    // Two rows of C at a time share every B row load.
+    std::int64_t i = r.begin;
+    auto zero_row = [&](std::int64_t row) {
+      std::memset(c + row * n, 0, static_cast<std::size_t>(n) * sizeof(float));
+    };
+    for (; i + 2 <= r.end; i += 2) {
+      zero_row(i);
+      zero_row(i + 1);
+      float* c0 = c + i * n;
+      float* c1 = c + (i + 1) * n;
+      for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::int64_t k1 = std::min(k, k0 + kKc);
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const __m256 a0 = _mm256_set1_ps(a[i * k + kk]);
+          const __m256 a1 = _mm256_set1_ps(a[(i + 1) * k + kk]);
+          const float* bk = b + kk * n;
+          std::int64_t j = 0;
+          for (; j + 16 <= n; j += 16) {
+            const __m256 b0 = _mm256_loadu_ps(bk + j);
+            const __m256 b1 = _mm256_loadu_ps(bk + j + 8);
+            _mm256_storeu_ps(c0 + j, _mm256_fmadd_ps(a0, b0, _mm256_loadu_ps(c0 + j)));
+            _mm256_storeu_ps(c0 + j + 8, _mm256_fmadd_ps(a0, b1, _mm256_loadu_ps(c0 + j + 8)));
+            _mm256_storeu_ps(c1 + j, _mm256_fmadd_ps(a1, b0, _mm256_loadu_ps(c1 + j)));
+            _mm256_storeu_ps(c1 + j + 8, _mm256_fmadd_ps(a1, b1, _mm256_loadu_ps(c1 + j + 8)));
+          }
+          for (; j < n; ++j) {
+            c0[j] += a[i * k + kk] * bk[j];
+            c1[j] += a[(i + 1) * k + kk] * bk[j];
+          }
+        }
+      }
+    }
+    for (; i < r.end; ++i) {
+      zero_row(i);
+      float* c0 = c + i * n;
+      for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::int64_t k1 = std::min(k, k0 + kKc);
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const __m256 a0 = _mm256_set1_ps(a[i * k + kk]);
+          const float* bk = b + kk * n;
+          std::int64_t j = 0;
+          for (; j + 8 <= n; j += 8) {
+            _mm256_storeu_ps(c0 + j, _mm256_fmadd_ps(a0, _mm256_loadu_ps(bk + j),
+                                                     _mm256_loadu_ps(c0 + j)));
+          }
+          for (; j < n; ++j) c0[j] += a[i * k + kk] * bk[j];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace bitflow::baseline

@@ -1,0 +1,49 @@
+#include <cstring>
+
+#include "baseline/sgemm.hpp"
+
+namespace bitflow::baseline {
+
+void sgemm_generic(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n, runtime::ThreadPool& pool) {
+  // ikj loop order: the j loop streams one row of B and one row of C, which
+  // the compiler auto-vectorizes with the build's baseline ISA.  K is
+  // blocked so the B panel stays in L2.
+  constexpr std::int64_t kKc = 256;
+  pool.parallel_for(m, [&](runtime::Range r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      float* ci = c + i * n;
+      std::memset(ci, 0, static_cast<std::size_t>(n) * sizeof(float));
+      for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::int64_t k1 = std::min(k, k0 + kKc);
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = a[i * k + kk];
+          const float* bk = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  });
+}
+
+void sgemv(const float* a, const float* x, float* y, std::int64_t m, std::int64_t n,
+           runtime::ThreadPool& pool) {
+  pool.parallel_for(m, [&](runtime::Range r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      const float* ai = a + i * n;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      std::int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        acc0 += ai[j + 0] * x[j + 0];
+        acc1 += ai[j + 1] * x[j + 1];
+        acc2 += ai[j + 2] * x[j + 2];
+        acc3 += ai[j + 3] * x[j + 3];
+      }
+      float acc = acc0 + acc1 + acc2 + acc3;
+      for (; j < n; ++j) acc += ai[j] * x[j];
+      y[i] = acc;
+    }
+  });
+}
+
+}  // namespace bitflow::baseline

@@ -1,0 +1,68 @@
+// The paper's Table II data structures.
+//
+// `bit64_t` exposes 64 single-bit fields so that binarization can assign the
+// comparison result `x >= 0.0f` straight into bit position i, and `bit64_u`
+// reinterprets the packed fields as one uint64_t — "bit-packing fused into
+// binarization" with no shift/or arithmetic in the source.  The m*_u unions
+// give the kernels byte-compatible views between packed word arrays and SIMD
+// registers.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace bitflow::bitpack {
+
+/// 64 single-bit fields; field bN is bit N of the containing word
+/// (little-endian bit-field layout on x86).
+struct bit64_t {
+  // clang-format off
+  std::uint64_t b0:1,  b1:1,  b2:1,  b3:1,  b4:1,  b5:1,  b6:1,  b7:1;
+  std::uint64_t b8:1,  b9:1,  b10:1, b11:1, b12:1, b13:1, b14:1, b15:1;
+  std::uint64_t b16:1, b17:1, b18:1, b19:1, b20:1, b21:1, b22:1, b23:1;
+  std::uint64_t b24:1, b25:1, b26:1, b27:1, b28:1, b29:1, b30:1, b31:1;
+  std::uint64_t b32:1, b33:1, b34:1, b35:1, b36:1, b37:1, b38:1, b39:1;
+  std::uint64_t b40:1, b41:1, b42:1, b43:1, b44:1, b45:1, b46:1, b47:1;
+  std::uint64_t b48:1, b49:1, b50:1, b51:1, b52:1, b53:1, b54:1, b55:1;
+  std::uint64_t b56:1, b57:1, b58:1, b59:1, b60:1, b61:1, b62:1, b63:1;
+  // clang-format on
+};
+
+/// Union view: write bits through `b`, read the packed word through `u`.
+union bit64_u {
+  bit64_t b;
+  std::uint64_t u;
+};
+
+static_assert(sizeof(bit64_t) == 8, "bit64_t must pack into one 64-bit word");
+static_assert(sizeof(bit64_u) == 8, "bit64_u must alias a single word");
+
+/// SSE register / word-array view (Table II m128_u).
+union m128_u {
+  __m128i m;
+  std::int64_t i[2];
+  std::uint64_t u[2];
+};
+
+/// AVX2 register / word-array view (Table II m256_u).
+union m256_u {
+  __m256i m;
+  std::int64_t i[4];
+  std::uint64_t u[4];
+};
+
+/// AVX-512 register / word-array view (Table II m512_u — note the paper's
+/// listing carries a typo, declaring the member as __m256i; the intended
+/// 512-bit register type is used here).
+union m512_u {
+  __m512i m;
+  std::int64_t i[8];
+  std::uint64_t u[8];
+};
+
+static_assert(sizeof(m128_u) == 16);
+static_assert(sizeof(m256_u) == 32);
+static_assert(sizeof(m512_u) == 64);
+
+}  // namespace bitflow::bitpack

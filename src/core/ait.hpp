@@ -1,0 +1,53 @@
+// Arithmetic-intensity model of convolution algorithms (paper Sec. III-A,
+// Eqs. 4-8).
+//
+// AIT = arithmetic operations / memory accesses.  The image-to-column method
+// stores the unfolded input (size U, Eq. 8) and reads it back for the gemm,
+// so its achievable fraction of the intrinsic convolution AIT is at most
+// (I + W + O) / (2U + W + O).  Bit-packing shrinks I and W by the pack
+// factor while shrinking the arithmetic by the word width, which makes the
+// unfolding overhead *relatively* larger — the quantitative core of the
+// paper's argument for abandoning image-to-column in binary convolution.
+// bench_ait_analysis prints this model for the VGG layers next to measured
+// memory traffic.
+#pragma once
+
+#include <cstdint>
+
+namespace bitflow::core {
+
+/// One convolution workload (paper Sec. II-B notation: input H x W x C,
+/// K filters of h x w x C, unit stride).
+struct ConvWorkload {
+  std::int64_t H = 0, W = 0, C = 0;  ///< input extents
+  std::int64_t K = 0;                ///< number of filters
+  std::int64_t h = 3, w = 3;         ///< filter extents
+};
+
+/// Element/operation counts and derived intensities for one algorithm mix.
+struct AitReport {
+  // Eq. 4: A = 2 * C * H * W * K * h * w  (arithmetic operations)
+  double arithmetic_ops = 0;
+  // Eq. 5-7 (memory elements)
+  double input_elems = 0;
+  double weight_elems = 0;
+  double output_elems = 0;
+  // Eq. 8: U = (H-h+1) * (W-w+1) * C * h * w
+  double unfolded_elems = 0;
+
+  double ait_direct = 0;       ///< A / (I + W + O)
+  double ait_im2col = 0;       ///< A / (2U + W + O)
+  double im2col_fraction = 0;  ///< (I + W + O) / (2U + W + O), <= 1
+};
+
+/// Full-precision convolution (elements are 4-byte floats; counts are in
+/// elements, matching the paper's unit-free treatment).
+[[nodiscard]] AitReport analyze_float_conv(const ConvWorkload& wl);
+
+/// Binary convolution: input/weight shrink by `pack_bits` (the paper uses
+/// 32; BitFlow packs 64-bit words), arithmetic ops shrink by the same factor
+/// (one xor+popcount handles pack_bits multiply-accumulates), output dots
+/// stay full-size.
+[[nodiscard]] AitReport analyze_binary_conv(const ConvWorkload& wl, std::int64_t pack_bits = 64);
+
+}  // namespace bitflow::core

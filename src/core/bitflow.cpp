@@ -1,0 +1,23 @@
+#include "core/bitflow.hpp"
+
+#include <sstream>
+
+namespace bitflow {
+
+const char* version() { return "1.0.0"; }
+
+std::string system_report() {
+  const simd::CpuFeatures& f = simd::cpu_features();
+  std::ostringstream os;
+  os << "BitFlow " << version() << "\n";
+  os << "CPU features: " << f.to_string() << "\n";
+  os << "Widest binary kernel ISA: " << simd::isa_name(f.best_isa()) << "\n";
+  os << "Operator -> kernel mapping (paper Fig. 6 rules):\n";
+  for (std::int64_t c : {3, 64, 128, 256, 512, 4096, 25088}) {
+    os << "  " << graph::explain_isa_selection(c, f, graph::SchedulerPolicy::kPaperRules)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bitflow

@@ -1,0 +1,165 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string_view>
+
+namespace bitflow::data {
+
+namespace {
+
+struct DifficultyParams {
+  float noise_sigma;   ///< additive Gaussian noise
+  int max_shift;       ///< uniform spatial jitter in pixels
+  float contrast_min;  ///< per-sample contrast scale lower bound
+  float drop_prob;     ///< probability of zeroing a foreground pixel
+};
+
+DifficultyParams params_for(Difficulty d) {
+  switch (d) {
+    case Difficulty::kEasy: return {0.15f, 1, 0.8f, 0.00f};
+    case Difficulty::kMedium: return {0.35f, 2, 0.6f, 0.05f};
+    case Difficulty::kHard: return {0.45f, 3, 0.5f, 0.10f};
+  }
+  throw std::invalid_argument("bad difficulty");
+}
+
+// 5x7 digit stencils ('#' = stroke).  Deliberately crude: the classifier has
+// to rely on stroke topology, as with real digits.
+constexpr std::array<std::array<std::string_view, 7>, 10> kDigits = {{
+    {"#####", "#...#", "#...#", "#...#", "#...#", "#...#", "#####"},  // 0
+    {"..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."},  // 1
+    {"#####", "....#", "....#", "#####", "#....", "#....", "#####"},  // 2
+    {"#####", "....#", "....#", ".####", "....#", "....#", "#####"},  // 3
+    {"#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"},  // 4
+    {"#####", "#....", "#....", "#####", "....#", "....#", "#####"},  // 5
+    {"#####", "#....", "#....", "#####", "#...#", "#...#", "#####"},  // 6
+    {"#####", "....#", "...#.", "..#..", "..#..", "..#..", "..#.."},  // 7
+    {"#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"},  // 8
+    {"#####", "#...#", "#...#", "#####", "....#", "....#", "#####"},  // 9
+}};
+
+float clampf(float v, float lo, float hi) { return std::min(hi, std::max(lo, v)); }
+
+}  // namespace
+
+Dataset make_synth_digits(int num_samples, Difficulty difficulty, std::uint64_t seed,
+                          std::int64_t size) {
+  if (size < 12) throw std::invalid_argument("make_synth_digits: size must be >= 12");
+  const DifficultyParams p = params_for(difficulty);
+  Dataset ds;
+  ds.image_size = size;
+  ds.channels = 1;
+  ds.num_classes = 10;
+  ds.images.reserve(static_cast<std::size_t>(num_samples));
+  ds.labels.reserve(static_cast<std::size_t>(num_samples));
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> noise(0.0f, p.noise_sigma);
+  std::uniform_int_distribution<int> shift(-p.max_shift, p.max_shift);
+  std::uniform_real_distribution<float> contrast(p.contrast_min, 1.0f);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+
+  // Stencil scaled to ~70% of the canvas.
+  const std::int64_t gw = (size * 5) / 8, gh = (size * 7) / 8;
+  for (int s = 0; s < num_samples; ++s) {
+    const int label = static_cast<int>(rng() % 10);
+    Tensor img = Tensor::hwc(size, size, 1);
+    const float c = contrast(rng);
+    const int dx = shift(rng), dy = shift(rng);
+    const std::int64_t x0 = (size - gw) / 2 + dx, y0 = (size - gh) / 2 + dy;
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        float v = -1.0f;
+        const std::int64_t sy = y - y0, sx = x - x0;
+        if (sy >= 0 && sy < gh && sx >= 0 && sx < gw) {
+          const std::int64_t row = sy * 7 / gh, col = sx * 5 / gw;
+          if (kDigits[static_cast<std::size_t>(label)][static_cast<std::size_t>(row)]
+                     [static_cast<std::size_t>(col)] == '#') {
+            v = unit(rng) < p.drop_prob ? -1.0f : c;
+          }
+        }
+        img.at(y, x, 0) = clampf(v + noise(rng), -1.0f, 1.0f);
+      }
+    }
+    ds.images.push_back(std::move(img));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+Dataset make_synth_shapes(int num_samples, Difficulty difficulty, std::uint64_t seed,
+                          std::int64_t size) {
+  if (size < 12) throw std::invalid_argument("make_synth_shapes: size must be >= 12");
+  const DifficultyParams p = params_for(difficulty);
+  Dataset ds;
+  ds.image_size = size;
+  ds.channels = 3;
+  ds.num_classes = 6;
+  ds.images.reserve(static_cast<std::size_t>(num_samples));
+  ds.labels.reserve(static_cast<std::size_t>(num_samples));
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> noise(0.0f, p.noise_sigma);
+  std::uniform_int_distribution<int> shift(-p.max_shift, p.max_shift);
+  std::uniform_real_distribution<float> contrast(p.contrast_min, 1.0f);
+
+  // Class palette: shape geometry x dominant channel.
+  // 0 circle/red  1 circle/blue  2 square/green  3 square/magenta-ish
+  // 4 cross/yellow-ish  5 triangle/cyan-ish
+  for (int s = 0; s < num_samples; ++s) {
+    const int label = static_cast<int>(rng() % 6);
+    Tensor img = Tensor::hwc(size, size, 3);
+    const float c = contrast(rng);
+    const float cx = static_cast<float>(size) / 2 + static_cast<float>(shift(rng));
+    const float cy = static_cast<float>(size) / 2 + static_cast<float>(shift(rng));
+    const float r = static_cast<float>(size) * 0.3f;
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        const float fx = static_cast<float>(x) - cx, fy = static_cast<float>(y) - cy;
+        bool inside = false;
+        switch (label % 6) {
+          case 0:
+          case 1: inside = fx * fx + fy * fy <= r * r; break;
+          case 2:
+          case 3: inside = std::abs(fx) <= r * 0.9f && std::abs(fy) <= r * 0.9f; break;
+          case 4: inside = std::abs(fx) <= r * 0.3f || std::abs(fy) <= r * 0.3f; break;
+          case 5: inside = fy >= -r && fy <= r && std::abs(fx) <= (fy + r) * 0.5f; break;
+        }
+        float rgb[3] = {-1.0f, -1.0f, -1.0f};
+        if (inside) {
+          switch (label) {
+            case 0: rgb[0] = c; break;
+            case 1: rgb[2] = c; break;
+            case 2: rgb[1] = c; break;
+            case 3: rgb[0] = c; rgb[2] = c; break;
+            case 4: rgb[0] = c; rgb[1] = c; break;
+            case 5: rgb[1] = c; rgb[2] = c; break;
+          }
+        }
+        for (int ch = 0; ch < 3; ++ch) {
+          img.at(y, x, ch) = clampf(rgb[ch] + noise(rng), -1.0f, 1.0f);
+        }
+      }
+    }
+    ds.images.push_back(std::move(img));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+void split(const Dataset& all, int holdout, Dataset& train, Dataset& test) {
+  if (holdout < 2) throw std::invalid_argument("split: holdout must be >= 2");
+  train = Dataset{all.image_size, all.channels, all.num_classes, {}, {}};
+  test = Dataset{all.image_size, all.channels, all.num_classes, {}, {}};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Dataset& dst = (i % static_cast<std::size_t>(holdout) == 0) ? test : train;
+    dst.images.push_back(all.images[i]);
+    dst.labels.push_back(all.labels[i]);
+  }
+}
+
+}  // namespace bitflow::data

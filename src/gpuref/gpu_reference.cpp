@@ -1,0 +1,30 @@
+#include "gpuref/gpu_reference.hpp"
+
+namespace bitflow::gpuref {
+
+const std::vector<GpuTime>& gtx1080_operator_times() {
+  // Visual estimates from paper Fig. 10 (ms); see header for provenance.
+  static const std::vector<GpuTime> times = {
+      {"conv2.1", 0.90}, {"conv3.1", 0.70}, {"conv4.1", 0.75}, {"conv5.1", 0.60},
+      {"fc6", 0.55},     {"fc7", 0.20},     {"pool4", 0.08},   {"pool5", 0.03},
+  };
+  return times;
+}
+
+std::optional<double> gtx1080_operator_ms(const std::string& name) {
+  for (const GpuTime& t : gtx1080_operator_times()) {
+    if (t.op == name) return t.ms;
+  }
+  return std::nullopt;
+}
+
+double gtx1080_vgg16_ms() { return 12.87; }
+double gtx1080_vgg19_ms() { return 14.92; }
+
+const char* provenance() {
+  return "GTX 1080 reference: end-to-end times quoted from the paper (Sec. V); "
+         "per-operator times are visual estimates from Fig. 10 (no GPU in this "
+         "environment - see DESIGN.md substitutions)";
+}
+
+}  // namespace bitflow::gpuref

@@ -1,0 +1,43 @@
+// GTX 1080 full-precision reference times for Figs. 10 and 11.
+//
+// No GPU exists in this reproduction environment, so the comparator side of
+// the GPU figures is a fixed reference model calibrated from the paper's own
+// published measurements (keras + tensorflow 1.2 on a GTX 1080):
+//   * end-to-end VGG-16 / VGG-19 times are quoted exactly from Sec. V
+//     (12.87 ms and 14.92 ms);
+//   * per-operator times are visual estimates from Fig. 10 (the paper prints
+//     no numeric table for them), scaled to be consistent with the narrative
+//     — BitFlow/i7 loses to the GPU on conv2.1 and conv3.1, wins on conv4.1
+//     and conv5.1; the Phi beats it on the fully connected operators.
+// The CPU side of both figures is *measured* by this repository; only the
+// GPU column is referenced.  See DESIGN.md "Substitutions".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bitflow::gpuref {
+
+/// One reference entry.
+struct GpuTime {
+  std::string op;
+  double ms;
+};
+
+/// Per-operator GTX 1080 float times for the Table IV benchmark set.
+[[nodiscard]] const std::vector<GpuTime>& gtx1080_operator_times();
+
+/// Lookup by operator name (nullopt when unknown).
+[[nodiscard]] std::optional<double> gtx1080_operator_ms(const std::string& name);
+
+/// End-to-end full-precision VGG-16 on GTX 1080 (paper Sec. V): 12.87 ms.
+[[nodiscard]] double gtx1080_vgg16_ms();
+
+/// End-to-end full-precision VGG-19 on GTX 1080 (paper Sec. V): 14.92 ms.
+[[nodiscard]] double gtx1080_vgg19_ms();
+
+/// Provenance string printed by every bench that uses this model.
+[[nodiscard]] const char* provenance();
+
+}  // namespace bitflow::gpuref

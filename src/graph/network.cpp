@@ -1,0 +1,489 @@
+#include "graph/network.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/float_ops.hpp"
+#include "bitpack/packer.hpp"
+#include "runtime/timer.hpp"
+
+namespace bitflow::graph {
+
+namespace {
+
+/// A layer as described by the user, before finalize() lowers it.
+struct PendingLayer {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+  // conv
+  FilterBank conv_weights;
+  kernels::ConvSpec conv_spec;
+  std::int64_t pad = 0;
+  // pool
+  kernels::PoolSpec pool_spec;
+  // fc
+  std::vector<float> fc_weights;
+  std::int64_t fc_n = 0, fc_k = 0;
+  // pre-packed weights (add_conv_packed / add_fc_packed)
+  PackedFilterBank conv_packed;
+  PackedMatrix fc_packed;
+  bool prepacked = false;
+  bool full_precision = false;  // first-layer float conv
+  // shared
+  std::vector<float> thresholds;
+};
+
+/// A lowered, executable stage.
+struct Stage {
+  LayerKind kind = LayerKind::kConv;
+  simd::IsaLevel isa = simd::IsaLevel::kU64;
+  bool is_last = false;  ///< last stage emits float scores, not bits
+
+  // conv
+  kernels::ConvSpec conv_spec;
+  PackedFilterBank filters;
+  kernels::ConvBinarizeFn conv_bin = nullptr;
+  kernels::ConvDotFn conv_dot = nullptr;
+  // first-layer full-precision conv
+  bool full_precision = false;
+  std::vector<float> float_weights_t;  // (kh*kw*C) x K, im2col layout
+  std::int64_t float_k = 0;
+
+  // pool
+  kernels::PoolSpec pool_spec;
+
+  // fc
+  PackedMatrix fc_weights;  // k x n bits (pre-transposed at finalize)
+  kernels::BgemmFn fc_dot = nullptr;
+  kernels::BgemmBinarizeFn fc_bin = nullptr;
+
+  std::vector<float> thresholds;  // empty = sign at zero
+
+  // buffer routing (indices into Impl buffers)
+  int in_act = -1, out_act = -1;  // packed activation tensors
+  int in_fc = -1, out_fc = -1;    // packed fc bit rows
+  std::int64_t out_margin = 0;    // interior offset in the output buffer
+  bool flatten_input = false;     // conv/pool output -> fc row transition
+};
+
+}  // namespace
+
+struct BinaryNetwork::Impl {
+  NetworkConfig cfg;
+  runtime::ThreadPool pool;
+  std::vector<PendingLayer> pending;
+  bool finalized = false;
+
+  // Finalized state.
+  TensorDesc input{};
+  std::int64_t input_margin = 0;
+  std::vector<LayerInfo> infos;
+  std::vector<Stage> stages;
+  std::vector<PackedTensor> acts;     // pre-allocated activation buffers
+  std::vector<PackedMatrix> fc_bits;  // pre-allocated fc bit rows
+  std::vector<float> scores;          // final output
+  Tensor last_conv_dot;               // float buffer if the last stage is a conv
+  Tensor f_in_padded;                 // padded float input (full-precision first conv)
+  Tensor f_dots;                      // its convolution outputs
+  std::vector<float> f_cols;          // its im2col scratch
+  std::vector<double> profile_ms;
+  std::int64_t weight_bytes = 0;
+
+  explicit Impl(NetworkConfig c) : cfg(c), pool(c.num_threads) {
+    if (c.num_threads < 1) throw std::invalid_argument("NetworkConfig: num_threads >= 1");
+  }
+};
+
+BinaryNetwork::BinaryNetwork(NetworkConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
+BinaryNetwork::BinaryNetwork(BinaryNetwork&&) noexcept = default;
+BinaryNetwork& BinaryNetwork::operator=(BinaryNetwork&&) noexcept = default;
+BinaryNetwork::~BinaryNetwork() = default;
+
+void BinaryNetwork::add_conv(std::string name, FilterBank weights, std::int64_t stride,
+                             std::int64_t pad, std::vector<float> thresholds) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  if (!thresholds.empty() &&
+      thresholds.size() != static_cast<std::size_t>(weights.num_filters())) {
+    throw std::invalid_argument("add_conv: thresholds must have one entry per filter");
+  }
+  PendingLayer l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.conv_spec = kernels::ConvSpec{weights.kernel_h(), weights.kernel_w(), stride};
+  l.conv_weights = std::move(weights);
+  l.pad = pad;
+  l.thresholds = std::move(thresholds);
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::add_conv_float(std::string name, FilterBank weights, std::int64_t stride,
+                                   std::int64_t pad, std::vector<float> thresholds) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  if (!impl_->pending.empty()) {
+    throw std::invalid_argument("add_conv_float: only valid as the first layer");
+  }
+  if (!thresholds.empty() &&
+      thresholds.size() != static_cast<std::size_t>(weights.num_filters())) {
+    throw std::invalid_argument("add_conv_float: thresholds must have one entry per filter");
+  }
+  PendingLayer l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.conv_spec = kernels::ConvSpec{weights.kernel_h(), weights.kernel_w(), stride};
+  l.conv_weights = std::move(weights);
+  l.full_precision = true;
+  l.pad = pad;
+  l.thresholds = std::move(thresholds);
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::add_conv_packed(std::string name, PackedFilterBank filters,
+                                    std::int64_t stride, std::int64_t pad,
+                                    std::vector<float> thresholds) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  if (!thresholds.empty() &&
+      thresholds.size() != static_cast<std::size_t>(filters.num_filters())) {
+    throw std::invalid_argument("add_conv_packed: thresholds must have one entry per filter");
+  }
+  PendingLayer l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.conv_spec = kernels::ConvSpec{filters.kernel_h(), filters.kernel_w(), stride};
+  l.conv_packed = std::move(filters);
+  l.prepacked = true;
+  l.pad = pad;
+  l.thresholds = std::move(thresholds);
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::add_maxpool(std::string name, kernels::PoolSpec spec) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  PendingLayer l;
+  l.kind = LayerKind::kPool;
+  l.name = std::move(name);
+  l.pool_spec = spec;
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::add_fc(std::string name, std::vector<float> weights, std::int64_t n,
+                           std::int64_t k, std::vector<float> thresholds) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  if (weights.size() != static_cast<std::size_t>(n * k)) {
+    throw std::invalid_argument("add_fc: weights must be n*k floats");
+  }
+  if (!thresholds.empty() && thresholds.size() != static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("add_fc: thresholds must have one entry per output");
+  }
+  PendingLayer l;
+  l.kind = LayerKind::kFc;
+  l.name = std::move(name);
+  l.fc_weights = std::move(weights);
+  l.fc_n = n;
+  l.fc_k = k;
+  l.thresholds = std::move(thresholds);
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::add_fc_packed(std::string name, PackedMatrix weights,
+                                  std::vector<float> thresholds) {
+  if (impl_->finalized) throw std::logic_error("BinaryNetwork: add after finalize");
+  if (!thresholds.empty() && thresholds.size() != static_cast<std::size_t>(weights.rows())) {
+    throw std::invalid_argument("add_fc_packed: thresholds must have one entry per output");
+  }
+  PendingLayer l;
+  l.kind = LayerKind::kFc;
+  l.name = std::move(name);
+  l.fc_n = weights.cols();
+  l.fc_k = weights.rows();
+  l.fc_packed = std::move(weights);
+  l.prepacked = true;
+  l.thresholds = std::move(thresholds);
+  impl_->pending.push_back(std::move(l));
+}
+
+void BinaryNetwork::finalize(TensorDesc input) {
+  Impl& im = *impl_;
+  if (im.finalized) throw std::logic_error("BinaryNetwork: finalize called twice");
+  if (im.pending.empty()) throw std::logic_error("BinaryNetwork: no layers");
+  const std::size_t n_layers = im.pending.size();
+  const simd::CpuFeatures& hw = simd::cpu_features();
+
+  // Pass 1: shape inference + validation + ISA selection.
+  im.input = input;
+  TensorDesc cur = input;
+  bool seen_fc = false;
+  auto clamp_isa = [&](simd::IsaLevel isa) {
+    if (im.cfg.max_isa.has_value() &&
+        static_cast<int>(isa) > static_cast<int>(*im.cfg.max_isa)) {
+      return *im.cfg.max_isa;
+    }
+    return isa;
+  };
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    PendingLayer& l = im.pending[i];
+    LayerInfo info;
+    info.name = l.name;
+    info.kind = l.kind;
+    info.in = cur;
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        if (seen_fc) throw std::invalid_argument("BinaryNetwork: conv after fc unsupported");
+        const std::int64_t layer_c =
+            l.prepacked ? l.conv_packed.channels() : l.conv_weights.channels();
+        const std::int64_t layer_k =
+            l.prepacked ? l.conv_packed.num_filters() : l.conv_weights.num_filters();
+        if (layer_c != cur.c) {
+          throw std::invalid_argument("finalize: " + l.name + " channel mismatch");
+        }
+        cur = infer_conv(cur, l.conv_spec, l.pad, layer_k);
+        info.pad = l.pad;
+        info.full_precision = l.full_precision;
+        if (l.full_precision) {
+          info.isa = simd::IsaLevel::kU64;
+          info.isa_reason = "full-precision first layer (im2col + sgemm)";
+        } else {
+          info.isa = clamp_isa(select_isa(layer_c, hw, im.cfg.policy));
+          info.isa_reason = explain_isa_selection(layer_c, hw, im.cfg.policy);
+        }
+        break;
+      }
+      case LayerKind::kPool: {
+        if (seen_fc) throw std::invalid_argument("BinaryNetwork: pool after fc unsupported");
+        cur = infer_pool(cur, l.pool_spec);
+        info.isa = clamp_isa(select_isa(cur.c, hw, im.cfg.policy));
+        info.isa_reason = explain_isa_selection(cur.c, hw, im.cfg.policy);
+        break;
+      }
+      case LayerKind::kFc: {
+        if (cur.num_elements() != l.fc_n) {
+          throw std::invalid_argument("finalize: " + l.name + " input size mismatch");
+        }
+        seen_fc = true;
+        cur = infer_fc(cur, l.fc_k);
+        info.isa = clamp_isa(select_isa(l.fc_n, hw, im.cfg.policy));
+        info.isa_reason = explain_isa_selection(l.fc_n, hw, im.cfg.policy);
+        break;
+      }
+    }
+    info.out = cur;
+    im.infos.push_back(std::move(info));
+  }
+
+  // Pass 2: memory planning.  The margin of each activation buffer equals
+  // the padding its *consumer* wants, so padding is realized by writing
+  // interiors (Fig. 5).  Buffer i is the input of layer i.
+  auto consumer_margin = [&](std::size_t layer) -> std::int64_t {
+    return (layer < n_layers && im.pending[layer].kind == LayerKind::kConv)
+               ? im.pending[layer].pad
+               : 0;
+  };
+  im.input_margin = consumer_margin(0);
+
+  // Pass 3: lower layers to stages, pack weights, allocate buffers.
+  // acts[i] holds the packed input of stage i (for conv/pool stages).
+  TensorDesc flow = input;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    PendingLayer& l = im.pending[i];
+    const LayerInfo& info = im.infos[i];
+    Stage s;
+    s.kind = l.kind;
+    s.isa = info.isa;
+    s.is_last = (i + 1 == n_layers);
+    s.thresholds = std::move(l.thresholds);
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        s.conv_spec = l.conv_spec;
+        if (l.full_precision) {
+          s.full_precision = true;
+          s.float_k = l.conv_weights.num_filters();
+          s.float_weights_t = baseline::flatten_filters_transposed(l.conv_weights);
+          im.weight_bytes +=
+              static_cast<std::int64_t>(s.float_weights_t.size()) * 4;
+          // Pre-allocate the padded float input and the dot buffer.
+          im.f_in_padded = Tensor::hwc(flow.h + 2 * l.pad, flow.w + 2 * l.pad, flow.c);
+          im.f_dots = Tensor::hwc(info.out.h, info.out.w, info.out.c);
+        } else {
+          s.filters =
+              l.prepacked ? std::move(l.conv_packed) : bitpack::pack_filters(l.conv_weights);
+          im.weight_bytes += s.filters.num_filters() * s.filters.words_per_filter() * 8;
+          s.conv_bin = kernels::conv_binarize_kernel(info.isa);
+          s.conv_dot = kernels::conv_dot_kernel(info.isa);
+        }
+        l.conv_weights = FilterBank();  // drop the float weights
+        break;
+      }
+      case LayerKind::kPool: {
+        s.pool_spec = l.pool_spec;
+        break;
+      }
+      case LayerKind::kFc: {
+        s.fc_weights = l.prepacked
+                           ? std::move(l.fc_packed)
+                           : bitpack::pack_transpose_fc_weights(l.fc_weights.data(), l.fc_n,
+                                                                l.fc_k);
+        im.weight_bytes += s.fc_weights.rows() * s.fc_weights.words_per_row() * 8;
+        s.fc_dot = kernels::bgemm_kernel(info.isa);
+        s.fc_bin = kernels::bgemm_binarize_kernel(info.isa);
+        l.fc_weights.clear();
+        l.fc_weights.shrink_to_fit();
+        break;
+      }
+    }
+
+    // Buffer routing.
+    if (l.kind == LayerKind::kConv || l.kind == LayerKind::kPool) {
+      if (static_cast<std::size_t>(im.acts.size()) == i && i == 0) {
+        im.acts.emplace_back(flow.h + 2 * im.input_margin, flow.w + 2 * im.input_margin, flow.c);
+      }
+      s.in_act = static_cast<int>(i);
+      const TensorDesc& out = info.out;
+      s.out_margin = consumer_margin(i + 1);
+      if (s.is_last && l.kind == LayerKind::kConv) {
+        // Final conv: raw dot products into a float tensor.
+        im.last_conv_dot = Tensor::hwc(out.h, out.w, out.c);
+      } else {
+        im.acts.emplace_back(out.h + 2 * s.out_margin, out.w + 2 * s.out_margin, out.c);
+        s.out_act = static_cast<int>(im.acts.size()) - 1;
+      }
+    } else {  // fc
+      if (i == 0 || im.pending[i - 1].kind != LayerKind::kFc) {
+        // First fc in the chain: its packed input row comes from flattening
+        // (or, if the network starts with fc, from packing the input).
+        s.flatten_input = true;
+        im.fc_bits.emplace_back(1, l.fc_n);
+        s.in_fc = static_cast<int>(im.fc_bits.size()) - 1;
+      } else {
+        s.in_fc = static_cast<int>(im.fc_bits.size()) - 1;
+      }
+      if (!s.is_last) {
+        im.fc_bits.emplace_back(1, l.fc_k);
+        s.out_fc = static_cast<int>(im.fc_bits.size()) - 1;
+      }
+    }
+    flow = info.out;
+    im.stages.push_back(std::move(s));
+  }
+  im.scores.resize(static_cast<std::size_t>(flow.num_elements()));
+  im.pending.clear();
+  im.pending.shrink_to_fit();
+  im.finalized = true;
+}
+
+std::span<const float> BinaryNetwork::infer(const Tensor& input_hwc) {
+  Impl& im = *impl_;
+  if (!im.finalized) throw std::logic_error("BinaryNetwork: infer before finalize");
+  if (input_hwc.height() != im.input.h || input_hwc.width() != im.input.w ||
+      input_hwc.channels() != im.input.c) {
+    throw std::invalid_argument("infer: input extents do not match finalized network");
+  }
+  const bool profile = im.cfg.profile;
+  im.profile_ms.clear();
+  runtime::Timer timer;
+
+  // Input stage: binarize + pack into the first buffer's interior — unless
+  // the first layer is the full-precision conv, which consumes floats.
+  const bool starts_with_fc = im.stages.front().kind == LayerKind::kFc;
+  const bool starts_full_precision = im.stages.front().full_precision;
+  if (starts_full_precision) {
+    // Copy the image into the interior of the pre-allocated padded buffer
+    // (margins stay zero: standard zero-padding for a float convolution).
+    const std::int64_t row_bytes = input_hwc.width() * input_hwc.channels() *
+                                   static_cast<std::int64_t>(sizeof(float));
+    for (std::int64_t h = 0; h < input_hwc.height(); ++h) {
+      std::memcpy(im.f_in_padded.data() +
+                      im.f_in_padded.index(h + im.input_margin, im.input_margin, 0),
+                  input_hwc.data() + input_hwc.index(h, 0, 0),
+                  static_cast<std::size_t>(row_bytes));
+    }
+  } else if (!starts_with_fc) {
+    bitpack::pack_activations_into_interior(input_hwc, im.acts[0], im.input_margin, im.pool);
+  } else {
+    // Network starts fully connected: pack the flattened input row.
+    PackedMatrix& row = im.fc_bits[static_cast<std::size_t>(im.stages.front().in_fc)];
+    PackedMatrix packed = bitpack::pack_rows(input_hwc.data(), 1, input_hwc.num_elements());
+    std::copy(packed.words(), packed.words() + packed.num_words(), row.words());
+  }
+  if (profile) {
+    im.profile_ms.push_back(timer.elapsed_ms());
+    timer.reset();
+  }
+
+  for (std::size_t i = 0; i < im.stages.size(); ++i) {
+    Stage& s = im.stages[i];
+    const float* th = s.thresholds.empty() ? nullptr : s.thresholds.data();
+    switch (s.kind) {
+      case LayerKind::kConv: {
+        if (s.full_precision) {
+          baseline::float_conv_im2col(im.f_in_padded, s.float_weights_t, s.float_k,
+                                      s.conv_spec, im.pool, im.f_dots, im.f_cols);
+          if (s.is_last) {
+            std::copy(im.f_dots.data(), im.f_dots.data() + im.f_dots.num_elements(),
+                      im.scores.data());
+          } else {
+            bitpack::pack_thresholded_into_interior(
+                im.f_dots, th, im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+          }
+          break;
+        }
+        const PackedTensor& in = im.acts[static_cast<std::size_t>(s.in_act)];
+        if (s.is_last) {
+          s.conv_dot(in, s.filters, s.conv_spec, im.pool, im.last_conv_dot);
+          std::copy(im.last_conv_dot.data(),
+                    im.last_conv_dot.data() + im.last_conv_dot.num_elements(),
+                    im.scores.data());
+        } else {
+          s.conv_bin(in, s.filters, s.conv_spec, th, im.pool,
+                     im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+        }
+        break;
+      }
+      case LayerKind::kPool: {
+        const PackedTensor& in = im.acts[static_cast<std::size_t>(s.in_act)];
+        if (s.is_last) {
+          // Rare but supported: network ends in a pool; emit decoded signs.
+          PackedTensor out(im.infos[i].out.h, im.infos[i].out.w, im.infos[i].out.c);
+          kernels::binary_maxpool(in, s.pool_spec, s.isa, im.pool, out, 0);
+          const Tensor signs = bitpack::unpack_to_signs(out);
+          std::copy(signs.data(), signs.data() + signs.num_elements(), im.scores.data());
+        } else {
+          kernels::binary_maxpool(in, s.pool_spec, s.isa, im.pool,
+                                  im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+        }
+        break;
+      }
+      case LayerKind::kFc: {
+        PackedMatrix& in = im.fc_bits[static_cast<std::size_t>(s.in_fc)];
+        if (s.flatten_input && !starts_with_fc) {
+          // The producing conv/pool stage wrote a margin-0 buffer; flatten it.
+          bitpack::flatten_packed(im.acts.back(), in);
+        }
+        if (s.is_last) {
+          s.fc_dot(in, s.fc_weights, im.pool, im.scores.data());
+        } else {
+          s.fc_bin(in, s.fc_weights, th, im.pool,
+                   im.fc_bits[static_cast<std::size_t>(s.out_fc)]);
+        }
+        break;
+      }
+    }
+    if (profile) {
+      im.profile_ms.push_back(timer.elapsed_ms());
+      timer.reset();
+    }
+  }
+  return im.scores;
+}
+
+bool BinaryNetwork::finalized() const noexcept { return impl_->finalized; }
+const std::vector<LayerInfo>& BinaryNetwork::layers() const { return impl_->infos; }
+TensorDesc BinaryNetwork::input_desc() const { return impl_->input; }
+std::int64_t BinaryNetwork::output_size() const {
+  return static_cast<std::int64_t>(impl_->scores.size());
+}
+int BinaryNetwork::num_threads() const noexcept { return impl_->cfg.num_threads; }
+std::int64_t BinaryNetwork::packed_weight_bytes() const { return impl_->weight_bytes; }
+const std::vector<double>& BinaryNetwork::last_profile_ms() const { return impl_->profile_ms; }
+
+}  // namespace bitflow::graph

@@ -1,0 +1,151 @@
+// Static binary network graph: BitFlow's network-level optimization layer
+// (paper Sec. IV).
+//
+// A BinaryNetwork is built layer by layer from *float* weights, then
+// `finalize()` performs everything the paper does once at initialization:
+//   * shape inference over the whole chain (scheduler component 1);
+//   * kernel selection per operator from the channel-multiple rules and the
+//     detected hardware (components 2-3, Fig. 6);
+//   * binarization + bit-packing of all weights, once and for all;
+//   * pre-allocation of every activation buffer, with each buffer sized to
+//     carry the *consumer's* padding margin so that padding costs nothing at
+//     inference time (Fig. 5) — the static-graph memory planner.
+//
+// `infer()` then runs batch-1 inference with zero allocation: pack the
+// input, run the fused conv+binarize / OR-pool / bgemm chain, return the
+// float scores of the last layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/scheduler.hpp"
+#include "graph/shape_infer.hpp"
+#include "kernels/bgemm.hpp"
+#include "kernels/binary_maxpool.hpp"
+#include "kernels/pressedconv.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/filter_bank.hpp"
+#include "tensor/packed_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::graph {
+
+/// Kind of a network layer.
+enum class LayerKind { kConv, kPool, kFc };
+
+[[nodiscard]] constexpr const char* layer_kind_name(LayerKind k) noexcept {
+  switch (k) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kPool: return "maxpool";
+    case LayerKind::kFc: return "fc";
+  }
+  return "?";
+}
+
+/// Introspection record for one layer (drives the Fig. 6 operator-to-kernel
+/// mapping report and the per-layer profiles).
+struct LayerInfo {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  TensorDesc in;   ///< logical (unpadded) input extents
+  TensorDesc out;  ///< logical output extents
+  std::int64_t pad = 0;  ///< input padding consumed by this layer (conv only)
+  simd::IsaLevel isa = simd::IsaLevel::kU64;
+  std::string isa_reason;
+  bool full_precision = false;  ///< first-layer float conv (see add_conv_float)
+};
+
+/// Network-wide execution configuration.
+struct NetworkConfig {
+  int num_threads = 1;
+  SchedulerPolicy policy = SchedulerPolicy::kPaperRules;
+  bool profile = false;  ///< record per-layer wall-clock on every inference
+  /// Caps the scheduler's kernel choice (e.g. kAvx2 to model an i7-7700HQ
+  /// on wider hardware).  The cap must itself be hardware-supported.
+  std::optional<simd::IsaLevel> max_isa;
+};
+
+/// Sequential binary network (BitFlow targets inference latency: batch = 1,
+/// linear chains — exactly the workloads of the paper's evaluation).
+class BinaryNetwork {
+ public:
+  explicit BinaryNetwork(NetworkConfig cfg = {});
+  BinaryNetwork(BinaryNetwork&&) noexcept;
+  BinaryNetwork& operator=(BinaryNetwork&&) noexcept;
+  ~BinaryNetwork();
+
+  // --- construction ---------------------------------------------------------
+
+  /// Appends a binary convolution with symmetric spatial padding `pad`.
+  /// `thresholds` (size K, may be empty = all zero) is the per-output-channel
+  /// binarization threshold (folded batch-norm).  Output is re-binarized
+  /// unless this ends up being the network's last layer.
+  void add_conv(std::string name, FilterBank weights, std::int64_t stride, std::int64_t pad,
+                std::vector<float> thresholds = {});
+
+  /// Appends a *full-precision* convolution as the network's first layer:
+  /// the float input is convolved with float weights (image-to-column +
+  /// sgemm), and the outputs are binarized through `thresholds` into the
+  /// packed pipeline.  Keeping the first layer in full precision is the
+  /// accuracy-recovery technique the paper cites (Zhuang et al.): the
+  /// input image carries real-valued information a sign() would destroy,
+  /// and the first layer is a tiny fraction of total compute (C is 3).
+  /// Only valid as the first layer.
+  void add_conv_float(std::string name, FilterBank weights, std::int64_t stride,
+                      std::int64_t pad, std::vector<float> thresholds = {});
+
+  /// Appends a binary convolution whose weights are already bit-packed
+  /// (e.g. loaded from a model file via io::Model) — finalize() skips the
+  /// binarize+pack step for this layer.
+  void add_conv_packed(std::string name, PackedFilterBank filters, std::int64_t stride,
+                       std::int64_t pad, std::vector<float> thresholds = {});
+
+  /// Appends a binary max pooling layer.
+  void add_maxpool(std::string name, kernels::PoolSpec spec);
+
+  /// Appends a binary fully connected layer; `weights` is the row-major
+  /// n x k float matrix of the paper's Table III convention.
+  void add_fc(std::string name, std::vector<float> weights, std::int64_t n, std::int64_t k,
+              std::vector<float> thresholds = {});
+
+  /// Appends a binary fully connected layer from already-packed weights in
+  /// the engine's internal K x N row layout (one packed input-vector row
+  /// per output neuron, as produced by bitpack::pack_transpose_fc_weights).
+  void add_fc_packed(std::string name, PackedMatrix weights, std::vector<float> thresholds = {});
+
+  /// Runs shape inference, kernel selection, weight packing and memory
+  /// planning for input extents `input`.  Must be called exactly once,
+  /// after which the layer list is frozen.
+  void finalize(TensorDesc input);
+
+  // --- inference -------------------------------------------------------------
+
+  /// Batch-1 inference.  `input_hwc` must match the finalized input extents.
+  /// The returned span (the last layer's float outputs) stays valid until
+  /// the next call.
+  std::span<const float> infer(const Tensor& input_hwc);
+
+  // --- introspection -----------------------------------------------------------
+
+  [[nodiscard]] bool finalized() const noexcept;
+  [[nodiscard]] const std::vector<LayerInfo>& layers() const;
+  [[nodiscard]] TensorDesc input_desc() const;
+  [[nodiscard]] std::int64_t output_size() const;
+  [[nodiscard]] int num_threads() const noexcept;
+  /// Total bytes of packed weights (the 32x model-size story of Table V).
+  [[nodiscard]] std::int64_t packed_weight_bytes() const;
+  /// Per-layer wall-clock of the most recent infer() (profile mode only;
+  /// index matches layers(); one extra leading entry is the input pack).
+  [[nodiscard]] const std::vector<double>& last_profile_ms() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitflow::graph

@@ -1,0 +1,36 @@
+#include "graph/scheduler.hpp"
+
+namespace bitflow::graph {
+
+simd::IsaLevel select_isa(std::int64_t channels, const simd::CpuFeatures& f,
+                          SchedulerPolicy policy) {
+  if (policy == SchedulerPolicy::kWidest) return f.best_isa();
+  if (channels % 512 == 0 && f.supports(simd::IsaLevel::kAvx512)) return simd::IsaLevel::kAvx512;
+  if (channels % 256 == 0 && f.supports(simd::IsaLevel::kAvx2)) return simd::IsaLevel::kAvx2;
+  if (channels % 128 == 0 && f.supports(simd::IsaLevel::kSse)) return simd::IsaLevel::kSse;
+  return simd::IsaLevel::kU64;
+}
+
+std::string explain_isa_selection(std::int64_t channels, const simd::CpuFeatures& f,
+                                  SchedulerPolicy policy) {
+  const simd::IsaLevel isa = select_isa(channels, f, policy);
+  std::string s = "C=" + std::to_string(channels) + " -> " + std::string(isa_name(isa));
+  if (policy == SchedulerPolicy::kWidest) {
+    s += " (widest hardware ISA)";
+    return s;
+  }
+  if (channels % 512 == 0 && f.supports(simd::IsaLevel::kAvx512)) {
+    s += " (rule 1: multiple of 512, AVX-512 available)";
+  } else if (channels % 256 == 0 && f.supports(simd::IsaLevel::kAvx2)) {
+    s += " (rule 2: multiple of 256, AVX2 available)";
+  } else if (channels % 128 == 0 && f.supports(simd::IsaLevel::kSse)) {
+    s += " (rule 3: multiple of 128, SSE available)";
+  } else if (channels % 32 == 0) {
+    s += " (rule 4: multiple of 32, scalar word kernel)";
+  } else {
+    s += " (rule 4: channel tail zero-padded, scalar word kernel)";
+  }
+  return s;
+}
+
+}  // namespace bitflow::graph

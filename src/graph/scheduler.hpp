@@ -1,0 +1,46 @@
+// Vector execution scheduler (paper Sec. III-B, Fig. 4): shape inferer +
+// hardware detector + code generator.
+//
+// The shape inferer lives in shape_infer.hpp and the hardware detector in
+// simd/cpu_features.hpp; this header is the code generator — the rule table
+// that maps an operator's channel dimension to the computing kernel
+// (Fig. 6):
+//   rule 1: C % 512 == 0 and AVX-512 available  -> 512-bit kernel
+//   rule 2: C % 256 == 0 and AVX2 available     -> 256-bit kernel
+//   rule 3: C % 128 == 0 and SSE available      -> 128-bit kernel
+//   rule 4: otherwise -> scalar word kernel; channel counts that are not a
+//           multiple of the word size are padded with zero bits (the packers
+//           maintain zero tails, so no separate padding pass exists).
+//
+// kWidest is a BitFlow extension beyond the paper: because NHWC channel
+// packing makes a whole window row (kw * words_per_pixel words) contiguous,
+// a vector register may legitimately span filter taps, so the widest
+// hardware ISA is usable for any channel count.  bench_isa_ablation
+// quantifies what the paper's conservative rules leave on the table.
+#pragma once
+
+#include <string>
+
+#include "simd/cpu_features.hpp"
+#include "simd/isa.hpp"
+
+namespace bitflow::graph {
+
+/// Kernel selection policy.
+enum class SchedulerPolicy {
+  kPaperRules,  ///< the channel-multiple rules of Sec. III-B (default)
+  kWidest,      ///< always the widest ISA the hardware supports
+};
+
+/// Selects the ISA level for an operator whose packed dimension (channels
+/// for conv/pool, input neurons for FC) is `channels`, on hardware `f`.
+[[nodiscard]] simd::IsaLevel select_isa(std::int64_t channels, const simd::CpuFeatures& f,
+                                        SchedulerPolicy policy = SchedulerPolicy::kPaperRules);
+
+/// Human-readable justification of a selection ("C=256 is a multiple of 256
+/// -> avx2 (rule 2)"), used by the Fig. 6 mapping report.
+[[nodiscard]] std::string explain_isa_selection(std::int64_t channels,
+                                                const simd::CpuFeatures& f,
+                                                SchedulerPolicy policy);
+
+}  // namespace bitflow::graph

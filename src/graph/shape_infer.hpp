@@ -1,0 +1,52 @@
+// The "shape inferer" component of the vector execution scheduler (paper
+// Sec. III-B): computes every operator's output extents from the network
+// input size and the filter geometry, so buffers can be pre-allocated and
+// kernels selected before the first inference.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "kernels/binary_maxpool.hpp"
+#include "kernels/conv_spec.hpp"
+
+namespace bitflow::graph {
+
+/// Logical (unpadded) extents of an activation tensor flowing through the
+/// graph.  FC activations are represented as 1 x 1 x N.
+struct TensorDesc {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::int64_t c = 0;
+
+  [[nodiscard]] std::int64_t num_elements() const noexcept { return h * w * c; }
+  [[nodiscard]] bool operator==(const TensorDesc&) const = default;
+};
+
+/// Output extents of a convolution with symmetric input padding `pad`.
+[[nodiscard]] inline TensorDesc infer_conv(const TensorDesc& in, const kernels::ConvSpec& spec,
+                                           std::int64_t pad, std::int64_t out_channels) {
+  const std::int64_t ph = in.h + 2 * pad;
+  const std::int64_t pw = in.w + 2 * pad;
+  if (ph < spec.kernel_h || pw < spec.kernel_w) {
+    throw std::invalid_argument("infer_conv: kernel does not fit padded input");
+  }
+  return {spec.out_h(ph), spec.out_w(pw), out_channels};
+}
+
+/// Output extents of a max pooling operator.
+[[nodiscard]] inline TensorDesc infer_pool(const TensorDesc& in, const kernels::PoolSpec& spec) {
+  const std::int64_t oh = spec.out_h(in.h);
+  const std::int64_t ow = spec.out_w(in.w);
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("infer_pool: window does not fit");
+  return {oh, ow, in.c};
+}
+
+/// Output extents of a fully connected operator with `k` outputs; the input
+/// is flattened HWC.
+[[nodiscard]] inline TensorDesc infer_fc(const TensorDesc& in, std::int64_t k) {
+  if (in.num_elements() <= 0) throw std::invalid_argument("infer_fc: empty input");
+  return {1, 1, k};
+}
+
+}  // namespace bitflow::graph

@@ -1,0 +1,92 @@
+// Serializable model container: the deployment artifact of BitFlow.
+//
+// A Model holds an engine-independent description of a binarized network —
+// layer sequence, bit-packed weights, folded thresholds, input extents —
+// and converts in both directions:
+//
+//   train::Sequential --export_to_model()--> Model --save()--> .bflow file
+//   .bflow file --Model::load()--> Model --instantiate()--> BinaryNetwork
+//
+// The on-disk format ("BFLW", version 1) is little-endian and
+// self-describing; see format.md-style notes in model.cpp.  Packed weights
+// are stored verbatim (1 bit per weight), so a VGG-16 model file is ~17 MB
+// against ~528 MB of float weights — the deployment half of Table V.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "kernels/binary_maxpool.hpp"
+#include "tensor/filter_bank.hpp"
+#include "tensor/packed_tensor.hpp"
+
+namespace bitflow::io {
+
+/// One serialized layer.  Exactly one of the kind-specific payloads is
+/// meaningful, selected by `kind`.
+struct LayerRecord {
+  graph::LayerKind kind = graph::LayerKind::kConv;
+  std::string name;
+  // conv
+  bool full_precision = false;   ///< first-layer float conv (kind == kConv)
+  PackedFilterBank filters;      ///< binary conv weights
+  FilterBank float_filters;      ///< full-precision conv weights
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  // pool
+  kernels::PoolSpec pool;
+  // fc
+  PackedMatrix fc_weights;  // K x N rows (engine layout)
+  // conv / fc
+  std::vector<float> thresholds;
+};
+
+/// Engine-independent binarized model description.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(graph::TensorDesc input) : input_(input) {}
+
+  [[nodiscard]] graph::TensorDesc input() const noexcept { return input_; }
+  void set_input(graph::TensorDesc d) noexcept { input_ = d; }
+
+  [[nodiscard]] const std::vector<LayerRecord>& layers() const noexcept { return layers_; }
+  [[nodiscard]] std::size_t num_layers() const noexcept { return layers_.size(); }
+
+  /// Appends a conv layer with packed filters.
+  void add_conv(std::string name, PackedFilterBank filters, std::int64_t stride,
+                std::int64_t pad, std::vector<float> thresholds = {});
+  /// Appends a full-precision first-layer conv with float filters.
+  void add_conv_float(std::string name, FilterBank filters, std::int64_t stride,
+                      std::int64_t pad, std::vector<float> thresholds = {});
+  /// Appends a max pooling layer.
+  void add_maxpool(std::string name, kernels::PoolSpec spec);
+  /// Appends a fully connected layer with packed K x N weights.
+  void add_fc(std::string name, PackedMatrix weights, std::vector<float> thresholds = {});
+
+  /// Builds and finalizes an engine network for this model.
+  [[nodiscard]] graph::BinaryNetwork instantiate(graph::NetworkConfig cfg) const;
+
+  /// Total packed weight bytes (the model-file payload size).
+  [[nodiscard]] std::int64_t weight_bytes() const;
+
+  // --- persistence -----------------------------------------------------------
+
+  /// Writes the model to `path` (throws std::runtime_error on I/O failure).
+  void save(const std::string& path) const;
+  void save(std::ostream& os) const;
+
+  /// Reads a model from `path` (throws std::runtime_error on I/O failure or
+  /// malformed/unsupported content).
+  [[nodiscard]] static Model load(const std::string& path);
+  [[nodiscard]] static Model load(std::istream& is);
+
+ private:
+  graph::TensorDesc input_{};
+  std::vector<LayerRecord> layers_;
+};
+
+}  // namespace bitflow::io

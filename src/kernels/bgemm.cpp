@@ -1,0 +1,56 @@
+// Runtime dispatch front for the per-ISA bgemm kernels.
+#include "kernels/bgemm.hpp"
+
+#include <stdexcept>
+
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::kernels {
+
+namespace detail {
+#define BITFLOW_DECLARE_BGEMM(SUFFIX)                                                         \
+  void bgemm_##SUFFIX(const PackedMatrix&, const PackedMatrix&, runtime::ThreadPool&, float*); \
+  void bgemm_binarize_##SUFFIX(const PackedMatrix&, const PackedMatrix&, const float*,         \
+                               runtime::ThreadPool&, PackedMatrix&);
+BITFLOW_DECLARE_BGEMM(u64)
+BITFLOW_DECLARE_BGEMM(sse)
+BITFLOW_DECLARE_BGEMM(avx2)
+BITFLOW_DECLARE_BGEMM(avx512)
+BITFLOW_DECLARE_BGEMM(avx512vp)
+#undef BITFLOW_DECLARE_BGEMM
+}  // namespace detail
+
+BgemmFn bgemm_kernel(simd::IsaLevel isa) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_avx2;
+    case simd::IsaLevel::kAvx512:
+      return simd::cpu_features().avx512vpopcntdq ? &detail::bgemm_avx512vp
+                                                  : &detail::bgemm_avx512;
+  }
+  throw std::invalid_argument("bgemm_kernel: bad ISA level");
+}
+
+BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_binarize_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_binarize_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_binarize_avx2;
+    case simd::IsaLevel::kAvx512:
+      return simd::cpu_features().avx512vpopcntdq ? &detail::bgemm_binarize_avx512vp
+                                                  : &detail::bgemm_binarize_avx512;
+  }
+  throw std::invalid_argument("bgemm_binarize_kernel: bad ISA level");
+}
+
+void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y) {
+  bgemm_kernel(simd::cpu_features().best_isa())(a, w, pool, y);
+}
+
+void bgemm_binarize(const PackedMatrix& a, const PackedMatrix& w, const float* thresholds,
+                    runtime::ThreadPool& pool, PackedMatrix& out) {
+  bgemm_binarize_kernel(simd::cpu_features().best_isa())(a, w, thresholds, pool, out);
+}
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,47 @@
+// bgemm: binary general matrix multiplication (paper Sec. III-C and the
+// gemm-level optimizations of Sec. IV).
+//
+// A fully connected binary operator is a bgemm of the packed activation
+// matrix A (M x N bits, M = batch = 1 in inference) against the packed,
+// pre-transposed weight matrix W (K x N bits, produced once at network
+// initialization by bitpack::pack_transpose_fc_weights).  Output element
+// (m, k) is the Eq. 1 inner product of row m of A with row k of W.
+//
+// Parallelism follows the paper: vector parallelism along the N (bit)
+// dimension, multi-core parallelism over the K (output neuron) dimension.
+// The K loop is 4-way register-blocked so each loaded activation word feeds
+// four weight rows (the "tiling and loop unrolling" borrowed from sgemm).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/thread_pool.hpp"
+#include "simd/isa.hpp"
+#include "tensor/packed_tensor.hpp"
+
+namespace bitflow::kernels {
+
+/// Raw-dot bgemm: y is row-major M x K floats, y[m*K + k] = Eq.1 dot of
+/// A row m and W row k.  A and W must agree on cols().
+using BgemmFn = void (*)(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool,
+                         float* y);
+
+/// Fused bgemm + binarize: bit k of output row m is dot(m,k) >=
+/// thresholds[k] (null thresholds = sign).  `out` must be M x K bits.
+using BgemmBinarizeFn = void (*)(const PackedMatrix& a, const PackedMatrix& w,
+                                 const float* thresholds, runtime::ThreadPool& pool,
+                                 PackedMatrix& out);
+
+/// Returns the raw-dot bgemm compiled for `isa` (hardware support is the
+/// caller's responsibility, as with conv_dot_kernel).
+[[nodiscard]] BgemmFn bgemm_kernel(simd::IsaLevel isa);
+
+/// Returns the fused binarize bgemm compiled for `isa`.
+[[nodiscard]] BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa);
+
+/// Dispatching wrappers (widest hardware ISA).
+void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y);
+void bgemm_binarize(const PackedMatrix& a, const PackedMatrix& w, const float* thresholds,
+                    runtime::ThreadPool& pool, PackedMatrix& out);
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,95 @@
+// Generic bgemm inner loops, templated over an ISA policy (same scheme as
+// pressedconv_impl.hpp — included only by the per-ISA kernel TUs).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+#include "tensor/packed_tensor.hpp"
+
+namespace bitflow::kernels::impl {
+
+template <typename Ops>
+void bgemm_impl(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool,
+                float* y) {
+  if (a.cols() != w.cols()) throw std::invalid_argument("bgemm: N mismatch");
+  const std::int64_t m_rows = a.rows();
+  const std::int64_t k_rows = w.rows();
+  const std::int64_t n_words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  for (std::int64_t m = 0; m < m_rows; ++m) {
+    const std::uint64_t* xa = a.row(m);
+    float* ym = y + m * k_rows;
+    // Multi-core parallelism over the K dimension (paper Sec. III-C).
+    pool.parallel_for(k_rows, [&](runtime::Range r, int) {
+      std::int64_t k = r.begin;
+      // 4-way K blocking: the activation row streams from L1/L2 once per
+      // four weight rows.
+      for (; k + 4 <= r.end; k += 4) {
+        const std::uint64_t p0 = Ops::xor_popcount(xa, w.row(k + 0), n_words);
+        const std::uint64_t p1 = Ops::xor_popcount(xa, w.row(k + 1), n_words);
+        const std::uint64_t p2 = Ops::xor_popcount(xa, w.row(k + 2), n_words);
+        const std::uint64_t p3 = Ops::xor_popcount(xa, w.row(k + 3), n_words);
+        ym[k + 0] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p0));
+        ym[k + 1] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p1));
+        ym[k + 2] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p2));
+        ym[k + 3] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p3));
+      }
+      for (; k < r.end; ++k) {
+        const std::uint64_t p = Ops::xor_popcount(xa, w.row(k), n_words);
+        ym[k] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p));
+      }
+    });
+  }
+}
+
+template <typename Ops>
+void bgemm_binarize_impl(const PackedMatrix& a, const PackedMatrix& w, const float* thresholds,
+                         runtime::ThreadPool& pool, PackedMatrix& out) {
+  if (a.cols() != w.cols()) throw std::invalid_argument("bgemm_binarize: N mismatch");
+  if (out.rows() != a.rows() || out.cols() != w.rows()) {
+    throw std::invalid_argument("bgemm_binarize: output mis-shaped");
+  }
+  const std::int64_t m_rows = a.rows();
+  const std::int64_t k_rows = w.rows();
+  const std::int64_t n_words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  const std::int64_t out_words = out.words_per_row();
+  for (std::int64_t m = 0; m < m_rows; ++m) {
+    const std::uint64_t* xa = a.row(m);
+    std::uint64_t* orow = out.row(m);
+    // Parallelize over whole output words so no two workers share a word.
+    pool.parallel_for(out_words, [&](runtime::Range r, int) {
+      for (std::int64_t wi = r.begin; wi < r.end; ++wi) {
+        const std::int64_t k0 = wi * 64;
+        const std::int64_t block = std::min<std::int64_t>(64, k_rows - k0);
+        std::uint64_t packed = 0;
+        for (std::int64_t b = 0; b < block; ++b) {
+          const std::uint64_t p = Ops::xor_popcount(xa, w.row(k0 + b), n_words);
+          const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p));
+          const float th = thresholds != nullptr ? thresholds[k0 + b] : 0.0f;
+          packed |= static_cast<std::uint64_t>(dot >= th) << b;
+        }
+        orow[wi] = packed;
+      }
+    });
+  }
+}
+
+}  // namespace bitflow::kernels::impl
+
+/// Stamps out the two bgemm entry points for one ISA policy.
+#define BITFLOW_INSTANTIATE_BGEMM(SUFFIX, OPS)                                                  \
+  namespace bitflow::kernels::detail {                                                          \
+  void bgemm_##SUFFIX(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool,  \
+                      float* y) {                                                               \
+    impl::bgemm_impl<OPS>(a, w, pool, y);                                                       \
+  }                                                                                             \
+  void bgemm_binarize_##SUFFIX(const PackedMatrix& a, const PackedMatrix& w,                    \
+                               const float* thresholds, runtime::ThreadPool& pool,              \
+                               PackedMatrix& out) {                                             \
+    impl::bgemm_binarize_impl<OPS>(a, w, thresholds, pool, out);                                \
+  }                                                                                             \
+  }  // namespace bitflow::kernels::detail

@@ -1,0 +1,58 @@
+#include "kernels/binary_maxpool.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "simd/bitops.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::kernels {
+
+void binary_maxpool(const PackedTensor& in, const PoolSpec& spec, simd::IsaLevel isa,
+                    runtime::ThreadPool& pool, PackedTensor& out, std::int64_t margin) {
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("binary_maxpool: window larger than input");
+  if (out.height() != oh + 2 * margin || out.width() != ow + 2 * margin ||
+      out.channels() != in.channels()) {
+    throw std::invalid_argument("binary_maxpool: output mis-shaped for margin");
+  }
+  const std::int64_t pc = in.words_per_pixel();
+  const std::int64_t row_words = in.width() * pc;
+  const auto or_acc = simd::or_accumulate_fn(isa);
+
+  // One full-width scratch row per worker.
+  std::vector<std::vector<std::uint64_t>> scratch(
+      static_cast<std::size_t>(pool.num_threads()),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(row_words)));
+
+  pool.parallel_for(oh, [&](runtime::Range r, int worker) {
+    std::uint64_t* tmp = scratch[static_cast<std::size_t>(worker)].data();
+    for (std::int64_t y = r.begin; y < r.end; ++y) {
+      // Vertical OR of the window's input rows (contiguous SIMD runs).
+      const std::int64_t iy = y * spec.stride;
+      std::memcpy(tmp, in.pixel(iy, 0), static_cast<std::size_t>(row_words) * 8);
+      for (std::int64_t i = 1; i < spec.pool_h; ++i) {
+        or_acc(tmp, in.pixel(iy + i, 0), row_words);
+      }
+      // Horizontal combine: OR the pool_w pixel blocks of each window.
+      for (std::int64_t x = 0; x < ow; ++x) {
+        std::uint64_t* out_px = out.pixel(y + margin, x + margin);
+        const std::uint64_t* first = tmp + (x * spec.stride) * pc;
+        for (std::int64_t p = 0; p < pc; ++p) out_px[p] = first[p];
+        for (std::int64_t j = 1; j < spec.pool_w; ++j) {
+          const std::uint64_t* block = tmp + (x * spec.stride + j) * pc;
+          for (std::int64_t p = 0; p < pc; ++p) out_px[p] |= block[p];
+        }
+      }
+    }
+  });
+}
+
+void binary_maxpool(const PackedTensor& in, const PoolSpec& spec, runtime::ThreadPool& pool,
+                    PackedTensor& out, std::int64_t margin) {
+  binary_maxpool(in, spec, simd::cpu_features().best_isa(), pool, out, margin);
+}
+
+}  // namespace bitflow::kernels

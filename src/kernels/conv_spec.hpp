@@ -1,0 +1,34 @@
+// Convolution geometry shared by every conv kernel in the repository.
+//
+// BitFlow kernels compute *valid* convolutions: spatial padding is realized
+// upstream by writing the producing layer's output into the interior of a
+// pre-allocated, zero-initialized buffer (paper Fig. 5, "zero-cost
+// padding"), so by the time a kernel runs, its input already carries the
+// margin.  Padding bits are 0, which decode to -1 under the BNN encoding.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace bitflow::kernels {
+
+/// Geometry of one convolution: filter extents and stride.  Output extents
+/// follow from the (already padded) input extents.
+struct ConvSpec {
+  std::int64_t kernel_h = 3;
+  std::int64_t kernel_w = 3;
+  std::int64_t stride = 1;
+
+  [[nodiscard]] std::int64_t out_h(std::int64_t in_h) const {
+    const std::int64_t o = (in_h - kernel_h) / stride + 1;
+    if (o <= 0) throw std::invalid_argument("ConvSpec: kernel taller than input");
+    return o;
+  }
+  [[nodiscard]] std::int64_t out_w(std::int64_t in_w) const {
+    const std::int64_t o = (in_w - kernel_w) / stride + 1;
+    if (o <= 0) throw std::invalid_argument("ConvSpec: kernel wider than input");
+    return o;
+  }
+};
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,27 @@
+#include "kernels/padding.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bitflow::kernels {
+
+void copy_into_interior(const PackedTensor& in, PackedTensor& out, std::int64_t margin) {
+  if (out.height() != in.height() + 2 * margin || out.width() != in.width() + 2 * margin ||
+      out.channels() != in.channels()) {
+    throw std::invalid_argument("copy_into_interior: extent mismatch");
+  }
+  const std::int64_t row_bytes = in.width() * in.words_per_pixel() * 8;
+  for (std::int64_t h = 0; h < in.height(); ++h) {
+    std::memcpy(out.pixel(h + margin, margin), in.pixel(h, 0),
+                static_cast<std::size_t>(row_bytes));
+  }
+}
+
+PackedTensor pad_packed(const PackedTensor& in, std::int64_t margin) {
+  if (margin < 0) throw std::invalid_argument("pad_packed: negative margin");
+  PackedTensor out(in.height() + 2 * margin, in.width() + 2 * margin, in.channels());
+  copy_into_interior(in, out, margin);
+  return out;
+}
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,23 @@
+// Explicit copy-padding of packed tensors.
+//
+// The engine never calls this on the hot path: padding is realized at zero
+// cost by writing layer outputs into pre-allocated margins (paper Fig. 5).
+// Copy-padding exists for (a) the first layer, whose input arrives from the
+// outside world unpadded, (b) standalone kernel use and tests, and (c) the
+// padding ablation bench, which measures exactly the copy this avoids.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/packed_tensor.hpp"
+
+namespace bitflow::kernels {
+
+/// Returns a copy of `in` with `margin` zero-bit (-1) pixels on every side.
+[[nodiscard]] PackedTensor pad_packed(const PackedTensor& in, std::int64_t margin);
+
+/// Copies `in` into the interior of pre-allocated `out` (margin pixels on
+/// each side must already be zero).  Out extents must be in + 2*margin.
+void copy_into_interior(const PackedTensor& in, PackedTensor& out, std::int64_t margin);
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,88 @@
+// Runtime dispatch front for the per-ISA PressedConv kernels.
+#include "kernels/pressedconv.hpp"
+
+#include <stdexcept>
+
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::kernels {
+
+namespace detail {
+// Defined by BITFLOW_INSTANTIATE_PRESSEDCONV in the per-ISA TUs.
+#define BITFLOW_DECLARE_PRESSEDCONV(SUFFIX)                                                      \
+  void conv_dot_##SUFFIX(const PackedTensor&, const PackedFilterBank&, const ConvSpec&,          \
+                         runtime::ThreadPool&, Tensor&);                                         \
+  void conv_binarize_##SUFFIX(const PackedTensor&, const PackedFilterBank&, const ConvSpec&,     \
+                              const float*, runtime::ThreadPool&, PackedTensor&, std::int64_t);
+BITFLOW_DECLARE_PRESSEDCONV(u64)
+BITFLOW_DECLARE_PRESSEDCONV(sse)
+BITFLOW_DECLARE_PRESSEDCONV(avx2)
+BITFLOW_DECLARE_PRESSEDCONV(avx512)
+BITFLOW_DECLARE_PRESSEDCONV(avx512vp)
+#undef BITFLOW_DECLARE_PRESSEDCONV
+}  // namespace detail
+
+ConvDotFn conv_dot_kernel(simd::IsaLevel isa) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_dot_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_dot_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_dot_avx2;
+    case simd::IsaLevel::kAvx512:
+      return simd::cpu_features().avx512vpopcntdq ? &detail::conv_dot_avx512vp
+                                                  : &detail::conv_dot_avx512;
+  }
+  throw std::invalid_argument("conv_dot_kernel: bad ISA level");
+}
+
+ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_binarize_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_binarize_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_binarize_avx2;
+    case simd::IsaLevel::kAvx512:
+      return simd::cpu_features().avx512vpopcntdq ? &detail::conv_binarize_avx512vp
+                                                  : &detail::conv_binarize_avx512;
+  }
+  throw std::invalid_argument("conv_binarize_kernel: bad ISA level");
+}
+
+void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
+                     const ConvSpec& spec) {
+  if (in.channels() != filters.channels()) {
+    throw std::invalid_argument("PressedConv: input/filter channel mismatch");
+  }
+  if (spec.kernel_h != filters.kernel_h() || spec.kernel_w != filters.kernel_w()) {
+    throw std::invalid_argument("PressedConv: spec/filter kernel extent mismatch");
+  }
+  if (spec.stride < 1) throw std::invalid_argument("PressedConv: stride must be >= 1");
+  (void)spec.out_h(in.height());  // throws if the kernel does not fit
+  (void)spec.out_w(in.width());
+}
+
+void pressed_conv_dot(const PackedTensor& in, const PackedFilterBank& filters,
+                      const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out) {
+  check_conv_args(in, filters, spec);
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  if (out.height() != oh || out.width() != ow || out.channels() != filters.num_filters() ||
+      out.layout() != Layout::kHWC) {
+    throw std::invalid_argument("pressed_conv_dot: output tensor mis-shaped");
+  }
+  conv_dot_kernel(simd::cpu_features().best_isa())(in, filters, spec, pool, out);
+}
+
+void pressed_conv_binarize(const PackedTensor& in, const PackedFilterBank& filters,
+                           const ConvSpec& spec, const float* thresholds,
+                           runtime::ThreadPool& pool, PackedTensor& out, std::int64_t margin) {
+  check_conv_args(in, filters, spec);
+  const std::int64_t oh = spec.out_h(in.height());
+  const std::int64_t ow = spec.out_w(in.width());
+  if (out.height() != oh + 2 * margin || out.width() != ow + 2 * margin ||
+      out.channels() != filters.num_filters()) {
+    throw std::invalid_argument("pressed_conv_binarize: output tensor mis-shaped for margin");
+  }
+  conv_binarize_kernel(simd::cpu_features().best_isa())(in, filters, spec, thresholds, pool, out,
+                                                        margin);
+}
+
+}  // namespace bitflow::kernels

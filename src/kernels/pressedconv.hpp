@@ -1,0 +1,71 @@
+// PressedConv: binary convolution over channel-packed tensors (paper
+// Algorithm 1, Sec. III-B).
+//
+// Step 1/2 (bit-packing of input and filters along the channel dimension)
+// live in bitpack/packer.hpp; the functions here are step 3: convolution of
+// the pressed operands, multiplications as XOR, accumulations as popcount,
+// vector parallelism along C, multi-core parallelism over the fused H*W
+// output range.
+//
+// Two output forms are provided:
+//  * `_dot`      — raw Eq. 1 inner products as floats (last layer of a
+//                  network, or anywhere full-precision outputs are needed);
+//  * `_binarize` — fused sign(dot - threshold[k]) re-packed straight into
+//                  the (optionally margin-carrying) output of the next
+//                  layer.  The per-output-channel threshold is how folded
+//                  batch-normalization enters a BNN at inference time.
+//
+// Each ISA variant is compiled in its own TU with exactly that ISA enabled;
+// `conv_dot_kernel(isa)` / `conv_binarize_kernel(isa)` return the variant,
+// and the vector execution scheduler (graph/scheduler.hpp) chooses `isa`.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/conv_spec.hpp"
+#include "runtime/thread_pool.hpp"
+#include "simd/isa.hpp"
+#include "tensor/packed_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::kernels {
+
+/// Raw-dot PressedConv: writes Eq. 1 inner products into an HWC float tensor
+/// of extents out_h x out_w x K.  `out` must be pre-shaped by the caller.
+using ConvDotFn = void (*)(const PackedTensor& in, const PackedFilterBank& filters,
+                           const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out);
+
+/// Fused PressedConv + binarize: bit k of output pixel (y, x) is
+/// `dot(y,x,k) >= thresholds[k]` (thresholds may be null for sign(dot)).
+/// The result is written into the interior of `out` at offset `margin` on
+/// each side; `out` extents must be (out_h + 2*margin, out_w + 2*margin, K)
+/// and its margin region is left untouched (zero bits = -1), realizing the
+/// next layer's padding at zero cost (paper Fig. 5).
+using ConvBinarizeFn = void (*)(const PackedTensor& in, const PackedFilterBank& filters,
+                                const ConvSpec& spec, const float* thresholds,
+                                runtime::ThreadPool& pool, PackedTensor& out,
+                                std::int64_t margin);
+
+/// Returns the raw-dot kernel compiled for `isa`.  The caller must have
+/// verified hardware support (simd::cpu_features().supports(isa)).
+[[nodiscard]] ConvDotFn conv_dot_kernel(simd::IsaLevel isa);
+
+/// Returns the fused binarize kernel compiled for `isa`.
+[[nodiscard]] ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa);
+
+/// Convenience wrappers that dispatch to the widest kernel the executing CPU
+/// supports (still honouring the channel-multiple rules is the scheduler's
+/// job; these pick purely by hardware).
+void pressed_conv_dot(const PackedTensor& in, const PackedFilterBank& filters,
+                      const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out);
+
+void pressed_conv_binarize(const PackedTensor& in, const PackedFilterBank& filters,
+                           const ConvSpec& spec, const float* thresholds,
+                           runtime::ThreadPool& pool, PackedTensor& out, std::int64_t margin);
+
+/// Validates extents shared by every PressedConv entry point; throws
+/// std::invalid_argument on mismatch.  Exposed for reuse by baselines.
+void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
+                     const ConvSpec& spec);
+
+}  // namespace bitflow::kernels

@@ -1,0 +1,17 @@
+// PressedConv, AVX2 kernel (scheduler rule 2: channel dimension a multiple
+// of 256 — e.g. VGG conv4.1 with C = 256).
+#include "kernels/bgemm_impl.hpp"
+#include "kernels/pressedconv_impl.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace {
+struct OpsAvx2 {
+  static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::int64_t n) {
+    return bitflow::simd::inl::xor_popcount_avx2(a, b, n);
+  }
+};
+}  // namespace
+
+BITFLOW_INSTANTIATE_PRESSEDCONV(avx2, OpsAvx2)
+BITFLOW_INSTANTIATE_BGEMM(avx2, OpsAvx2)

@@ -1,0 +1,17 @@
+// PressedConv, AVX-512 kernel without VPOPCNTDQ (byte-LUT popcount): the
+// portable AVX-512 path for CPUs like Skylake-SP.
+#include "kernels/bgemm_impl.hpp"
+#include "kernels/pressedconv_impl.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace {
+struct OpsAvx512Lut {
+  static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::int64_t n) {
+    return bitflow::simd::inl::xor_popcount_avx512(a, b, n);
+  }
+};
+}  // namespace
+
+BITFLOW_INSTANTIATE_PRESSEDCONV(avx512, OpsAvx512Lut)
+BITFLOW_INSTANTIATE_BGEMM(avx512, OpsAvx512Lut)

@@ -1,0 +1,18 @@
+// PressedConv, AVX-512 kernel with native VPOPCNTDQ (Table I
+// _mm512_popcnt_epi64 / maskz forms) — the paper's Xeon Phi path.
+// Scheduler rule 1: channel dimension a multiple of 512 (VGG conv5.1).
+#include "kernels/bgemm_impl.hpp"
+#include "kernels/pressedconv_impl.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace {
+struct OpsAvx512Vp {
+  static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::int64_t n) {
+    return bitflow::simd::inl::xor_popcount_avx512(a, b, n);
+  }
+};
+}  // namespace
+
+BITFLOW_INSTANTIATE_PRESSEDCONV(avx512vp, OpsAvx512Vp)
+BITFLOW_INSTANTIATE_BGEMM(avx512vp, OpsAvx512Vp)

@@ -1,0 +1,240 @@
+// Generic PressedConv inner loops, templated over an ISA policy.
+//
+// Included only by the per-ISA kernel TUs (pressedconv_<isa>.cpp); each TU
+// instantiates the templates with a policy whose xor_popcount resolves to
+// the inline primitive of that TU's enabled ISA, so the word loop inlines
+// into the spatial loops with no function-call overhead.
+//
+// Loop structure (paper Alg. 1):
+//   multi-core  : fused y*x output range, static blocks      (parallel_for)
+//   per pixel   : filters k, 2-way unrolled to share the input window loads
+//   per filter  : kernel rows i — the kw * words_per_pixel packed words of
+//                 one window row are contiguous in both operands (NHWC
+//                 channel packing), one xor+popcount run each
+//   vector      : inside the run, the policy's ISA
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernels/conv_spec.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/packed_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::kernels::impl {
+
+/// Specialized inner body for the dominant BNN case of 3x3 filters over a
+/// single packed word per pixel (C <= 64, e.g. VGG conv2.1): the nine
+/// window words are hoisted into registers once per output pixel and each
+/// filter costs exactly nine xor+popcnt — no word-run loop, no pointer
+/// arithmetic in the hot loop.  This is the "loop unrolling" of the paper's
+/// gemm-level optimizations applied where it pays the most.
+inline void conv_dot_3x3_w1(const PackedTensor& in, const PackedFilterBank& filters,
+                            const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out) {
+  const std::int64_t out_h = spec.out_h(in.height());
+  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in.width();
+  const std::int64_t stride = spec.stride;
+  const std::uint64_t* in_words = in.words();
+  const std::uint64_t* f_words = filters.words();
+  float* out_data = out.data();
+
+  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t y = idx / out_w;
+      const std::int64_t x = idx % out_w;
+      const std::uint64_t* w0 = in_words + (y * stride) * in_w + (x * stride);
+      const std::uint64_t* w1 = w0 + in_w;
+      const std::uint64_t* w2 = w1 + in_w;
+      const std::uint64_t a0 = w0[0], a1 = w0[1], a2 = w0[2];
+      const std::uint64_t a3 = w1[0], a4 = w1[1], a5 = w1[2];
+      const std::uint64_t a6 = w2[0], a7 = w2[1], a8 = w2[2];
+      float* out_px = out_data + idx * num_k;
+      const std::uint64_t* f = f_words;
+      for (std::int64_t k = 0; k < num_k; ++k, f += 9) {
+        std::int64_t pops = __builtin_popcountll(a0 ^ f[0]);
+        pops += __builtin_popcountll(a1 ^ f[1]);
+        pops += __builtin_popcountll(a2 ^ f[2]);
+        pops += __builtin_popcountll(a3 ^ f[3]);
+        pops += __builtin_popcountll(a4 ^ f[4]);
+        pops += __builtin_popcountll(a5 ^ f[5]);
+        pops += __builtin_popcountll(a6 ^ f[6]);
+        pops += __builtin_popcountll(a7 ^ f[7]);
+        pops += __builtin_popcountll(a8 ^ f[8]);
+        out_px[k] = static_cast<float>(bits - 2 * pops);
+      }
+    }
+  });
+}
+
+template <typename Ops>
+void conv_dot_impl(const PackedTensor& in, const PackedFilterBank& filters, const ConvSpec& spec,
+                   runtime::ThreadPool& pool, Tensor& out) {
+  if (in.words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
+    conv_dot_3x3_w1(in, filters, spec, pool, out);
+    return;
+  }
+  const std::int64_t out_h = spec.out_h(in.height());
+  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t kh = filters.kernel_h();
+  const std::int64_t kw = filters.kernel_w();
+  const std::int64_t pc = in.words_per_pixel();
+  const std::int64_t row_words = kw * pc;
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in.width();
+  const std::int64_t stride = spec.stride;
+  const std::uint64_t* in_words = in.words();
+  float* out_data = out.data();
+
+  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t y = idx / out_w;
+      const std::int64_t x = idx % out_w;
+      const std::uint64_t* window = in_words + ((y * stride) * in_w + (x * stride)) * pc;
+      float* out_px = out_data + idx * num_k;
+      std::int64_t k = 0;
+      // 2-way filter unroll: both filters consume the same window row, so
+      // its words are loaded from L1 once per pair.
+      for (; k + 2 <= num_k; k += 2) {
+        const std::uint64_t* f0 = filters.filter(k);
+        const std::uint64_t* f1 = filters.filter(k + 1);
+        std::uint64_t pops0 = 0, pops1 = 0;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::uint64_t* row = window + i * in_w * pc;
+          pops0 += Ops::xor_popcount(row, f0 + i * row_words, row_words);
+          pops1 += Ops::xor_popcount(row, f1 + i * row_words, row_words);
+        }
+        out_px[k] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops0));
+        out_px[k + 1] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops1));
+      }
+      for (; k < num_k; ++k) {
+        const std::uint64_t* f0 = filters.filter(k);
+        std::uint64_t pops = 0;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          pops += Ops::xor_popcount(window + i * in_w * pc, f0 + i * row_words, row_words);
+        }
+        out_px[k] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops));
+      }
+    }
+  });
+}
+
+/// Fused binarize counterpart of conv_dot_3x3_w1.
+inline void conv_binarize_3x3_w1(const PackedTensor& in, const PackedFilterBank& filters,
+                                 const ConvSpec& spec, const float* thresholds,
+                                 runtime::ThreadPool& pool, PackedTensor& out,
+                                 std::int64_t margin) {
+  const std::int64_t out_h = spec.out_h(in.height());
+  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in.width();
+  const std::int64_t stride = spec.stride;
+  const std::uint64_t* in_words = in.words();
+  const std::uint64_t* f_words = filters.words();
+
+  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t y = idx / out_w;
+      const std::int64_t x = idx % out_w;
+      const std::uint64_t* w0 = in_words + (y * stride) * in_w + (x * stride);
+      const std::uint64_t* w1 = w0 + in_w;
+      const std::uint64_t* w2 = w1 + in_w;
+      const std::uint64_t a0 = w0[0], a1 = w0[1], a2 = w0[2];
+      const std::uint64_t a3 = w1[0], a4 = w1[1], a5 = w1[2];
+      const std::uint64_t a6 = w2[0], a7 = w2[1], a8 = w2[2];
+      std::uint64_t* out_px = out.pixel(y + margin, x + margin);
+      const std::uint64_t* f = f_words;
+      std::int64_t k = 0;
+      std::int64_t word_idx = 0;
+      while (k < num_k) {
+        const std::int64_t block = std::min<std::int64_t>(64, num_k - k);
+        std::uint64_t packed = 0;
+        for (std::int64_t b = 0; b < block; ++b, ++k, f += 9) {
+          std::int64_t pops = __builtin_popcountll(a0 ^ f[0]);
+          pops += __builtin_popcountll(a1 ^ f[1]);
+          pops += __builtin_popcountll(a2 ^ f[2]);
+          pops += __builtin_popcountll(a3 ^ f[3]);
+          pops += __builtin_popcountll(a4 ^ f[4]);
+          pops += __builtin_popcountll(a5 ^ f[5]);
+          pops += __builtin_popcountll(a6 ^ f[6]);
+          pops += __builtin_popcountll(a7 ^ f[7]);
+          pops += __builtin_popcountll(a8 ^ f[8]);
+          const float dot = static_cast<float>(bits - 2 * pops);
+          const float th = thresholds != nullptr ? thresholds[k] : 0.0f;
+          packed |= static_cast<std::uint64_t>(dot >= th) << b;
+        }
+        out_px[word_idx++] = packed;
+      }
+    }
+  });
+}
+
+template <typename Ops>
+void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
+                        const ConvSpec& spec, const float* thresholds, runtime::ThreadPool& pool,
+                        PackedTensor& out, std::int64_t margin) {
+  if (in.words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
+    conv_binarize_3x3_w1(in, filters, spec, thresholds, pool, out, margin);
+    return;
+  }
+  const std::int64_t out_h = spec.out_h(in.height());
+  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t kh = filters.kernel_h();
+  const std::int64_t kw = filters.kernel_w();
+  const std::int64_t pc = in.words_per_pixel();
+  const std::int64_t row_words = kw * pc;
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in.width();
+  const std::int64_t stride = spec.stride;
+  const std::uint64_t* in_words = in.words();
+
+  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t y = idx / out_w;
+      const std::int64_t x = idx % out_w;
+      const std::uint64_t* window = in_words + ((y * stride) * in_w + (x * stride)) * pc;
+      std::uint64_t* out_px = out.pixel(y + margin, x + margin);
+      std::int64_t k = 0;
+      std::int64_t word_idx = 0;
+      while (k < num_k) {
+        const std::int64_t block = std::min<std::int64_t>(64, num_k - k);
+        std::uint64_t packed = 0;
+        for (std::int64_t b = 0; b < block; ++b, ++k) {
+          const std::uint64_t* f0 = filters.filter(k);
+          std::uint64_t pops = 0;
+          for (std::int64_t i = 0; i < kh; ++i) {
+            pops += Ops::xor_popcount(window + i * in_w * pc, f0 + i * row_words, row_words);
+          }
+          const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops));
+          const float th = thresholds != nullptr ? thresholds[k] : 0.0f;
+          packed |= static_cast<std::uint64_t>(dot >= th) << b;
+        }
+        out_px[word_idx++] = packed;
+      }
+    }
+  });
+}
+
+}  // namespace bitflow::kernels::impl
+
+/// Stamps out the two kernel entry points for one ISA policy.  Used by each
+/// per-ISA TU after defining `Ops`.
+#define BITFLOW_INSTANTIATE_PRESSEDCONV(SUFFIX, OPS)                                            \
+  namespace bitflow::kernels::detail {                                                          \
+  void conv_dot_##SUFFIX(const PackedTensor& in, const PackedFilterBank& filters,               \
+                         const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out) {        \
+    impl::conv_dot_impl<OPS>(in, filters, spec, pool, out);                                     \
+  }                                                                                             \
+  void conv_binarize_##SUFFIX(const PackedTensor& in, const PackedFilterBank& filters,          \
+                              const ConvSpec& spec, const float* thresholds,                    \
+                              runtime::ThreadPool& pool, PackedTensor& out,                     \
+                              std::int64_t margin) {                                            \
+    impl::conv_binarize_impl<OPS>(in, filters, spec, thresholds, pool, out, margin);            \
+  }                                                                                             \
+  }  // namespace bitflow::kernels::detail

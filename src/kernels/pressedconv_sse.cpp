@@ -1,0 +1,17 @@
+// PressedConv, SSE kernel (scheduler rule 3: channel dimension a multiple of
+// 128 — e.g. VGG conv3.1 with C = 128).
+#include "kernels/bgemm_impl.hpp"
+#include "kernels/pressedconv_impl.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace {
+struct OpsSse {
+  static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::int64_t n) {
+    return bitflow::simd::inl::xor_popcount_sse(a, b, n);
+  }
+};
+}  // namespace
+
+BITFLOW_INSTANTIATE_PRESSEDCONV(sse, OpsSse)
+BITFLOW_INSTANTIATE_BGEMM(sse, OpsSse)

@@ -1,0 +1,17 @@
+// PressedConv, scalar 64-bit kernel (scheduler rule 4: channel dimension a
+// multiple of 32/64 only — e.g. VGG conv2.1 with C = 64).
+#include "kernels/bgemm_impl.hpp"
+#include "kernels/pressedconv_impl.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace {
+struct OpsU64 {
+  static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::int64_t n) {
+    return bitflow::simd::inl::xor_popcount_u64(a, b, n);
+  }
+};
+}  // namespace
+
+BITFLOW_INSTANTIATE_PRESSEDCONV(u64, OpsU64)
+BITFLOW_INSTANTIATE_BGEMM(u64, OpsU64)

@@ -1,0 +1,81 @@
+#include "models/vgg.hpp"
+
+#include <random>
+
+namespace bitflow::models {
+
+std::vector<OperatorBenchmark> table4_benchmarks() {
+  using graph::LayerKind;
+  // VGG-16 at 224x224: the input extents of each benchmarked operator.
+  return {
+      {"conv2.1", LayerKind::kConv, 112, 112, 64, 128, 3, 1, 1},
+      {"conv3.1", LayerKind::kConv, 56, 56, 128, 256, 3, 1, 1},
+      {"conv4.1", LayerKind::kConv, 28, 28, 256, 512, 3, 1, 1},
+      {"conv5.1", LayerKind::kConv, 14, 14, 512, 512, 3, 1, 1},
+      {"fc6", LayerKind::kFc, 1, 1, 25088, 4096, 0, 1, 0},
+      {"fc7", LayerKind::kFc, 1, 1, 4096, 4096, 0, 1, 0},
+      {"pool4", LayerKind::kPool, 28, 28, 512, 0, 2, 2, 0},
+      {"pool5", LayerKind::kPool, 14, 14, 512, 0, 2, 2, 0},
+  };
+}
+
+VggConfig vgg16() {
+  VggConfig c;
+  c.name = "VGG16";
+  c.conv_blocks = {{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}};
+  return c;
+}
+
+VggConfig vgg19() {
+  VggConfig c;
+  c.name = "VGG19";
+  c.conv_blocks = {
+      {64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512}, {512, 512, 512, 512}};
+  return c;
+}
+
+FilterBank random_filters(std::int64_t k, std::int64_t kh, std::int64_t kw, std::int64_t c,
+                          std::uint64_t seed) {
+  FilterBank f(k, kh, kw, c);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (float& v : f.elements()) v = dist(rng);
+  return f;
+}
+
+std::vector<float> random_fc_weights(std::int64_t n, std::int64_t k, std::uint64_t seed) {
+  std::vector<float> w(static_cast<std::size_t>(n * k));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (float& v : w) v = dist(rng);
+  return w;
+}
+
+graph::BinaryNetwork build_binary_vgg(const VggConfig& cfg, graph::NetworkConfig net_cfg,
+                                      std::uint64_t seed) {
+  graph::BinaryNetwork net(net_cfg);
+  std::int64_t c = cfg.input_channels;
+  std::int64_t hw = cfg.input_size;
+  std::uint64_t layer_seed = seed;
+  for (std::size_t block = 0; block < cfg.conv_blocks.size(); ++block) {
+    for (std::size_t i = 0; i < cfg.conv_blocks[block].size(); ++i) {
+      const std::int64_t k = cfg.conv_blocks[block][i];
+      const std::string name =
+          "conv" + std::to_string(block + 1) + "." + std::to_string(i + 1);
+      net.add_conv(name, random_filters(k, 3, 3, c, ++layer_seed), /*stride=*/1, /*pad=*/1);
+      c = k;
+    }
+    net.add_maxpool("pool" + std::to_string(block + 1), kernels::PoolSpec{2, 2, 2});
+    hw /= 2;
+  }
+  std::int64_t n = hw * hw * c;
+  for (std::size_t i = 0; i < cfg.fc_sizes.size(); ++i) {
+    const std::int64_t k = cfg.fc_sizes[i];
+    net.add_fc("fc" + std::to_string(i + 6), random_fc_weights(n, k, ++layer_seed), n, k);
+    n = k;
+  }
+  net.finalize(graph::TensorDesc{cfg.input_size, cfg.input_size, cfg.input_channels});
+  return net;
+}
+
+}  // namespace bitflow::models

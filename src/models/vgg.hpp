@@ -1,0 +1,60 @@
+// VGG model builders and the paper's Table IV benchmark operator set.
+//
+// VGG (Simonyan & Zisserman) is the evaluation workload of the paper: 3x3
+// convolutions exclusively, five conv blocks separated by 2x2/stride-2 max
+// pools, then three fully connected layers.  Weights here are synthetically
+// generated (seeded) — the timing experiments are weight-agnostic, and the
+// accuracy experiment (Table V) uses the training substrate instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "tensor/filter_bank.hpp"
+
+namespace bitflow::models {
+
+/// One operator of the Table IV benchmark set.
+struct OperatorBenchmark {
+  std::string name;        ///< paper's operator name, e.g. "conv4.1"
+  graph::LayerKind kind;
+  std::int64_t h = 1;      ///< input height (fc: 1)
+  std::int64_t w = 1;      ///< input width (fc: 1)
+  std::int64_t c = 0;      ///< input channels (fc: input neuron count)
+  std::int64_t k = 0;      ///< filters / fc outputs (pool: 0)
+  std::int64_t kernel = 3; ///< conv kernel or pool window extent
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;    ///< conv input padding (pool: 0)
+};
+
+/// The 8 operators of Table IV: conv2.1, conv3.1, conv4.1, conv5.1, fc6,
+/// fc7, pool4, pool5 — with VGG-16 extents at 224x224 input.
+[[nodiscard]] std::vector<OperatorBenchmark> table4_benchmarks();
+
+/// Architecture description of a VGG variant.
+struct VggConfig {
+  std::string name;
+  /// Output channel count of each conv in each block (pool after a block).
+  std::vector<std::vector<std::int64_t>> conv_blocks;
+  std::int64_t input_size = 224;  ///< square input extent
+  std::int64_t input_channels = 3;
+  std::vector<std::int64_t> fc_sizes = {4096, 4096, 1000};
+};
+
+[[nodiscard]] VggConfig vgg16();
+[[nodiscard]] VggConfig vgg19();
+
+/// Deterministic synthetic weights (uniform in [-1, 1)).
+[[nodiscard]] FilterBank random_filters(std::int64_t k, std::int64_t kh, std::int64_t kw,
+                                        std::int64_t c, std::uint64_t seed);
+[[nodiscard]] std::vector<float> random_fc_weights(std::int64_t n, std::int64_t k,
+                                                   std::uint64_t seed);
+
+/// Builds and finalizes a binarized VGG with seeded random weights.
+[[nodiscard]] graph::BinaryNetwork build_binary_vgg(const VggConfig& cfg,
+                                                    graph::NetworkConfig net_cfg,
+                                                    std::uint64_t seed = 42);
+
+}  // namespace bitflow::models

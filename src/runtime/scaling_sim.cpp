@@ -1,0 +1,55 @@
+#include "runtime/scaling_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "runtime/timer.hpp"
+
+namespace bitflow::runtime {
+
+ScalingSimulator::ScalingSimulator(std::vector<double> chunk_costs_seconds,
+                                   double fork_join_base_seconds)
+    : costs_(std::move(chunk_costs_seconds)),
+      fork_join_base_(fork_join_base_seconds) {
+  if (costs_.empty()) throw std::invalid_argument("ScalingSimulator: no chunks");
+  serial_ = std::accumulate(costs_.begin(), costs_.end(), 0.0);
+}
+
+double ScalingSimulator::predict_seconds(int p) const {
+  if (p < 1) throw std::invalid_argument("ScalingSimulator: p must be >= 1");
+  const std::int64_t n = num_chunks();
+  const int used = static_cast<int>(std::min<std::int64_t>(p, n));
+  double makespan = 0.0;
+  for (int b = 0; b < used; ++b) {
+    const Range r = static_block(n, used, b);
+    double block = 0.0;
+    for (std::int64_t i = r.begin; i < r.end; ++i) block += costs_[static_cast<std::size_t>(i)];
+    makespan = std::max(makespan, block);
+  }
+  const double overhead = p > 1 ? fork_join_base_ * std::log2(static_cast<double>(p)) : 0.0;
+  return makespan + overhead;
+}
+
+double ScalingSimulator::predict_speedup(int p) const { return serial_ / predict_seconds(p); }
+
+std::vector<double> measure_chunk_costs(std::int64_t n_chunks,
+                                        const std::function<void(Range)>& run_chunk,
+                                        int repeats) {
+  if (n_chunks <= 0) throw std::invalid_argument("measure_chunk_costs: no chunks");
+  run_chunk(Range{0, n_chunks});  // warm-up pass over everything
+  std::vector<double> costs(static_cast<std::size_t>(n_chunks), 0.0);
+  for (std::int64_t i = 0; i < n_chunks; ++i) {
+    double best = 1e300;
+    for (int r = 0; r < std::max(1, repeats); ++r) {
+      Timer t;
+      run_chunk(Range{i, i + 1});
+      best = std::min(best, t.elapsed_seconds());
+    }
+    costs[static_cast<std::size_t>(i)] = best;
+  }
+  return costs;
+}
+
+}  // namespace bitflow::runtime

@@ -1,0 +1,67 @@
+// Deterministic multicore scaling simulator.
+//
+// The evaluation machines of the paper (4-core i7-7700HQ, 64-core Xeon Phi
+// 7210) are not available in this environment, which exposes a single
+// hardware core.  Real `std::thread` parallelism is implemented and tested
+// (thread_pool.hpp), but measured multi-thread speedups on one core are
+// meaningless.  The simulator replays the engine's *actual* static work
+// partition over *measured* single-thread chunk costs:
+//
+//     T(p) = max_{b < p} ( sum of chunk costs in static_block(n, p, b) )
+//            + fork_join_overhead(p)
+//
+// Because both the partition function and the per-chunk cost distribution
+// are the real ones, the mechanism that shapes Figs. 8 and 9 — large
+// spatial extents scale near-linearly, small deep-layer extents saturate
+// when per-block work no longer dwarfs the fork/join cost — is preserved.
+// See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace bitflow::runtime {
+
+/// Predicts fork/join makespan for p threads from measured per-chunk costs.
+class ScalingSimulator {
+ public:
+  /// `chunk_costs_seconds[i]` is the measured single-thread execution time
+  /// of work unit i (e.g. one output row of a convolution).
+  /// `fork_join_base_seconds` models the cost of waking and joining the
+  /// worker set; it is multiplied by log2(p) to reflect tree-structured
+  /// wakeup (p = 1 incurs zero overhead).
+  explicit ScalingSimulator(std::vector<double> chunk_costs_seconds,
+                            double fork_join_base_seconds = 5e-6);
+
+  [[nodiscard]] std::int64_t num_chunks() const noexcept {
+    return static_cast<std::int64_t>(costs_.size());
+  }
+
+  /// Total single-thread time (sum of all chunk costs).
+  [[nodiscard]] double serial_seconds() const noexcept { return serial_; }
+
+  /// Predicted wall-clock of a fork/join execution on p threads using the
+  /// engine's static block partition.
+  [[nodiscard]] double predict_seconds(int p) const;
+
+  /// serial_seconds() / predict_seconds(p).
+  [[nodiscard]] double predict_speedup(int p) const;
+
+ private:
+  std::vector<double> costs_;
+  double serial_ = 0.0;
+  double fork_join_base_;
+};
+
+/// Measures the cost of each of `n_chunks` work units by running
+/// `run_chunk(range)` over single-unit ranges, repeated until timing noise
+/// is dominated (best-of-N per chunk).  `run_all` is executed once before
+/// measurement as a warm-up.
+std::vector<double> measure_chunk_costs(std::int64_t n_chunks,
+                                        const std::function<void(Range)>& run_chunk,
+                                        int repeats = 3);
+
+}  // namespace bitflow::runtime

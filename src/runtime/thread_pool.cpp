@@ -1,0 +1,100 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bitflow::runtime {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) throw std::invalid_argument("ThreadPool needs >= 1 thread");
+  threads_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutting_down_ || job_epoch_ != seen_epoch; });
+      if (shutting_down_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++job_epoch_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    fn(0);  // the caller is worker 0
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    worker_error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void ThreadPool::parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1) {
+    fn(Range{0, n}, 0);
+    return;
+  }
+  const int p = static_cast<int>(std::min<std::int64_t>(num_threads_, n));
+  run_on_all([&](int worker) {
+    if (worker >= p) return;
+    const Range r = static_block(n, p, worker);
+    if (r.size() > 0) fn(r, worker);
+  });
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace bitflow::runtime

@@ -1,0 +1,85 @@
+// Persistent worker-thread pool with a fork/join parallel_for.
+//
+// BitFlow's multi-core parallelism (paper Alg. 1) splits the *fused H*W*
+// output range of a convolution (and the K dimension of a fully connected
+// layer) into contiguous blocks, one per thread.  The partition is static
+// and deterministic: block b of p covers [b*n/p, (b+1)*n/p).  The same
+// partition function is reused by the multicore scaling simulator
+// (scaling_sim.hpp) so simulated speedups reflect the real load balance.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bitflow::runtime {
+
+/// Inclusive-exclusive index range [begin, end).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+};
+
+/// Static block partition used everywhere in BitFlow: block `b` of `p` over
+/// `n` items.  Blocks differ in size by at most one item.
+[[nodiscard]] inline Range static_block(std::int64_t n, int p, int b) noexcept {
+  const std::int64_t lo = n * b / p;
+  const std::int64_t hi = n * (b + 1) / p;
+  return {lo, hi};
+}
+
+/// Fixed-size pool of worker threads executing fork/join parallel loops.
+///
+/// The pool is created once (typically at engine initialization) and reused
+/// across layers; workers sleep between jobs.  Thread count 1 degenerates to
+/// inline execution with zero synchronization, which keeps single-thread
+/// measurements honest.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` logical workers (>= 1).  The calling
+  /// thread acts as worker 0, so only num_threads-1 OS threads are spawned.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Runs `fn(worker_index)` on every worker (including the caller as worker
+  /// 0) and returns when all have finished.  If any worker's fn throws, one
+  /// of the exceptions is rethrown on the calling thread after the join
+  /// (the job still completes on every worker).
+  void run_on_all(const std::function<void(int)>& fn);
+
+  /// Splits [0, n) into static blocks and runs `fn(range, worker_index)` on
+  /// each worker.  Workers whose block is empty skip the call.
+  void parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn);
+
+ private:
+  void worker_loop(int index);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  int pending_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide default pool, sized to the hardware concurrency; created on
+/// first use.  Engine code paths that want a specific thread count construct
+/// their own pool instead.
+ThreadPool& default_pool();
+
+}  // namespace bitflow::runtime

@@ -1,0 +1,25 @@
+#include "runtime/timer.hpp"
+
+#include <algorithm>
+
+namespace bitflow::runtime {
+
+double measure_best_seconds(const std::function<void()>& fn, int min_iters,
+                            double min_total_seconds) {
+  fn();  // warm-up: page in buffers, warm the icache, settle turbo
+  double best = 1e300;
+  double total = 0.0;
+  int iters = 0;
+  while (iters < min_iters || total < min_total_seconds) {
+    Timer t;
+    fn();
+    const double s = t.elapsed_seconds();
+    best = std::min(best, s);
+    total += s;
+    ++iters;
+    if (iters > 1'000'000) break;  // degenerate zero-cost body
+  }
+  return best;
+}
+
+}  // namespace bitflow::runtime

@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace bitflow::runtime {
+
+/// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly and returns the best (minimum) time per run in
+/// seconds.  A warm-up run is executed first; then the function runs for at
+/// least `min_total_seconds` or `min_iters` iterations, whichever is more.
+/// Minimum-of-N is the standard estimator for dedicated-machine kernel
+/// timing: noise is strictly additive.
+double measure_best_seconds(const std::function<void()>& fn, int min_iters = 5,
+                            double min_total_seconds = 0.05);
+
+}  // namespace bitflow::runtime

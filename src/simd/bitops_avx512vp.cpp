@@ -1,0 +1,15 @@
+// AVX-512 dispatch wrappers, VPOPCNTDQ half: compiled with
+// -mavx512vpopcntdq so the shared inline loops emit the native
+// _mm512_popcnt_epi64 / _mm512_maskz_popcnt_epi64 of Table I.
+#include "simd/bitops_inline.hpp"
+
+#include <cstdint>
+
+namespace bitflow::simd::detail {
+
+std::uint64_t xor_popcount_avx512_vpopcnt(const std::uint64_t* a, const std::uint64_t* b,
+                                          std::int64_t n) {
+  return inl::xor_popcount_avx512(a, b, n);
+}
+
+}  // namespace bitflow::simd::detail

@@ -1,0 +1,17 @@
+// SSE dispatch wrappers: 128-bit XOR (_mm_xor_si128, Table I) with popcount
+// on the two 64-bit halves via the scalar POPCNT unit — pre-AVX2 x86 has no
+// vector popcount, so this mirrors what the paper's SSE kernel can emit.
+#include "simd/bitops.hpp"
+#include "simd/bitops_inline.hpp"
+
+namespace bitflow::simd {
+
+std::uint64_t xor_popcount_sse(const std::uint64_t* a, const std::uint64_t* b, std::int64_t n) {
+  return inl::xor_popcount_sse(a, b, n);
+}
+
+void or_accumulate_sse(std::uint64_t* dst, const std::uint64_t* src, std::int64_t n) {
+  inl::or_accumulate_sse(dst, src, n);
+}
+
+}  // namespace bitflow::simd

@@ -1,0 +1,48 @@
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::simd {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  __builtin_cpu_init();
+  f.popcnt = __builtin_cpu_supports("popcnt");
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+  f.avx512vpopcntdq = __builtin_cpu_supports("avx512vpopcntdq");
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string CpuFeatures::to_string() const {
+  std::string s;
+  auto add = [&s](bool on, const char* name) {
+    if (on) {
+      if (!s.empty()) s += ' ';
+      s += name;
+    }
+  };
+  add(popcnt, "popcnt");
+  add(sse42, "sse4.2");
+  add(avx2, "avx2");
+  add(fma, "fma");
+  add(avx512f, "avx512f");
+  add(avx512bw, "avx512bw");
+  add(avx512vl, "avx512vl");
+  add(avx512vpopcntdq, "avx512vpopcntdq");
+  if (s.empty()) s = "(baseline x86-64 only)";
+  return s;
+}
+
+}  // namespace bitflow::simd

@@ -1,0 +1,47 @@
+// Runtime CPU feature detection: the "hardware detector" component of the
+// vector execution scheduler (paper Sec. III-B, Fig. 4).
+#pragma once
+
+#include <string>
+
+#include "simd/isa.hpp"
+
+namespace bitflow::simd {
+
+/// x86 vector features relevant to BitFlow's kernels.
+struct CpuFeatures {
+  bool popcnt = false;        ///< hardware POPCNT instruction
+  bool sse42 = false;         ///< SSE4.2 (implies SSE2/SSSE3 baseline we use)
+  bool avx2 = false;          ///< AVX2 256-bit integer ops
+  bool fma = false;           ///< FMA3 (used by the float sgemm baseline)
+  bool avx512f = false;       ///< AVX-512 foundation
+  bool avx512bw = false;      ///< AVX-512 byte/word ops (nibble-LUT popcount)
+  bool avx512vl = false;      ///< AVX-512 vector-length extensions
+  bool avx512vpopcntdq = false;  ///< native vpopcntq (Table I popcnt_epi64)
+
+  /// Widest ISA level whose kernels this CPU can execute.
+  [[nodiscard]] IsaLevel best_isa() const noexcept {
+    if (avx512f && avx512bw) return IsaLevel::kAvx512;
+    if (avx2) return IsaLevel::kAvx2;
+    if (sse42 && popcnt) return IsaLevel::kSse;
+    return IsaLevel::kU64;
+  }
+
+  /// True when kernels at `isa` can run on this CPU.
+  [[nodiscard]] bool supports(IsaLevel isa) const noexcept {
+    switch (isa) {
+      case IsaLevel::kU64: return true;
+      case IsaLevel::kSse: return sse42 && popcnt;
+      case IsaLevel::kAvx2: return avx2;
+      case IsaLevel::kAvx512: return avx512f && avx512bw;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Detects the features of the executing CPU (cached after the first call).
+const CpuFeatures& cpu_features();
+
+}  // namespace bitflow::simd

@@ -1,0 +1,27 @@
+#include <stdexcept>
+
+#include "simd/bitops.hpp"
+
+namespace bitflow::simd {
+
+XorPopcountFn xor_popcount_fn(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kU64: return &xor_popcount_u64;
+    case IsaLevel::kSse: return &xor_popcount_sse;
+    case IsaLevel::kAvx2: return &xor_popcount_avx2;
+    case IsaLevel::kAvx512: return &xor_popcount_avx512;
+  }
+  throw std::invalid_argument("xor_popcount_fn: bad ISA level");
+}
+
+OrAccumulateFn or_accumulate_fn(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kU64: return &or_accumulate_u64;
+    case IsaLevel::kSse: return &or_accumulate_sse;
+    case IsaLevel::kAvx2: return &or_accumulate_avx2;
+    case IsaLevel::kAvx512: return &or_accumulate_avx512;
+  }
+  throw std::invalid_argument("or_accumulate_fn: bad ISA level");
+}
+
+}  // namespace bitflow::simd

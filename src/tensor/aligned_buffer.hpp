@@ -1,0 +1,83 @@
+// Cache-line / SIMD aligned owning byte buffer.
+//
+// All activation and weight storage in BitFlow lives in 64-byte aligned
+// allocations so that AVX-512 loads of packed words never split cache lines
+// and so the float baselines can use aligned vector loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace bitflow {
+
+/// Allocation alignment used for every tensor buffer (one cache line, and
+/// exactly the width of one AVX-512 register).
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Owning, 64-byte aligned, zero-initialized byte buffer.
+///
+/// Zero-initialization is load-bearing, not a convenience: the paper's
+/// zero-cost padding scheme (Fig. 5) pre-allocates the padded output and
+/// relies on the margin staying all-zero bits.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t bytes) : size_(bytes) {
+    if (bytes > 0) {
+      data_ = static_cast<std::byte*>(
+          ::operator new[](bytes, std::align_val_t{kBufferAlignment}));
+      std::memset(data_, 0, bytes);
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::memcpy(data_, other.data_, size_);
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kBufferAlignment});
+    }
+  }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Reset every byte to zero (used to re-arm padded margins between runs).
+  void zero() noexcept {
+    if (data_ != nullptr) std::memset(data_, 0, size_);
+  }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bitflow

@@ -1,0 +1,54 @@
+// Dense float filter bank: K filters of kh x kw x C, stored [k][i][j][c]
+// (i.e. each filter is itself HWC).  This is the weight format produced by
+// training and consumed by the float baselines; the binary engine packs it
+// once at network initialization (network-level optimization).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bitflow {
+
+class FilterBank {
+ public:
+  FilterBank() = default;
+
+  FilterBank(std::int64_t k, std::int64_t kh, std::int64_t kw, std::int64_t c)
+      : k_(k), kh_(kh), kw_(kw), c_(c), data_(static_cast<std::size_t>(k * kh * kw * c), 0.0f) {}
+
+  [[nodiscard]] std::int64_t num_filters() const noexcept { return k_; }
+  [[nodiscard]] std::int64_t kernel_h() const noexcept { return kh_; }
+  [[nodiscard]] std::int64_t kernel_w() const noexcept { return kw_; }
+  [[nodiscard]] std::int64_t channels() const noexcept { return c_; }
+  [[nodiscard]] std::int64_t num_elements() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  [[nodiscard]] std::int64_t index(std::int64_t k, std::int64_t i, std::int64_t j,
+                                   std::int64_t c) const noexcept {
+    assert(k >= 0 && k < k_ && i >= 0 && i < kh_ && j >= 0 && j < kw_ && c >= 0 && c < c_);
+    return ((k * kh_ + i) * kw_ + j) * c_ + c;
+  }
+
+  [[nodiscard]] float at(std::int64_t k, std::int64_t i, std::int64_t j,
+                         std::int64_t c) const noexcept {
+    return data_[static_cast<std::size_t>(index(k, i, j, c))];
+  }
+  float& at(std::int64_t k, std::int64_t i, std::int64_t j, std::int64_t c) noexcept {
+    return data_[static_cast<std::size_t>(index(k, i, j, c))];
+  }
+
+  [[nodiscard]] std::span<float> elements() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> elements() const noexcept { return data_; }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+ private:
+  std::int64_t k_ = 0, kh_ = 0, kw_ = 0, c_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace bitflow

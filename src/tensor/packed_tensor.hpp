@@ -1,0 +1,234 @@
+// Bit-packed binary tensors.
+//
+// A binary activation tensor holds values in {-1, +1}, encoded at the
+// hardware level as {0, 1} (paper Sec. III: -1 -> 0, +1 -> 1).  PressedConv
+// packs the bits along the *channel* dimension (Fig. 3): pixel (h, w) owns
+// ceil(C/64) consecutive 64-bit words, and the words of neighbouring pixels
+// are adjacent in memory (NHWC order).  This is the "locality-aware layout":
+// a convolution window touches contiguous word runs, and the result of one
+// layer is already in the layout the next layer consumes.
+//
+// Invariant maintained by every producer in the library: bits beyond the
+// logical channel count C in the last word of a pixel are ZERO.  The binary
+// dot product (Eq. 1) is computed as  dot = N - 2*popcount(xor)  with N the
+// number of *valid* bits; zero tail bits in both operands XOR to zero and
+// therefore never perturb the popcount.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "tensor/aligned_buffer.hpp"
+
+namespace bitflow {
+
+/// Number of 64-bit words needed for `c` channel bits.
+[[nodiscard]] constexpr std::int64_t words_for_channels(std::int64_t c) noexcept {
+  return (c + 63) / 64;
+}
+
+/// Binary H x W x C activation tensor, bit-packed along the channel
+/// dimension into 64-bit words ("pressed" by a factor of 64, paper Fig. 3).
+class PackedTensor {
+ public:
+  PackedTensor() = default;
+
+  PackedTensor(std::int64_t h, std::int64_t w, std::int64_t c)
+      : h_(h),
+        w_(w),
+        c_(c),
+        pc_(words_for_channels(c)),
+        buffer_(static_cast<std::size_t>(h * w * pc_) * sizeof(std::uint64_t)) {}
+
+  [[nodiscard]] std::int64_t height() const noexcept { return h_; }
+  [[nodiscard]] std::int64_t width() const noexcept { return w_; }
+  [[nodiscard]] std::int64_t channels() const noexcept { return c_; }
+  /// Words per pixel ("pressed channel" extent).
+  [[nodiscard]] std::int64_t words_per_pixel() const noexcept { return pc_; }
+  [[nodiscard]] std::int64_t num_words() const noexcept { return h_ * w_ * pc_; }
+
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return reinterpret_cast<std::uint64_t*>(buffer_.data());
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return reinterpret_cast<const std::uint64_t*>(buffer_.data());
+  }
+
+  /// Pointer to the first packed word of pixel (h, w).
+  [[nodiscard]] const std::uint64_t* pixel(std::int64_t h, std::int64_t w) const noexcept {
+    assert(h >= 0 && h < h_ && w >= 0 && w < w_);
+    return words() + (h * w_ + w) * pc_;
+  }
+  [[nodiscard]] std::uint64_t* pixel(std::int64_t h, std::int64_t w) noexcept {
+    assert(h >= 0 && h < h_ && w >= 0 && w < w_);
+    return words() + (h * w_ + w) * pc_;
+  }
+
+  [[nodiscard]] bool get_bit(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
+    assert(c >= 0 && c < c_);
+    return (pixel(h, w)[c >> 6] >> (c & 63)) & 1u;
+  }
+
+  void set_bit(std::int64_t h, std::int64_t w, std::int64_t c, bool value) noexcept {
+    assert(c >= 0 && c < c_);
+    std::uint64_t& word = pixel(h, w)[c >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  /// Decoded {-1, +1} value of element (h, w, c).
+  [[nodiscard]] float sign_value(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
+    return get_bit(h, w, c) ? 1.0f : -1.0f;
+  }
+
+  void zero() noexcept { buffer_.zero(); }
+
+ private:
+  std::int64_t h_ = 0, w_ = 0, c_ = 0, pc_ = 0;
+  AlignedBuffer buffer_;
+};
+
+/// Bank of K binary filters, each kh x kw x C, bit-packed along the channel
+/// dimension exactly like PackedTensor so that the convolution inner loop is
+/// a straight run of XOR + popcount over matching word sequences.
+/// Word layout: [k][i][j][p] with p in [0, words_per_pixel).
+class PackedFilterBank {
+ public:
+  PackedFilterBank() = default;
+
+  PackedFilterBank(std::int64_t k, std::int64_t kh, std::int64_t kw, std::int64_t c)
+      : k_(k),
+        kh_(kh),
+        kw_(kw),
+        c_(c),
+        pc_(words_for_channels(c)),
+        buffer_(static_cast<std::size_t>(k * kh * kw * pc_) * sizeof(std::uint64_t)) {}
+
+  [[nodiscard]] std::int64_t num_filters() const noexcept { return k_; }
+  [[nodiscard]] std::int64_t kernel_h() const noexcept { return kh_; }
+  [[nodiscard]] std::int64_t kernel_w() const noexcept { return kw_; }
+  [[nodiscard]] std::int64_t channels() const noexcept { return c_; }
+  [[nodiscard]] std::int64_t words_per_pixel() const noexcept { return pc_; }
+  [[nodiscard]] std::int64_t words_per_filter() const noexcept { return kh_ * kw_ * pc_; }
+  /// Valid bits per filter: the N of Eq. 1.
+  [[nodiscard]] std::int64_t bits_per_filter() const noexcept { return kh_ * kw_ * c_; }
+
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return reinterpret_cast<std::uint64_t*>(buffer_.data());
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return reinterpret_cast<const std::uint64_t*>(buffer_.data());
+  }
+
+  /// Pointer to the packed words of filter k (kh*kw*pc consecutive words).
+  [[nodiscard]] const std::uint64_t* filter(std::int64_t k) const noexcept {
+    assert(k >= 0 && k < k_);
+    return words() + k * words_per_filter();
+  }
+  [[nodiscard]] std::uint64_t* filter(std::int64_t k) noexcept {
+    assert(k >= 0 && k < k_);
+    return words() + k * words_per_filter();
+  }
+
+  /// Pointer to the packed words of tap (i, j) of filter k.
+  [[nodiscard]] const std::uint64_t* tap(std::int64_t k, std::int64_t i,
+                                         std::int64_t j) const noexcept {
+    return filter(k) + (i * kw_ + j) * pc_;
+  }
+  [[nodiscard]] std::uint64_t* tap(std::int64_t k, std::int64_t i, std::int64_t j) noexcept {
+    return filter(k) + (i * kw_ + j) * pc_;
+  }
+
+  [[nodiscard]] bool get_bit(std::int64_t k, std::int64_t i, std::int64_t j,
+                             std::int64_t c) const noexcept {
+    assert(c >= 0 && c < c_);
+    return (tap(k, i, j)[c >> 6] >> (c & 63)) & 1u;
+  }
+
+  void set_bit(std::int64_t k, std::int64_t i, std::int64_t j, std::int64_t c,
+               bool value) noexcept {
+    assert(c >= 0 && c < c_);
+    std::uint64_t& word = tap(k, i, j)[c >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  [[nodiscard]] float sign_value(std::int64_t k, std::int64_t i, std::int64_t j,
+                                 std::int64_t c) const noexcept {
+    return get_bit(k, i, j, c) ? 1.0f : -1.0f;
+  }
+
+ private:
+  std::int64_t k_ = 0, kh_ = 0, kw_ = 0, c_ = 0, pc_ = 0;
+  AlignedBuffer buffer_;
+};
+
+/// Bit-packed binary matrix for fully connected layers: `rows` vectors of
+/// `cols` bits each, rows padded to whole words with zero tail bits.
+/// Row r occupies words [r*words_per_row, (r+1)*words_per_row).
+class PackedMatrix {
+ public:
+  PackedMatrix() = default;
+
+  PackedMatrix(std::int64_t rows, std::int64_t cols)
+      : rows_(rows),
+        cols_(cols),
+        wpr_(words_for_channels(cols)),
+        buffer_(static_cast<std::size_t>(rows * wpr_) * sizeof(std::uint64_t)) {}
+
+  [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t words_per_row() const noexcept { return wpr_; }
+  [[nodiscard]] std::int64_t num_words() const noexcept { return rows_ * wpr_; }
+
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return reinterpret_cast<std::uint64_t*>(buffer_.data());
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return reinterpret_cast<const std::uint64_t*>(buffer_.data());
+  }
+
+  [[nodiscard]] const std::uint64_t* row(std::int64_t r) const noexcept {
+    assert(r >= 0 && r < rows_);
+    return words() + r * wpr_;
+  }
+  [[nodiscard]] std::uint64_t* row(std::int64_t r) noexcept {
+    assert(r >= 0 && r < rows_);
+    return words() + r * wpr_;
+  }
+
+  [[nodiscard]] bool get_bit(std::int64_t r, std::int64_t c) const noexcept {
+    assert(c >= 0 && c < cols_);
+    return (row(r)[c >> 6] >> (c & 63)) & 1u;
+  }
+
+  void set_bit(std::int64_t r, std::int64_t c, bool value) noexcept {
+    assert(c >= 0 && c < cols_);
+    std::uint64_t& word = row(r)[c >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+    if (value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+
+  [[nodiscard]] float sign_value(std::int64_t r, std::int64_t c) const noexcept {
+    return get_bit(r, c) ? 1.0f : -1.0f;
+  }
+
+ private:
+  std::int64_t rows_ = 0, cols_ = 0, wpr_ = 0;
+  AlignedBuffer buffer_;
+};
+
+}  // namespace bitflow

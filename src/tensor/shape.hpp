@@ -1,0 +1,75 @@
+// Small fixed-capacity shape type shared by every tensor in BitFlow.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+namespace bitflow {
+
+/// Shape of a dense tensor: up to 4 dimensions (BitFlow targets batch-1
+/// inference, so the largest rank in practice is HWC = 3 plus an occasional
+/// leading batch dimension).
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) : rank_(static_cast<int>(dims.size())) {
+    assert(rank_ <= kMaxRank);
+    int i = 0;
+    for (std::int64_t d : dims) dims_[i++] = d;
+  }
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  [[nodiscard]] std::int64_t operator[](int i) const noexcept {
+    assert(i >= 0 && i < rank_);
+    return dims_[i];
+  }
+
+  std::int64_t& operator[](int i) noexcept {
+    assert(i >= 0 && i < rank_);
+    return dims_[i];
+  }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  [[nodiscard]] std::int64_t num_elements() const noexcept {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept {
+    if (rank_ != other.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool operator!=(const Shape& other) const noexcept { return !(*this == other); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) { return os << s.to_string(); }
+
+}  // namespace bitflow

@@ -1,0 +1,118 @@
+// Dense float tensor with explicit memory layout (HWC vs CHW).
+//
+// BitFlow adopts the NHWC layout (paper Sec. III-B, "Locality-aware Layout"):
+// with batch fixed at 1, an activation tensor is H x W x C stored row-major
+// with interleaved channels, so element (h, w, c) lives at linear index
+// (h*W + w)*C + c.  The CHW layout is kept alongside it for the layout
+// ablation (bench_layout_ablation) and for interop with NCHW-first
+// frameworks.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/shape.hpp"
+
+namespace bitflow {
+
+/// Memory layout of a rank-3 activation tensor (batch dimension is implicit
+/// and always 1 in BitFlow: the engine targets inference latency).
+enum class Layout : std::uint8_t {
+  kHWC,  ///< row-major with interleaved channels (BitFlow's native layout)
+  kCHW,  ///< channel-planar (the default of Caffe/MXNet/PyTorch)
+};
+
+/// Owning dense tensor of `float` with a rank-3 (H, W, C) shape and an
+/// explicit layout.  Rank-1 / rank-2 tensors (fully connected activations and
+/// weights) are represented with H=1 (and C=1) so a single type serves the
+/// whole engine.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-initialized tensor.
+  Tensor(Shape shape, Layout layout = Layout::kHWC)
+      : shape_(shape),
+        layout_(layout),
+        buffer_(static_cast<std::size_t>(shape.num_elements()) * sizeof(float)) {
+    if (shape.rank() != 3 && shape.rank() != 2 && shape.rank() != 1) {
+      throw std::invalid_argument("Tensor supports rank 1..3, got " + shape.to_string());
+    }
+  }
+
+  /// Convenience factory for an H x W x C activation tensor.
+  static Tensor hwc(std::int64_t h, std::int64_t w, std::int64_t c) {
+    return Tensor(Shape{h, w, c}, Layout::kHWC);
+  }
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] std::int64_t num_elements() const noexcept { return shape_.num_elements(); }
+
+  [[nodiscard]] std::int64_t height() const noexcept { return shape_.rank() == 3 ? shape_[0] : 1; }
+  [[nodiscard]] std::int64_t width() const noexcept {
+    return shape_.rank() == 3 ? shape_[1] : (shape_.rank() == 2 ? shape_[0] : 1);
+  }
+  [[nodiscard]] std::int64_t channels() const noexcept {
+    return shape_.rank() == 3 ? shape_[2] : (shape_.rank() == 2 ? shape_[1] : shape_[0]);
+  }
+
+  [[nodiscard]] float* data() noexcept { return reinterpret_cast<float*>(buffer_.data()); }
+  [[nodiscard]] const float* data() const noexcept {
+    return reinterpret_cast<const float*>(buffer_.data());
+  }
+
+  [[nodiscard]] std::span<float> elements() noexcept {
+    return {data(), static_cast<std::size_t>(num_elements())};
+  }
+  [[nodiscard]] std::span<const float> elements() const noexcept {
+    return {data(), static_cast<std::size_t>(num_elements())};
+  }
+
+  /// Linear index of (h, w, c) under the tensor's layout.
+  [[nodiscard]] std::int64_t index(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
+    const std::int64_t H = height(), W = width(), C = channels();
+    assert(h >= 0 && h < H && w >= 0 && w < W && c >= 0 && c < C);
+    (void)H;
+    if (layout_ == Layout::kHWC) return (h * W + w) * C + c;
+    return (c * height() + h) * W + w;
+  }
+
+  [[nodiscard]] float at(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
+    return data()[index(h, w, c)];
+  }
+  float& at(std::int64_t h, std::int64_t w, std::int64_t c) noexcept {
+    return data()[index(h, w, c)];
+  }
+
+  void zero() noexcept { buffer_.zero(); }
+
+  /// Returns a copy of this tensor converted to the other layout
+  /// (element-wise transpose; used by the layout ablation and by interop).
+  [[nodiscard]] Tensor to_layout(Layout target) const {
+    if (target == layout_) return *this;
+    Tensor out(shape_, target);
+    if (shape_.rank() != 3) {  // layouts coincide below rank 3
+      out.buffer_ = buffer_;
+      return out;
+    }
+    for (std::int64_t h = 0; h < height(); ++h) {
+      for (std::int64_t w = 0; w < width(); ++w) {
+        for (std::int64_t c = 0; c < channels(); ++c) {
+          out.at(h, w, c) = at(h, w, c);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  Shape shape_;
+  Layout layout_ = Layout::kHWC;
+  AlignedBuffer buffer_;
+};
+
+}  // namespace bitflow

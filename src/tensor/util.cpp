@@ -1,0 +1,90 @@
+#include "tensor/util.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace bitflow {
+
+void fill_uniform(Tensor& t, std::uint64_t seed, float lo, float hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (float& v : t.elements()) v = dist(rng);
+}
+
+namespace {
+
+/// Mask with the low `bits` bits set (bits in [1, 64]).
+std::uint64_t tail_mask(std::int64_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace
+
+void fill_random_bits(PackedTensor& t, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t pc = t.words_per_pixel();
+  const std::int64_t last_bits = t.channels() - (pc - 1) * 64;
+  for (std::int64_t h = 0; h < t.height(); ++h) {
+    for (std::int64_t w = 0; w < t.width(); ++w) {
+      std::uint64_t* px = t.pixel(h, w);
+      for (std::int64_t p = 0; p < pc; ++p) {
+        px[p] = rng();
+        if (p == pc - 1) px[p] &= tail_mask(last_bits);
+      }
+    }
+  }
+}
+
+void fill_random_bits(PackedFilterBank& f, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t pc = f.words_per_pixel();
+  const std::int64_t last_bits = f.channels() - (pc - 1) * 64;
+  for (std::int64_t k = 0; k < f.num_filters(); ++k) {
+    for (std::int64_t i = 0; i < f.kernel_h(); ++i) {
+      for (std::int64_t j = 0; j < f.kernel_w(); ++j) {
+        std::uint64_t* tap = f.tap(k, i, j);
+        for (std::int64_t p = 0; p < pc; ++p) {
+          tap[p] = rng();
+          if (p == pc - 1) tap[p] &= tail_mask(last_bits);
+        }
+      }
+    }
+  }
+}
+
+void fill_random_bits(PackedMatrix& m, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t wpr = m.words_per_row();
+  const std::int64_t last_bits = m.cols() - (wpr - 1) * 64;
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    std::uint64_t* row = m.row(r);
+    for (std::int64_t p = 0; p < wpr; ++p) {
+      row[p] = rng();
+      if (p == wpr - 1) row[p] &= tail_mask(last_bits);
+    }
+  }
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch " + a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    // Compare through the canonical (h,w,c) indexing so tensors of different
+    // layout compare logically, not byte-wise.
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  if (a.layout() != b.layout()) {
+    m = 0.0f;
+    for (std::int64_t h = 0; h < a.height(); ++h)
+      for (std::int64_t w = 0; w < a.width(); ++w)
+        for (std::int64_t c = 0; c < a.channels(); ++c)
+          m = std::max(m, std::abs(a.at(h, w, c) - b.at(h, w, c)));
+  }
+  return m;
+}
+
+}  // namespace bitflow

@@ -1,0 +1,30 @@
+// Deterministic fill / comparison helpers shared by tests, benches and
+// examples.  All randomness in the repository flows through explicitly
+// seeded generators so every experiment is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/packed_tensor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow {
+
+/// Fills a float tensor with uniform values in [lo, hi) from a seeded
+/// Mersenne Twister.
+void fill_uniform(Tensor& t, std::uint64_t seed, float lo = -1.0f, float hi = 1.0f);
+
+/// Fills a packed tensor with uniformly random bits (tail bits of each pixel
+/// word kept zero, preserving the packing invariant).
+void fill_random_bits(PackedTensor& t, std::uint64_t seed);
+
+/// Fills a packed filter bank with uniformly random bits (zero tails).
+void fill_random_bits(PackedFilterBank& f, std::uint64_t seed);
+
+/// Fills a packed matrix with uniformly random bits (zero tails).
+void fill_random_bits(PackedMatrix& m, std::uint64_t seed);
+
+/// Max absolute element-wise difference between two tensors of equal shape.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace bitflow

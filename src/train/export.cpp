@@ -1,0 +1,158 @@
+#include "train/export.hpp"
+
+#include "bitpack/packer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bitflow::train {
+
+namespace {
+
+constexpr float kAlwaysOne = -1e30f;   // threshold that every dot passes
+constexpr float kAlwaysZero = 1e30f;   // threshold that no dot passes
+
+float sign_pm1(float x) { return x >= 0.0f ? 1.0f : -1.0f; }
+
+/// Folds a BatchNorm's inference statistics into per-channel thresholds and
+/// a per-channel weight-flip flag.
+void fold_batchnorm(const BatchNorm& bn, std::vector<float>& thresholds,
+                    std::vector<bool>& flip) {
+  const std::size_t c = bn.gamma().size();
+  thresholds.resize(c);
+  flip.assign(c, false);
+  for (std::size_t k = 0; k < c; ++k) {
+    const float gamma = bn.gamma()[k];
+    const float beta = bn.beta()[k];
+    const float mu = bn.running_mean()[k];
+    const float s = std::sqrt(bn.running_var()[k] + bn.eps());
+    if (gamma > 0.0f) {
+      thresholds[k] = mu - beta * s / gamma;
+    } else if (gamma < 0.0f) {
+      flip[k] = true;
+      thresholds[k] = -(mu - beta * s / gamma);
+    } else {
+      // Degenerate: BN output is the constant beta.
+      thresholds[k] = beta >= 0.0f ? kAlwaysOne : kAlwaysZero;
+    }
+  }
+}
+
+}  // namespace
+
+io::Model export_to_model(const Sequential& model) {
+  const Dims input = model.in_dims();
+  io::Model out(graph::TensorDesc{input.h, input.w, input.c});
+  std::size_t i = 0;
+  const std::size_t n = model.num_layers();
+
+  // Leading sign = engine input packing.  A model may instead start
+  // directly with a *float-weight* convolution (full-precision first layer,
+  // the accuracy-recovery variant): the engine then consumes raw floats.
+  bool first_layer_float = false;
+  if (n == 0) throw std::invalid_argument("export: empty model");
+  if (dynamic_cast<const SignAct*>(&model.layer(0)) != nullptr) {
+    ++i;
+  } else if (const auto* c0 = dynamic_cast<const Conv2d*>(&model.layer(0));
+             c0 != nullptr && !c0->binary_weights()) {
+    first_layer_float = true;
+  } else {
+    throw std::invalid_argument(
+        "export: model must start with a sign activation or a full-precision conv");
+  }
+
+  int conv_idx = 0, fc_idx = 0;
+  while (i < n) {
+    if (const auto* conv = dynamic_cast<const Conv2d*>(&model.layer(i))) {
+      const bool is_float_first = first_layer_float && i == 0;
+      if (!conv->binary_weights() && !is_float_first) {
+        throw std::invalid_argument(
+            "export: only the first conv may keep full-precision weights");
+      }
+      const bool is_last = (i + 1 == n);
+      std::vector<float> thresholds;
+      std::vector<bool> flip;
+      if (!is_last) {
+        const auto* bn = i + 1 < n ? dynamic_cast<const BatchNorm*>(&model.layer(i + 1)) : nullptr;
+        const auto* sg = i + 2 < n ? dynamic_cast<const SignAct*>(&model.layer(i + 2)) : nullptr;
+        if (bn == nullptr || sg == nullptr) {
+          throw std::invalid_argument("export: conv must be followed by batchnorm + sign");
+        }
+        fold_batchnorm(*bn, thresholds, flip);
+      }
+      // Materialize the exported weights, applying per-filter flips: +-1
+      // signs for binary convs, the raw floats for the full-precision first
+      // layer (flipping negates the float weights; the dot negates with
+      // them, so the same threshold trick applies).
+      const Dims din = conv->in_dims();
+      const std::int64_t k_count = conv->out_dims().c;
+      FilterBank fb(k_count, conv->kernel(), conv->kernel(), din.c);
+      const std::vector<float>& latent = conv->weights();
+      const std::int64_t per_filter = conv->kernel() * conv->kernel() * din.c;
+      for (std::int64_t k = 0; k < k_count; ++k) {
+        const float flip_mul =
+            (!flip.empty() && flip[static_cast<std::size_t>(k)]) ? -1.0f : 1.0f;
+        for (std::int64_t e = 0; e < per_filter; ++e) {
+          const float w = latent[static_cast<std::size_t>(k * per_filter + e)];
+          fb.elements()[static_cast<std::size_t>(k * per_filter + e)] =
+              flip_mul * (is_float_first ? w : sign_pm1(w));
+        }
+      }
+      if (is_float_first) {
+        out.add_conv_float("conv" + std::to_string(++conv_idx), std::move(fb),
+                           conv->stride(), conv->pad(), std::move(thresholds));
+      } else {
+        out.add_conv("conv" + std::to_string(++conv_idx), bitpack::pack_filters(fb),
+                     conv->stride(), conv->pad(), std::move(thresholds));
+      }
+      i += is_last ? 1 : 3;
+    } else if (const auto* fc = dynamic_cast<const Fc*>(&model.layer(i))) {
+      if (!fc->binary_weights()) {
+        throw std::invalid_argument("export: fc layers must have binary weights");
+      }
+      const bool is_last = (i + 1 == n);
+      std::vector<float> thresholds;
+      std::vector<bool> flip;
+      if (!is_last) {
+        const auto* bn = i + 1 < n ? dynamic_cast<const BatchNorm*>(&model.layer(i + 1)) : nullptr;
+        const auto* sg = i + 2 < n ? dynamic_cast<const SignAct*>(&model.layer(i + 2)) : nullptr;
+        if (bn == nullptr || sg == nullptr) {
+          throw std::invalid_argument("export: fc must be followed by batchnorm + sign");
+        }
+        fold_batchnorm(*bn, thresholds, flip);
+      }
+      const std::int64_t nn = fc->in_dims().size();
+      const std::int64_t kk = fc->out_dims().size();
+      std::vector<float> w(static_cast<std::size_t>(nn * kk));
+      const std::vector<float>& latent = fc->weights();
+      for (std::int64_t r = 0; r < nn; ++r) {
+        for (std::int64_t k = 0; k < kk; ++k) {
+          const float flip_mul =
+              (!flip.empty() && flip[static_cast<std::size_t>(k)]) ? -1.0f : 1.0f;
+          w[static_cast<std::size_t>(r * kk + k)] =
+              flip_mul * sign_pm1(latent[static_cast<std::size_t>(r * kk + k)]);
+        }
+      }
+      out.add_fc("fc" + std::to_string(++fc_idx),
+                 bitpack::pack_transpose_fc_weights(w.data(), nn, kk), std::move(thresholds));
+      i += is_last ? 1 : 3;
+    } else if (dynamic_cast<const Flatten*>(&model.layer(i)) != nullptr) {
+      ++i;  // the engine flattens implicitly at the conv/pool -> fc boundary
+    } else if (const auto* pool = dynamic_cast<const MaxPool*>(&model.layer(i))) {
+      out.add_maxpool("pool" + std::to_string(conv_idx),
+                      kernels::PoolSpec{pool->pool(), pool->pool(), pool->stride()});
+      ++i;
+    } else {
+      throw std::invalid_argument("export: unexpected layer '" + model.layer(i).name() +
+                                  "' at position " + std::to_string(i));
+    }
+  }
+  return out;
+}
+
+graph::BinaryNetwork export_to_engine(const Sequential& model, graph::NetworkConfig cfg) {
+  return export_to_model(model).instantiate(cfg);
+}
+
+}  // namespace bitflow::train

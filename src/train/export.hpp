@@ -1,0 +1,41 @@
+// Lowering a trained binarized classifier into the BitFlow inference engine.
+//
+// A make_binary_cnn() stack has the canonical BinaryNet structure
+//   sign -> [conv(bin) -> batchnorm -> sign -> (pool)]* -> [fc(bin) ->
+//   batchnorm -> sign]* -> fc(bin)
+// which maps 1:1 onto a graph::BinaryNetwork:
+//   * the leading sign is the engine's input packing;
+//   * each conv/fc's batch-norm + sign folds into a per-channel threshold:
+//       sign(gamma*(dot - mu)/s + beta)  with  s = sqrt(var + eps)
+//     is  dot >= mu - beta*s/gamma          when gamma > 0,
+//     and dot <= mu - beta*s/gamma          when gamma < 0 — realized by
+//     flipping that filter's weight signs and negating the threshold
+//     (flipping every weight bit negates the Eq. 1 dot);
+//     gamma == 0 collapses to the constant sign(beta) (threshold -+inf);
+//   * max pooling of +-1 activations is exactly the engine's OR pooling;
+//   * the final fc emits raw Eq. 1 dots — identical to the float logits the
+//     training graph computes with +-1 operands.
+// The exported network is therefore *prediction-identical* to the training
+// graph in inference mode, which tests/export_test.cpp asserts sample by
+// sample.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.hpp"
+#include "io/model.hpp"
+#include "train/sequential.hpp"
+
+namespace bitflow::train {
+
+/// Lowers `model` (a binarized stack in the canonical structure above) into
+/// a serializable io::Model with bit-packed weights and folded thresholds.
+/// Throws std::invalid_argument if the stack does not match the expected
+/// structure.
+[[nodiscard]] io::Model export_to_model(const Sequential& model);
+
+/// Convenience: export_to_model() + instantiate a finalized engine network.
+[[nodiscard]] graph::BinaryNetwork export_to_engine(const Sequential& model,
+                                                    graph::NetworkConfig cfg);
+
+}  // namespace bitflow::train

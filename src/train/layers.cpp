@@ -1,0 +1,391 @@
+#include "train/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace bitflow::train {
+
+namespace {
+
+/// Glorot-uniform initialization.
+void init_weights(std::vector<float>& w, std::int64_t fan_in, std::int64_t fan_out,
+                  std::uint64_t seed) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-limit, limit);
+  for (float& v : w) v = dist(rng);
+}
+
+/// SGD + momentum + gradient zeroing; optionally clips parameters to
+/// [-1, 1] (latent weights of binarized layers, per BinaryConnect).
+void sgd_step(std::vector<float>& w, std::vector<float>& dw, std::vector<float>& vw, float lr,
+              float momentum, bool clip) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    vw[i] = momentum * vw[i] - lr * dw[i];
+    w[i] += vw[i];
+    if (clip) w[i] = std::clamp(w[i], -1.0f, 1.0f);
+    dw[i] = 0.0f;
+  }
+}
+
+float sign_pm1(float x) { return x >= 0.0f ? 1.0f : -1.0f; }
+
+}  // namespace
+
+// --- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(Dims in, std::int64_t out_c, std::int64_t kernel, std::int64_t stride,
+               std::int64_t pad, bool binary_weights, std::uint64_t seed, float pad_value)
+    : in_(in),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      binary_(binary_weights),
+      pad_value_(pad_value) {
+  const std::int64_t oh = (in.h + 2 * pad - kernel) / stride + 1;
+  const std::int64_t ow = (in.w + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("Conv2d: kernel does not fit");
+  out_ = {oh, ow, out_c};
+  const std::size_t n_params = static_cast<std::size_t>(out_c * kernel * kernel * in.c);
+  w_.resize(n_params);
+  dw_.assign(n_params, 0.0f);
+  vw_.assign(n_params, 0.0f);
+  init_weights(w_, kernel * kernel * in.c, kernel * kernel * out_c, seed);
+  w_eff_.resize(n_params);
+}
+
+void Conv2d::materialize_weights() {
+  if (binary_) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_eff_[i] = sign_pm1(w_[i]);
+  } else {
+    w_eff_ = w_;
+  }
+}
+
+const std::vector<float>& Conv2d::forward(const std::vector<float>& x, int batch, bool) {
+  materialize_weights();
+  x_cache_ = x;
+  cached_batch_ = batch;
+  y_.assign(static_cast<std::size_t>(batch) * static_cast<std::size_t>(out_.size()), 0.0f);
+  const std::int64_t H = in_.h, W = in_.w, C = in_.c;
+  const std::int64_t OH = out_.h, OW = out_.w, K = out_.c;
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.data() + static_cast<std::int64_t>(b) * in_.size();
+    float* yb = y_.data() + static_cast<std::int64_t>(b) * out_.size();
+    for (std::int64_t oy = 0; oy < OH; ++oy) {
+      for (std::int64_t ox = 0; ox < OW; ++ox) {
+        for (std::int64_t k = 0; k < K; ++k) {
+          float acc = 0.0f;
+          const float* wk = w_eff_.data() + k * k_ * k_ * C;
+          for (std::int64_t i = 0; i < k_; ++i) {
+            const std::int64_t iy = oy * stride_ + i - pad_;
+            for (std::int64_t j = 0; j < k_; ++j) {
+              const std::int64_t ix = ox * stride_ + j - pad_;
+              const float* wt = wk + (i * k_ + j) * C;
+              if (iy >= 0 && iy < H && ix >= 0 && ix < W) {
+                const float* px = xb + (iy * W + ix) * C;
+                for (std::int64_t c = 0; c < C; ++c) acc += px[c] * wt[c];
+              } else if (pad_value_ != 0.0f) {
+                for (std::int64_t c = 0; c < C; ++c) acc += pad_value_ * wt[c];
+              }
+            }
+          }
+          yb[(oy * OW + ox) * K + k] = acc;
+        }
+      }
+    }
+  }
+  return y_;
+}
+
+std::vector<float> Conv2d::backward(const std::vector<float>& grad_out, int batch) {
+  std::vector<float> dx(static_cast<std::size_t>(batch) * static_cast<std::size_t>(in_.size()),
+                        0.0f);
+  const std::int64_t H = in_.h, W = in_.w, C = in_.c;
+  const std::int64_t OH = out_.h, OW = out_.w, K = out_.c;
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x_cache_.data() + static_cast<std::int64_t>(b) * in_.size();
+    const float* gb = grad_out.data() + static_cast<std::int64_t>(b) * out_.size();
+    float* dxb = dx.data() + static_cast<std::int64_t>(b) * in_.size();
+    for (std::int64_t oy = 0; oy < OH; ++oy) {
+      for (std::int64_t ox = 0; ox < OW; ++ox) {
+        for (std::int64_t k = 0; k < K; ++k) {
+          const float g = gb[(oy * OW + ox) * K + k];
+          if (g == 0.0f) continue;
+          const float* wk = w_eff_.data() + k * k_ * k_ * C;
+          float* dwk = dw_.data() + k * k_ * k_ * C;
+          for (std::int64_t i = 0; i < k_; ++i) {
+            const std::int64_t iy = oy * stride_ + i - pad_;
+            for (std::int64_t j = 0; j < k_; ++j) {
+              const std::int64_t ix = ox * stride_ + j - pad_;
+              const float* wt = wk + (i * k_ + j) * C;
+              float* dwt = dwk + (i * k_ + j) * C;
+              if (iy >= 0 && iy < H && ix >= 0 && ix < W) {
+                const float* px = xb + (iy * W + ix) * C;
+                float* dpx = dxb + (iy * W + ix) * C;
+                for (std::int64_t c = 0; c < C; ++c) {
+                  dwt[c] += px[c] * g;
+                  dpx[c] += wt[c] * g;
+                }
+              } else if (pad_value_ != 0.0f) {
+                for (std::int64_t c = 0; c < C; ++c) dwt[c] += pad_value_ * g;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::step(float lr, float momentum) { sgd_step(w_, dw_, vw_, lr, momentum, binary_); }
+
+// --- Fc ----------------------------------------------------------------------
+
+Fc::Fc(std::int64_t n, std::int64_t k, bool binary_weights, std::uint64_t seed)
+    : n_(n), k_(k), binary_(binary_weights) {
+  const std::size_t n_params = static_cast<std::size_t>(n * k);
+  w_.resize(n_params);
+  dw_.assign(n_params, 0.0f);
+  vw_.assign(n_params, 0.0f);
+  init_weights(w_, n, k, seed);
+  w_eff_.resize(n_params);
+}
+
+void Fc::materialize_weights() {
+  if (binary_) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_eff_[i] = sign_pm1(w_[i]);
+  } else {
+    w_eff_ = w_;
+  }
+}
+
+const std::vector<float>& Fc::forward(const std::vector<float>& x, int batch, bool) {
+  materialize_weights();
+  x_cache_ = x;
+  cached_batch_ = batch;
+  y_.assign(static_cast<std::size_t>(batch) * static_cast<std::size_t>(k_), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.data() + static_cast<std::int64_t>(b) * n_;
+    float* yb = y_.data() + static_cast<std::int64_t>(b) * k_;
+    for (std::int64_t n = 0; n < n_; ++n) {
+      const float xv = xb[n];
+      if (xv == 0.0f) continue;
+      const float* wr = w_eff_.data() + n * k_;
+      for (std::int64_t k = 0; k < k_; ++k) yb[k] += xv * wr[k];
+    }
+  }
+  return y_;
+}
+
+std::vector<float> Fc::backward(const std::vector<float>& grad_out, int batch) {
+  std::vector<float> dx(static_cast<std::size_t>(batch) * static_cast<std::size_t>(n_), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x_cache_.data() + static_cast<std::int64_t>(b) * n_;
+    const float* gb = grad_out.data() + static_cast<std::int64_t>(b) * k_;
+    float* dxb = dx.data() + static_cast<std::int64_t>(b) * n_;
+    for (std::int64_t n = 0; n < n_; ++n) {
+      const float* wr = w_eff_.data() + n * k_;
+      float* dwr = dw_.data() + n * k_;
+      const float xv = xb[n];
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < k_; ++k) {
+        dwr[k] += xv * gb[k];
+        acc += wr[k] * gb[k];
+      }
+      dxb[n] = acc;
+    }
+  }
+  return dx;
+}
+
+void Fc::step(float lr, float momentum) { sgd_step(w_, dw_, vw_, lr, momentum, binary_); }
+
+// --- SignAct -------------------------------------------------------------------
+
+const std::vector<float>& SignAct::forward(const std::vector<float>& x, int, bool) {
+  x_cache_ = x;
+  y_.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y_[i] = sign_pm1(x[i]);
+  return y_;
+}
+
+std::vector<float> SignAct::backward(const std::vector<float>& grad_out, int) {
+  std::vector<float> dx(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    // Straight-through estimator with the hard-tanh window.
+    dx[i] = std::abs(x_cache_[i]) <= 1.0f ? grad_out[i] : 0.0f;
+  }
+  return dx;
+}
+
+// --- Relu ---------------------------------------------------------------------
+
+const std::vector<float>& Relu::forward(const std::vector<float>& x, int, bool) {
+  y_.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y_[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y_;
+}
+
+std::vector<float> Relu::backward(const std::vector<float>& grad_out, int) {
+  std::vector<float> dx(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) dx[i] = y_[i] > 0.0f ? grad_out[i] : 0.0f;
+  return dx;
+}
+
+// --- MaxPool -------------------------------------------------------------------
+
+MaxPool::MaxPool(Dims in, std::int64_t pool, std::int64_t stride)
+    : in_(in), pool_(pool), stride_(stride) {
+  const std::int64_t oh = (in.h - pool) / stride + 1;
+  const std::int64_t ow = (in.w - pool) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool: window does not fit");
+  out_ = {oh, ow, in.c};
+}
+
+const std::vector<float>& MaxPool::forward(const std::vector<float>& x, int batch, bool) {
+  y_.resize(static_cast<std::size_t>(batch) * static_cast<std::size_t>(out_.size()));
+  argmax_.resize(y_.size());
+  const std::int64_t W = in_.w, C = in_.c;
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.data() + static_cast<std::int64_t>(b) * in_.size();
+    const std::int64_t out_base = static_cast<std::int64_t>(b) * out_.size();
+    for (std::int64_t oy = 0; oy < out_.h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_.w; ++ox) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          float best = -1e30f;
+          std::int64_t best_idx = 0;
+          for (std::int64_t i = 0; i < pool_; ++i) {
+            for (std::int64_t j = 0; j < pool_; ++j) {
+              const std::int64_t idx =
+                  ((oy * stride_ + i) * W + (ox * stride_ + j)) * C + c;
+              if (xb[idx] > best) {
+                best = xb[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::int64_t o = out_base + (oy * out_.w + ox) * C + c;
+          y_[static_cast<std::size_t>(o)] = best;
+          argmax_[static_cast<std::size_t>(o)] =
+              static_cast<std::int64_t>(b) * in_.size() + best_idx;
+        }
+      }
+    }
+  }
+  return y_;
+}
+
+std::vector<float> MaxPool::backward(const std::vector<float>& grad_out, int batch) {
+  std::vector<float> dx(static_cast<std::size_t>(batch) * static_cast<std::size_t>(in_.size()),
+                        0.0f);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dx[static_cast<std::size_t>(argmax_[i])] += grad_out[i];
+  }
+  return dx;
+}
+
+// --- Flatten -------------------------------------------------------------------
+
+const std::vector<float>& Flatten::forward(const std::vector<float>& x, int, bool) {
+  y_ = x;
+  return y_;
+}
+
+std::vector<float> Flatten::backward(const std::vector<float>& grad_out, int) {
+  return grad_out;
+}
+
+// --- BatchNorm ------------------------------------------------------------------
+
+BatchNorm::BatchNorm(Dims d, float momentum, float eps)
+    : d_(d), bn_momentum_(momentum), eps_(eps) {
+  const std::size_t c = static_cast<std::size_t>(d.c);
+  gamma_.assign(c, 1.0f);
+  beta_.assign(c, 0.0f);
+  dgamma_.assign(c, 0.0f);
+  dbeta_.assign(c, 0.0f);
+  vgamma_.assign(c, 0.0f);
+  vbeta_.assign(c, 0.0f);
+  run_mean_.assign(c, 0.0f);
+  run_var_.assign(c, 1.0f);
+}
+
+const std::vector<float>& BatchNorm::forward(const std::vector<float>& x, int batch,
+                                             bool training) {
+  const std::int64_t C = d_.c;
+  const std::int64_t spatial = d_.h * d_.w;
+  const std::int64_t n = static_cast<std::int64_t>(batch) * spatial;  // samples per channel
+  cached_batch_ = batch;
+  y_.resize(x.size());
+  xhat_.resize(x.size());
+  mean_.assign(static_cast<std::size_t>(C), 0.0f);
+  inv_std_.assign(static_cast<std::size_t>(C), 0.0f);
+
+  std::vector<float> var(static_cast<std::size_t>(C), 0.0f);
+  if (training) {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(x.size()); ++i) {
+      mean_[static_cast<std::size_t>(i % C)] += x[static_cast<std::size_t>(i)];
+    }
+    for (std::int64_t c = 0; c < C; ++c) mean_[static_cast<std::size_t>(c)] /= static_cast<float>(n);
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(x.size()); ++i) {
+      const float d = x[static_cast<std::size_t>(i)] - mean_[static_cast<std::size_t>(i % C)];
+      var[static_cast<std::size_t>(i % C)] += d * d;
+    }
+    for (std::int64_t c = 0; c < C; ++c) {
+      var[static_cast<std::size_t>(c)] /= static_cast<float>(n);
+      run_mean_[static_cast<std::size_t>(c)] =
+          bn_momentum_ * run_mean_[static_cast<std::size_t>(c)] +
+          (1.0f - bn_momentum_) * mean_[static_cast<std::size_t>(c)];
+      run_var_[static_cast<std::size_t>(c)] =
+          bn_momentum_ * run_var_[static_cast<std::size_t>(c)] +
+          (1.0f - bn_momentum_) * var[static_cast<std::size_t>(c)];
+    }
+  } else {
+    mean_ = run_mean_;
+    var = run_var_;
+  }
+  for (std::int64_t c = 0; c < C; ++c) {
+    inv_std_[static_cast<std::size_t>(c)] =
+        1.0f / std::sqrt(var[static_cast<std::size_t>(c)] + eps_);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t c = i % static_cast<std::size_t>(C);
+    xhat_[i] = (x[i] - mean_[c]) * inv_std_[c];
+    y_[i] = gamma_[c] * xhat_[i] + beta_[c];
+  }
+  return y_;
+}
+
+std::vector<float> BatchNorm::backward(const std::vector<float>& grad_out, int batch) {
+  const std::int64_t C = d_.c;
+  const float n = static_cast<float>(static_cast<std::int64_t>(batch) * d_.h * d_.w);
+  std::vector<float> sum_dy(static_cast<std::size_t>(C), 0.0f);
+  std::vector<float> sum_dy_xhat(static_cast<std::size_t>(C), 0.0f);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const std::size_t c = i % static_cast<std::size_t>(C);
+    sum_dy[c] += grad_out[i];
+    sum_dy_xhat[c] += grad_out[i] * xhat_[i];
+  }
+  for (std::int64_t c = 0; c < C; ++c) {
+    dgamma_[static_cast<std::size_t>(c)] += sum_dy_xhat[static_cast<std::size_t>(c)];
+    dbeta_[static_cast<std::size_t>(c)] += sum_dy[static_cast<std::size_t>(c)];
+  }
+  std::vector<float> dx(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const std::size_t c = i % static_cast<std::size_t>(C);
+    dx[i] = (gamma_[c] * inv_std_[c] / n) *
+            (n * grad_out[i] - sum_dy[c] - xhat_[i] * sum_dy_xhat[c]);
+  }
+  return dx;
+}
+
+void BatchNorm::step(float lr, float momentum) {
+  sgd_step(gamma_, dgamma_, vgamma_, lr, momentum, false);
+  sgd_step(beta_, dbeta_, vbeta_, lr, momentum, false);
+}
+
+}  // namespace bitflow::train

@@ -1,0 +1,225 @@
+// Training substrate: batched layers with forward/backward.
+//
+// BitFlow is an inference engine; to reproduce the accuracy story of
+// Table V we also need to *produce* binarized networks.  This module
+// implements the training recipe of BinaryNet (Courbariaux & Bengio, the
+// paper's ref [3]): latent float weights binarized with sign() on the
+// forward pass, straight-through gradient estimation for sign activations
+// (pass-through where |x| <= 1), latent weights clipped to [-1, 1], and
+// batch normalization whose inference-time statistics fold into the
+// per-channel thresholds of the BitFlow engine (see export.hpp).
+//
+// Data format: activations are flat row-major batches, sample-major then
+// HWC — x[b * dims.size() + (h*W + w)*C + c] — matching the engine layout
+// so a trained model exports without permutation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bitflow::train {
+
+/// Spatial extents flowing through the stack (FC activations: h = w = 1).
+struct Dims {
+  std::int64_t h = 1, w = 1, c = 1;
+  [[nodiscard]] std::int64_t size() const noexcept { return h * w * c; }
+  [[nodiscard]] bool operator==(const Dims&) const = default;
+};
+
+/// Base class of all trainable layers.  Layers own their parameters,
+/// gradients, momentum buffers and forward caches; batch size may vary
+/// call-to-call.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Dims in_dims() const = 0;
+  [[nodiscard]] virtual Dims out_dims() const = 0;
+
+  /// Forward pass over `batch` samples; the returned reference stays valid
+  /// until the next forward.  `training` toggles batch-norm statistics.
+  virtual const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                            bool training) = 0;
+
+  /// Backward pass: gradient w.r.t. this layer's input; accumulates
+  /// parameter gradients (zeroed by step()).
+  virtual std::vector<float> backward(const std::vector<float>& grad_out, int batch) = 0;
+
+  /// SGD + momentum update; zeroes the accumulated gradients.
+  virtual void step(float lr, float momentum) { (void)lr, (void)momentum; }
+};
+
+/// 2D convolution, HWC, symmetric zero padding.  With `binary_weights` the
+/// forward uses sign(W) (BinaryConnect); gradients flow to the latent floats,
+/// which are clipped to [-1, 1] after each update.
+class Conv2d final : public Layer {
+ public:
+  /// `pad_value` is the constant used for out-of-bounds taps: 0 for float
+  /// networks, -1 for binarized stacks — BitFlow's zero-cost padding leaves
+  /// zero *bits*, which decode to -1, and training must see the same math
+  /// for the exported engine to be prediction-identical.
+  Conv2d(Dims in, std::int64_t out_c, std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+         bool binary_weights, std::uint64_t seed, float pad_value = 0.0f);
+
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+  [[nodiscard]] Dims in_dims() const override { return in_; }
+  [[nodiscard]] Dims out_dims() const override { return out_; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+  void step(float lr, float momentum) override;
+
+  [[nodiscard]] bool binary_weights() const noexcept { return binary_; }
+  [[nodiscard]] std::int64_t kernel() const noexcept { return k_; }
+  [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
+  [[nodiscard]] std::int64_t pad() const noexcept { return pad_; }
+  /// Latent weights, [out_c][kh][kw][in_c] (FilterBank order).
+  [[nodiscard]] const std::vector<float>& weights() const noexcept { return w_; }
+
+ private:
+  /// Effective forward weights (sign of latent when binary).
+  void materialize_weights();
+
+  Dims in_, out_;
+  std::int64_t k_, stride_, pad_;
+  bool binary_;
+  float pad_value_;
+  std::vector<float> w_, w_eff_, dw_, vw_;
+  std::vector<float> x_cache_, y_;
+  int cached_batch_ = 0;
+};
+
+/// Fully connected layer; weights stored row-major n x k (input-major, the
+/// paper's Table III orientation).  Optional latent-binarized weights.
+class Fc final : public Layer {
+ public:
+  Fc(std::int64_t n, std::int64_t k, bool binary_weights, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "fc"; }
+  [[nodiscard]] Dims in_dims() const override { return {1, 1, n_}; }
+  [[nodiscard]] Dims out_dims() const override { return {1, 1, k_}; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+  void step(float lr, float momentum) override;
+
+  [[nodiscard]] bool binary_weights() const noexcept { return binary_; }
+  [[nodiscard]] const std::vector<float>& weights() const noexcept { return w_; }
+
+ private:
+  void materialize_weights();
+
+  std::int64_t n_, k_;
+  bool binary_;
+  std::vector<float> w_, w_eff_, dw_, vw_;
+  std::vector<float> x_cache_, y_;
+  int cached_batch_ = 0;
+};
+
+/// sign() activation with the straight-through estimator:
+/// dy/dx = 1{|x| <= 1}.
+class SignAct final : public Layer {
+ public:
+  explicit SignAct(Dims d) : d_(d) {}
+  [[nodiscard]] std::string name() const override { return "sign"; }
+  [[nodiscard]] Dims in_dims() const override { return d_; }
+  [[nodiscard]] Dims out_dims() const override { return d_; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+
+ private:
+  Dims d_;
+  std::vector<float> x_cache_, y_;
+};
+
+/// ReLU (float counterpart networks).
+class Relu final : public Layer {
+ public:
+  explicit Relu(Dims d) : d_(d) {}
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] Dims in_dims() const override { return d_; }
+  [[nodiscard]] Dims out_dims() const override { return d_; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+
+ private:
+  Dims d_;
+  std::vector<float> y_;
+};
+
+/// Max pooling with argmax gradient routing.
+class MaxPool final : public Layer {
+ public:
+  MaxPool(Dims in, std::int64_t pool, std::int64_t stride);
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+  [[nodiscard]] Dims in_dims() const override { return in_; }
+  [[nodiscard]] Dims out_dims() const override { return out_; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+
+  [[nodiscard]] std::int64_t pool() const noexcept { return pool_; }
+  [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
+
+ private:
+  Dims in_, out_;
+  std::int64_t pool_, stride_;
+  std::vector<std::int64_t> argmax_;
+  std::vector<float> y_;
+};
+
+/// Reshapes an H x W x C activation into 1 x 1 x (H*W*C).  A pure view
+/// change: the flat HWC layout is already the fully-connected input order
+/// (and the engine's flatten_packed order), so forward/backward are copies.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(Dims in) : in_(in) {}
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+  [[nodiscard]] Dims in_dims() const override { return in_; }
+  [[nodiscard]] Dims out_dims() const override { return {1, 1, in_.size()}; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+
+ private:
+  Dims in_;
+  std::vector<float> y_;
+};
+
+/// Batch normalization over the channel dimension (statistics across batch
+/// and spatial positions).  Gamma is kept strictly positive is NOT enforced;
+/// the exporter handles negative gamma by flipping the consumer filter's
+/// sign (see export.cpp).
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(Dims d, float momentum = 0.9f, float eps = 1e-5f);
+  [[nodiscard]] std::string name() const override { return "batchnorm"; }
+  [[nodiscard]] Dims in_dims() const override { return d_; }
+  [[nodiscard]] Dims out_dims() const override { return d_; }
+  const std::vector<float>& forward(const std::vector<float>& x, int batch,
+                                    bool training) override;
+  std::vector<float> backward(const std::vector<float>& grad_out, int batch) override;
+  void step(float lr, float momentum) override;
+
+  [[nodiscard]] const std::vector<float>& gamma() const noexcept { return gamma_; }
+  [[nodiscard]] const std::vector<float>& beta() const noexcept { return beta_; }
+  [[nodiscard]] const std::vector<float>& running_mean() const noexcept { return run_mean_; }
+  [[nodiscard]] const std::vector<float>& running_var() const noexcept { return run_var_; }
+  [[nodiscard]] float eps() const noexcept { return eps_; }
+
+ private:
+  Dims d_;
+  float bn_momentum_, eps_;
+  std::vector<float> gamma_, beta_, dgamma_, dbeta_, vgamma_, vbeta_;
+  std::vector<float> run_mean_, run_var_;
+  // forward caches
+  std::vector<float> xhat_, y_, mean_, inv_std_;
+  int cached_batch_ = 0;
+};
+
+}  // namespace bitflow::train

@@ -1,0 +1,61 @@
+#include "train/models.hpp"
+
+#include <memory>
+
+namespace bitflow::train {
+
+Sequential make_float_cnn(Dims input, int num_classes, SmallVggOptions opt, std::uint64_t seed) {
+  Sequential m;
+  Dims d = input;
+  std::int64_t c = opt.width;
+  for (int b = 0; b < opt.num_blocks; ++b) {
+    auto conv = std::make_unique<Conv2d>(d, c, 3, 1, 1, /*binary=*/false, seed + 10 * b,
+                                         /*pad_value=*/0.0f);
+    d = conv->out_dims();
+    m.add(std::move(conv));
+    m.add(std::make_unique<Relu>(d));
+    auto pool = std::make_unique<MaxPool>(d, 2, 2);
+    d = pool->out_dims();
+    m.add(std::move(pool));
+    c *= 2;
+  }
+  m.add(std::make_unique<Flatten>(d));
+  auto fc1 = std::make_unique<Fc>(d.size(), opt.fc_width, /*binary=*/false, seed + 100);
+  m.add(std::move(fc1));
+  m.add(std::make_unique<Relu>(Dims{1, 1, opt.fc_width}));
+  m.add(std::make_unique<Fc>(opt.fc_width, num_classes, /*binary=*/false, seed + 101));
+  return m;
+}
+
+Sequential make_binary_cnn(Dims input, int num_classes, SmallVggOptions opt, std::uint64_t seed) {
+  Sequential m;
+  Dims d = input;
+  // Binarize the raw input first (the engine's input stage packs sign(x)) —
+  // unless the first layer stays in full precision, in which case the engine
+  // consumes the raw floats directly.
+  if (!opt.first_layer_float) m.add(std::make_unique<SignAct>(d));
+  std::int64_t c = opt.width;
+  for (int b = 0; b < opt.num_blocks; ++b) {
+    const bool float_conv = opt.first_layer_float && b == 0;
+    auto conv = std::make_unique<Conv2d>(d, c, 3, 1, 1, /*binary=*/!float_conv,
+                                         seed + 10 * b,
+                                         /*pad_value=*/float_conv ? 0.0f : -1.0f);
+    d = conv->out_dims();
+    m.add(std::move(conv));
+    m.add(std::make_unique<BatchNorm>(d));
+    m.add(std::make_unique<SignAct>(d));
+    auto pool = std::make_unique<MaxPool>(d, 2, 2);
+    d = pool->out_dims();
+    m.add(std::move(pool));
+    c *= 2;
+  }
+  m.add(std::make_unique<Flatten>(d));
+  auto fc1 = std::make_unique<Fc>(d.size(), opt.fc_width, /*binary=*/true, seed + 100);
+  m.add(std::move(fc1));
+  m.add(std::make_unique<BatchNorm>(Dims{1, 1, opt.fc_width}));
+  m.add(std::make_unique<SignAct>(Dims{1, 1, opt.fc_width}));
+  m.add(std::make_unique<Fc>(opt.fc_width, num_classes, /*binary=*/true, seed + 101));
+  return m;
+}
+
+}  // namespace bitflow::train

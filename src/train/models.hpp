@@ -1,0 +1,35 @@
+// Small VGG-style classifier builders for the accuracy experiments
+// (Table V): the same architecture instantiated in full precision and in
+// binarized form, so the accuracy gap measured is the binarization gap.
+#pragma once
+
+#include <cstdint>
+
+#include "train/sequential.hpp"
+
+namespace bitflow::train {
+
+/// Architecture knobs for the small VGG-style classifier.
+struct SmallVggOptions {
+  std::int64_t width = 32;  ///< channels of the first conv block
+  int num_blocks = 2;       ///< conv blocks (each: conv-conv-pool pattern collapsed to conv-pool)
+  std::int64_t fc_width = 128;
+  /// Keep the first convolution in full precision (the accuracy-recovery
+  /// technique the paper cites); the engine runs it as a float im2col conv
+  /// feeding the binarized pipeline.
+  bool first_layer_float = false;
+};
+
+/// Full-precision: [conv-relu-pool] x blocks, then fc-relu, fc.
+[[nodiscard]] Sequential make_float_cnn(Dims input, int num_classes, SmallVggOptions opt,
+                                        std::uint64_t seed);
+
+/// Binarized (BinaryNet recipe): sign(input), then
+/// [binary-conv -> batchnorm -> sign -> pool] x blocks, then
+/// binary-fc -> batchnorm -> sign, binary-fc.
+/// This stack is exactly what export_to_engine() lowers to a BitFlow
+/// graph::BinaryNetwork.
+[[nodiscard]] Sequential make_binary_cnn(Dims input, int num_classes, SmallVggOptions opt,
+                                         std::uint64_t seed);
+
+}  // namespace bitflow::train

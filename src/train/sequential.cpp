@@ -1,0 +1,130 @@
+#include "train/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace bitflow::train {
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layers_.empty() && !(layers_.back()->out_dims() == layer->in_dims())) {
+    throw std::invalid_argument("Sequential: dims mismatch adding " + layer->name());
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Dims Sequential::in_dims() const {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty");
+  return layers_.front()->in_dims();
+}
+
+Dims Sequential::out_dims() const {
+  if (layers_.empty()) throw std::logic_error("Sequential: empty");
+  return layers_.back()->out_dims();
+}
+
+const std::vector<float>& Sequential::forward(const std::vector<float>& x, int batch,
+                                              bool training) {
+  const std::vector<float>* cur = &x;
+  for (auto& l : layers_) cur = &l->forward(*cur, batch, training);
+  last_out_ = cur;
+  return *cur;
+}
+
+void Sequential::backward(const std::vector<float>& grad_logits, int batch) {
+  std::vector<float> grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad, batch);
+  }
+}
+
+void Sequential::step(float lr, float momentum) {
+  for (auto& l : layers_) l->step(lr, momentum);
+}
+
+float softmax_cross_entropy(const std::vector<float>& logits, const std::vector<int>& labels,
+                            int batch, int classes, std::vector<float>& grad) {
+  grad.assign(logits.size(), 0.0f);
+  float loss = 0.0f;
+  for (int b = 0; b < batch; ++b) {
+    const float* lb = logits.data() + static_cast<std::size_t>(b) * classes;
+    float* gb = grad.data() + static_cast<std::size_t>(b) * classes;
+    const float mx = *std::max_element(lb, lb + classes);
+    float denom = 0.0f;
+    for (int c = 0; c < classes; ++c) denom += std::exp(lb[c] - mx);
+    const int y = labels[static_cast<std::size_t>(b)];
+    loss -= (lb[y] - mx) - std::log(denom);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (int c = 0; c < classes; ++c) {
+      const float p = std::exp(lb[c] - mx) / denom;
+      gb[c] = (p - (c == y ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  return loss / static_cast<float>(batch);
+}
+
+float train_classifier(Sequential& model, const data::Dataset& ds, const TrainConfig& cfg) {
+  const int n = static_cast<int>(ds.size());
+  const std::int64_t in_size = model.in_dims().size();
+  const int classes = static_cast<int>(model.out_dims().size());
+  if (ds.num_classes > classes) throw std::invalid_argument("train: too few output units");
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(cfg.shuffle_seed);
+
+  float lr = cfg.lr;
+  float epoch_loss = 0.0f;
+  std::vector<float> batch_x;
+  std::vector<int> batch_y;
+  std::vector<float> grad;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    epoch_loss = 0.0f;
+    int batches = 0;
+    for (int start = 0; start + cfg.batch_size <= n; start += cfg.batch_size) {
+      const int bs = cfg.batch_size;
+      batch_x.assign(static_cast<std::size_t>(bs) * static_cast<std::size_t>(in_size), 0.0f);
+      batch_y.resize(static_cast<std::size_t>(bs));
+      for (int b = 0; b < bs; ++b) {
+        const int idx = order[static_cast<std::size_t>(start + b)];
+        const Tensor& img = ds.images[static_cast<std::size_t>(idx)];
+        std::copy(img.data(), img.data() + in_size,
+                  batch_x.begin() + static_cast<std::int64_t>(b) * in_size);
+        batch_y[static_cast<std::size_t>(b)] = ds.labels[static_cast<std::size_t>(idx)];
+      }
+      const std::vector<float>& logits = model.forward(batch_x, bs, /*training=*/true);
+      epoch_loss += softmax_cross_entropy(logits, batch_y, bs, classes, grad);
+      model.backward(grad, bs);
+      model.step(lr, cfg.momentum);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<float>(batches);
+    lr *= cfg.lr_decay;
+    if (cfg.verbose) {
+      std::fprintf(stderr, "epoch %d: loss %.4f\n", epoch + 1, static_cast<double>(epoch_loss));
+    }
+  }
+  return epoch_loss;
+}
+
+float evaluate(Sequential& model, const data::Dataset& ds) {
+  int correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (predict(model, ds.images[i]) == ds.labels[i]) ++correct;
+  }
+  return ds.size() == 0 ? 0.0f : static_cast<float>(correct) / static_cast<float>(ds.size());
+}
+
+int predict(Sequential& model, const Tensor& image) {
+  const std::int64_t in_size = model.in_dims().size();
+  std::vector<float> x(image.data(), image.data() + in_size);
+  const std::vector<float>& logits = model.forward(x, 1, /*training=*/false);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace bitflow::train

@@ -1,0 +1,65 @@
+// Sequential container + softmax cross-entropy loss + SGD training loop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "train/layers.hpp"
+
+namespace bitflow::train {
+
+/// A stack of layers trained end to end.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; its in_dims must match the current output dims.
+  void add(std::unique_ptr<Layer> layer);
+
+  [[nodiscard]] Dims in_dims() const;
+  [[nodiscard]] Dims out_dims() const;
+  [[nodiscard]] std::size_t num_layers() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Forward over a batch; returns the logits (batch x out_dims().size()).
+  const std::vector<float>& forward(const std::vector<float>& x, int batch, bool training);
+
+  /// Backward from the loss gradient; accumulates parameter gradients.
+  void backward(const std::vector<float>& grad_logits, int batch);
+
+  /// Applies SGD + momentum to every layer and zeroes gradients.
+  void step(float lr, float momentum);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  const std::vector<float>* last_out_ = nullptr;
+};
+
+/// Softmax cross-entropy over a batch of logits.  Writes the loss gradient
+/// into `grad` (same extents as logits) and returns the mean loss.
+float softmax_cross_entropy(const std::vector<float>& logits, const std::vector<int>& labels,
+                            int batch, int classes, std::vector<float>& grad);
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float lr_decay = 0.95f;  ///< multiplicative, per epoch
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+/// Trains `model` on `ds` and returns the final-epoch mean training loss.
+float train_classifier(Sequential& model, const data::Dataset& ds, const TrainConfig& cfg);
+
+/// Top-1 accuracy of `model` on `ds` (inference mode).
+float evaluate(Sequential& model, const data::Dataset& ds);
+
+/// Batch-1 prediction (argmax of logits) for one image.
+int predict(Sequential& model, const Tensor& image);
+
+}  // namespace bitflow::train

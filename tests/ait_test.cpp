@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/ait.hpp"
+
+namespace bitflow::core {
+namespace {
+
+TEST(Ait, HandComputedFloatWorkload) {
+  // H=W=4, C=2, K=3, h=w=3.
+  const ConvWorkload wl{4, 4, 2, 3, 3, 3};
+  const AitReport r = analyze_float_conv(wl);
+  EXPECT_DOUBLE_EQ(r.arithmetic_ops, 2.0 * 2 * 4 * 4 * 3 * 3 * 3);  // Eq. 4 = 1728
+  EXPECT_DOUBLE_EQ(r.input_elems, 32);                              // Eq. 5
+  EXPECT_DOUBLE_EQ(r.weight_elems, 3 * 2 * 9);                      // Eq. 6 = 54
+  EXPECT_DOUBLE_EQ(r.output_elems, 3 * 2 * 2);                      // Eq. 7 = 12
+  EXPECT_DOUBLE_EQ(r.unfolded_elems, 2 * 2 * 2 * 9);                // Eq. 8 = 72
+  EXPECT_DOUBLE_EQ(r.ait_direct, 1728.0 / (32 + 54 + 12));
+  EXPECT_DOUBLE_EQ(r.ait_im2col, 1728.0 / (2 * 72 + 54 + 12));
+  EXPECT_DOUBLE_EQ(r.im2col_fraction, (32.0 + 54 + 12) / (2 * 72 + 54 + 12));
+  EXPECT_LT(r.im2col_fraction, 1.0);
+}
+
+TEST(Ait, BinaryPackingAmplifiesUnfoldOverhead) {
+  // The paper's core quantitative claim: after bit-packing, image-to-column
+  // retains a *smaller* fraction of the intrinsic AIT than in float.
+  const ConvWorkload vgg_conv4{28, 28, 256, 512, 3, 3};
+  const AitReport f = analyze_float_conv(vgg_conv4);
+  const AitReport b = analyze_binary_conv(vgg_conv4, 64);
+  EXPECT_LT(b.im2col_fraction, f.im2col_fraction);
+  // Binary arithmetic shrinks by the pack factor.
+  EXPECT_DOUBLE_EQ(b.arithmetic_ops * 64, f.arithmetic_ops);
+  // Output dots do not shrink.
+  EXPECT_DOUBLE_EQ(b.output_elems, f.output_elems);
+  // Direct binary convolution has *higher* AIT than direct float (less
+  // memory per op moved than arithmetic saved... in fact both drop by 64 on
+  // the input side; the claim worth pinning is im2col hurts binary more):
+  EXPECT_LT(b.ait_im2col / b.ait_direct, f.ait_im2col / f.ait_direct);
+}
+
+TEST(Ait, FractionShrinksWithLargerKernels) {
+  const ConvWorkload k3{16, 16, 64, 64, 3, 3};
+  const ConvWorkload k5{16, 16, 64, 64, 5, 5};
+  EXPECT_LT(analyze_float_conv(k5).im2col_fraction, analyze_float_conv(k3).im2col_fraction)
+      << "unfold blow-up grows with h*w";
+}
+
+TEST(Ait, RejectsDegenerateWorkloads) {
+  EXPECT_THROW(analyze_float_conv(ConvWorkload{2, 2, 4, 4, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(analyze_float_conv(ConvWorkload{8, 8, 0, 4, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(analyze_binary_conv(ConvWorkload{8, 8, 4, 4, 3, 3}, 0), std::invalid_argument);
+}
+
+TEST(Ait, VggLayersMatchPaperNarrative) {
+  // Across the four benchmarked VGG convs, image-to-column never reaches
+  // half the intrinsic AIT of binary convolution.
+  for (const ConvWorkload wl : {ConvWorkload{112, 112, 64, 128, 3, 3},
+                                ConvWorkload{56, 56, 128, 256, 3, 3},
+                                ConvWorkload{28, 28, 256, 512, 3, 3},
+                                ConvWorkload{14, 14, 512, 512, 3, 3}}) {
+    const AitReport b = analyze_binary_conv(wl, 64);
+    EXPECT_LT(b.im2col_fraction, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace bitflow::core

@@ -1,0 +1,222 @@
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitpack/bit64.hpp"
+#include "bitpack/packer.hpp"
+#include "simd/cpu_features.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::bitpack {
+namespace {
+
+TEST(Bit64, FieldsMapToBitPositions) {
+  bit64_u v;
+  v.u = 0;
+  v.b.b0 = 1;
+  EXPECT_EQ(v.u, 1u);
+  v.u = 0;
+  v.b.b63 = 1;
+  EXPECT_EQ(v.u, std::uint64_t{1} << 63);
+  v.u = 0;
+  v.b.b5 = 1;
+  v.b.b17 = 1;
+  EXPECT_EQ(v.u, (std::uint64_t{1} << 5) | (std::uint64_t{1} << 17));
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PackRoundTrip, ScalarPackUnpackPreservesSigns) {
+  const std::int64_t c = GetParam();
+  Tensor t = Tensor::hwc(3, 4, c);
+  fill_uniform(t, 11 + static_cast<std::uint64_t>(c));
+  const PackedTensor packed = pack_activations_scalar(t);
+  const Tensor signs = unpack_to_signs(packed);
+  for (std::int64_t h = 0; h < 3; ++h) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      for (std::int64_t cc = 0; cc < c; ++cc) {
+        const float expect = t.at(h, w, cc) >= 0.0f ? 1.0f : -1.0f;
+        ASSERT_EQ(signs.at(h, w, cc), expect) << "h=" << h << " w=" << w << " c=" << cc;
+      }
+    }
+  }
+}
+
+TEST_P(PackRoundTrip, Avx2PackerMatchesScalar) {
+  if (!simd::cpu_features().avx2) GTEST_SKIP();
+  const std::int64_t c = GetParam();
+  Tensor t = Tensor::hwc(5, 3, c);
+  fill_uniform(t, 200 + static_cast<std::uint64_t>(c));
+  const PackedTensor a = pack_activations_scalar(t);
+  const PackedTensor b = pack_activations_avx2(t);
+  ASSERT_EQ(a.num_words(), b.num_words());
+  for (std::int64_t i = 0; i < a.num_words(); ++i) {
+    ASSERT_EQ(a.words()[i], b.words()[i]) << "word " << i << " c=" << c;
+  }
+}
+
+TEST_P(PackRoundTrip, ChwPackerMatchesHwc) {
+  const std::int64_t c = GetParam();
+  Tensor hwc = Tensor::hwc(4, 5, c);
+  fill_uniform(hwc, 300 + static_cast<std::uint64_t>(c));
+  const Tensor chw = hwc.to_layout(Layout::kCHW);
+  const PackedTensor a = pack_activations_scalar(hwc);
+  const PackedTensor b = pack_activations_from_chw(chw);
+  for (std::int64_t i = 0; i < a.num_words(); ++i) {
+    ASSERT_EQ(a.words()[i], b.words()[i]) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChannelCounts, PackRoundTrip,
+                         ::testing::Values<std::int64_t>(1, 3, 31, 32, 63, 64, 65, 96, 127, 128,
+                                                         192, 256),
+                         [](const auto& info) { return "C" + std::to_string(info.param); });
+
+TEST(Packer, SignConventionEdgeCases) {
+  // x >= 0 -> bit 1 (+1): zero and negative zero are +1; NaN compares false.
+  Tensor t = Tensor::hwc(1, 1, 4);
+  t.at(0, 0, 0) = 0.0f;
+  t.at(0, 0, 1) = -0.0f;
+  t.at(0, 0, 2) = std::numeric_limits<float>::quiet_NaN();
+  t.at(0, 0, 3) = -1e-30f;
+  const PackedTensor p = pack_activations_scalar(t);
+  EXPECT_TRUE(p.get_bit(0, 0, 0));
+  EXPECT_TRUE(p.get_bit(0, 0, 1)) << "-0.0f >= 0 is true in IEEE";
+  EXPECT_FALSE(p.get_bit(0, 0, 2)) << "NaN >= 0 is false";
+  EXPECT_FALSE(p.get_bit(0, 0, 3));
+  if (simd::cpu_features().avx2) {
+    const PackedTensor q = pack_activations_avx2(t);
+    EXPECT_EQ(p.words()[0], q.words()[0]) << "AVX2 packer must match scalar on edge cases";
+  }
+}
+
+TEST(Packer, PackFiltersMatchesSigns) {
+  FilterBank f(3, 3, 3, 70);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (float& v : f.elements()) v = dist(rng);
+  const PackedFilterBank packed = pack_filters(f);
+  const FilterBank signs = unpack_to_signs(packed);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 3; ++j) {
+        for (std::int64_t c = 0; c < 70; ++c) {
+          ASSERT_EQ(signs.at(k, i, j, c), f.at(k, i, j, c) >= 0.0f ? 1.0f : -1.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Packer, FusedFcTransposeMatchesUnfused) {
+  for (const auto& [n, k] : {std::pair<std::int64_t, std::int64_t>{64, 8},
+                            {70, 5},
+                            {128, 130},
+                            {200, 64}}) {
+    std::vector<float> b(static_cast<std::size_t>(n * k));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(n * 1000 + k));
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (float& v : b) v = dist(rng);
+    const PackedMatrix fused = pack_transpose_fc_weights(b.data(), n, k);
+    const PackedMatrix staged = pack_transpose_fc_weights_unfused(b.data(), n, k);
+    ASSERT_EQ(fused.rows(), k);
+    ASSERT_EQ(fused.cols(), n);
+    for (std::int64_t i = 0; i < fused.num_words(); ++i) {
+      ASSERT_EQ(fused.words()[i], staged.words()[i]) << "n=" << n << " k=" << k;
+    }
+    // Spot-check the transpose semantics: bit i of row j == sign of B[i][j].
+    for (std::int64_t j = 0; j < k; ++j) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(fused.get_bit(j, i), b[static_cast<std::size_t>(i * k + j)] >= 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Packer, PackRowsSemantics) {
+  const std::int64_t rows = 3, cols = 70;
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (float& v : x) v = dist(rng);
+  const PackedMatrix m = pack_rows(x.data(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(m.get_bit(r, c), x[static_cast<std::size_t>(r * cols + c)] >= 0.0f);
+    }
+    EXPECT_EQ(m.row(r)[1] >> 6, 0u) << "tail bits must be zero";
+  }
+}
+
+TEST(Packer, PackIntoInteriorLeavesMarginZero) {
+  Tensor t = Tensor::hwc(3, 3, 64);
+  fill_uniform(t, 21, 0.1f, 1.0f);  // all positive -> all bits set inside
+  PackedTensor out(5, 5, 64);
+  pack_activations_into_interior(t, out, 1);
+  for (std::int64_t h = 0; h < 5; ++h) {
+    for (std::int64_t w = 0; w < 5; ++w) {
+      const bool margin = h == 0 || h == 4 || w == 0 || w == 4;
+      EXPECT_EQ(out.pixel(h, w)[0], margin ? 0u : ~std::uint64_t{0}) << h << "," << w;
+    }
+  }
+}
+
+TEST(Packer, FlattenPackedFastPathAndSlowPath) {
+  // Fast path: C % 64 == 0 — straight word copy.
+  {
+    PackedTensor t(2, 3, 64);
+    fill_random_bits(t, 31);
+    PackedMatrix row(1, 2 * 3 * 64);
+    flatten_packed(t, row);
+    std::int64_t bit = 0;
+    for (std::int64_t h = 0; h < 2; ++h) {
+      for (std::int64_t w = 0; w < 3; ++w) {
+        for (std::int64_t c = 0; c < 64; ++c, ++bit) {
+          ASSERT_EQ(row.get_bit(0, bit), t.get_bit(h, w, c));
+        }
+      }
+    }
+  }
+  // Slow path: C = 70 — tail gaps squeezed out.
+  {
+    PackedTensor t(2, 2, 70);
+    fill_random_bits(t, 32);
+    PackedMatrix row(1, 2 * 2 * 70);
+    flatten_packed(t, row);
+    std::int64_t bit = 0;
+    for (std::int64_t h = 0; h < 2; ++h) {
+      for (std::int64_t w = 0; w < 2; ++w) {
+        for (std::int64_t c = 0; c < 70; ++c, ++bit) {
+          ASSERT_EQ(row.get_bit(0, bit), t.get_bit(h, w, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Packer, DispatchingPackerMatchesScalar) {
+  Tensor t = Tensor::hwc(6, 7, 100);
+  fill_uniform(t, 77);
+  const PackedTensor a = pack_activations(t);
+  const PackedTensor b = pack_activations_scalar(t);
+  for (std::int64_t i = 0; i < a.num_words(); ++i) ASSERT_EQ(a.words()[i], b.words()[i]);
+}
+
+TEST(Packer, RejectsWrongLayoutOrShape) {
+  Tensor chw(Shape{2, 2, 2}, Layout::kCHW);
+  EXPECT_THROW(pack_activations_scalar(chw), std::invalid_argument);
+  Tensor hwc = Tensor::hwc(2, 2, 2);
+  EXPECT_THROW(pack_activations_from_chw(hwc), std::invalid_argument);
+  PackedTensor small(2, 2, 2);
+  EXPECT_THROW(pack_activations_into_interior(hwc, small, 1), std::invalid_argument);
+  PackedMatrix bad(1, 5);
+  PackedTensor t(2, 2, 2);
+  EXPECT_THROW(flatten_packed(t, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bitflow::bitpack

@@ -1,0 +1,112 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace bitflow::data {
+namespace {
+
+TEST(SynthDigits, ShapesLabelsDeterminism) {
+  const Dataset a = make_synth_digits(200, Difficulty::kEasy, 42);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(a.image_size, 16);
+  EXPECT_EQ(a.channels, 1);
+  EXPECT_EQ(a.num_classes, 10);
+  std::set<int> seen;
+  for (int l : a.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+    seen.insert(l);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "200 samples should cover all 10 classes";
+  for (const Tensor& img : a.images) {
+    EXPECT_EQ(img.height(), 16);
+    EXPECT_EQ(img.channels(), 1);
+    for (float v : img.elements()) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+  const Dataset b = make_synth_digits(200, Difficulty::kEasy, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.labels[i], b.labels[i]);
+    for (std::int64_t e = 0; e < a.images[i].num_elements(); ++e) {
+      ASSERT_EQ(a.images[i].data()[e], b.images[i].data()[e]);
+    }
+  }
+}
+
+TEST(SynthShapes, ShapesAndChannels) {
+  const Dataset d = make_synth_shapes(60, Difficulty::kMedium, 1, 20);
+  EXPECT_EQ(d.channels, 3);
+  EXPECT_EQ(d.num_classes, 6);
+  EXPECT_EQ(d.images[0].width(), 20);
+  for (int l : d.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 6);
+  }
+}
+
+TEST(Difficulty, HardIsNoisierThanEasy) {
+  // Same seed: compare mean absolute deviation from the clean poles (+-1).
+  const Dataset easy = make_synth_digits(50, Difficulty::kEasy, 9);
+  const Dataset hard = make_synth_digits(50, Difficulty::kHard, 9);
+  auto mean_midrange = [](const Dataset& d) {
+    double acc = 0;
+    std::int64_t n = 0;
+    for (const Tensor& img : d.images) {
+      for (float v : img.elements()) {
+        acc += 1.0 - std::abs(v);  // 0 at the poles, 1 at the center
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_midrange(hard), mean_midrange(easy));
+}
+
+TEST(Split, PartitionsWithoutLoss) {
+  const Dataset all = make_synth_digits(100, Difficulty::kEasy, 3);
+  Dataset train, test;
+  split(all, 5, train, test);
+  EXPECT_EQ(train.size() + test.size(), all.size());
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.num_classes, 10);
+  EXPECT_THROW(split(all, 1, train, test), std::invalid_argument);
+}
+
+TEST(Generators, RejectTinyCanvases) {
+  EXPECT_THROW(make_synth_digits(1, Difficulty::kEasy, 0, 8), std::invalid_argument);
+  EXPECT_THROW(make_synth_shapes(1, Difficulty::kEasy, 0, 4), std::invalid_argument);
+}
+
+TEST(SynthDigits, ClassesAreVisuallyDistinct) {
+  // Average images of different classes must differ substantially —
+  // otherwise the classification task is vacuous.
+  const Dataset d = make_synth_digits(400, Difficulty::kEasy, 11);
+  std::vector<std::vector<double>> mean(10, std::vector<double>(16 * 16, 0));
+  std::vector<int> count(10, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const int l = d.labels[i];
+    ++count[static_cast<std::size_t>(l)];
+    for (std::int64_t e = 0; e < 16 * 16; ++e) {
+      mean[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] += d.images[i].data()[e];
+    }
+  }
+  for (int l = 0; l < 10; ++l) {
+    ASSERT_GT(count[static_cast<std::size_t>(l)], 0);
+    for (auto& v : mean[static_cast<std::size_t>(l)]) v /= count[static_cast<std::size_t>(l)];
+  }
+  // L2 distance between class means of 0 and 1 (very different stencils).
+  double dist = 0;
+  for (std::size_t e = 0; e < 16 * 16; ++e) {
+    const double diff = mean[0][e] - mean[1][e];
+    dist += diff * diff;
+  }
+  EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+}  // namespace
+}  // namespace bitflow::data

@@ -1,0 +1,154 @@
+// Export correctness: the trained binarized training-graph and the BitFlow
+// engine network it lowers to must be *prediction-identical* — same argmax,
+// and in fact the same integer logits, on every sample.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "train/export.hpp"
+#include "train/models.hpp"
+#include "train/sequential.hpp"
+
+namespace bitflow::train {
+namespace {
+
+Sequential tiny_bnn(std::uint64_t seed) {
+  SmallVggOptions opt;
+  opt.width = 8;
+  opt.num_blocks = 1;
+  opt.fc_width = 32;
+  return make_binary_cnn(Dims{12, 12, 1}, 10, opt, seed);
+}
+
+TEST(Export, UntrainedNetworkIsPredictionIdentical) {
+  // Even before training (random latent weights, fresh BN stats), the
+  // lowering must reproduce the training graph's inference math exactly.
+  Sequential model = tiny_bnn(3);
+  // Run a couple of training batches so BN has meaningful running stats.
+  const data::Dataset ds = data::make_synth_digits(128, data::Difficulty::kEasy, 50, 12);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.lr = 0.01f;
+  train_classifier(model, ds, cfg);
+
+  graph::BinaryNetwork net = export_to_engine(model, graph::NetworkConfig{});
+  const data::Dataset probe = data::make_synth_digits(64, data::Difficulty::kMedium, 51, 12);
+  int mismatches = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const int train_pred = predict(model, probe.images[i]);
+    const auto scores = net.infer(probe.images[i]);
+    const int engine_pred = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    if (train_pred != engine_pred) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(Export, LogitsMatchExactly) {
+  Sequential model = tiny_bnn(7);
+  const data::Dataset ds = data::make_synth_digits(96, data::Difficulty::kEasy, 52, 12);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+  train_classifier(model, ds, cfg);
+  graph::BinaryNetwork net = export_to_engine(model, graph::NetworkConfig{});
+  for (int s = 0; s < 16; ++s) {
+    const Tensor& img = ds.images[static_cast<std::size_t>(s)];
+    std::vector<float> x(img.data(), img.data() + img.num_elements());
+    const std::vector<float>& train_logits = model.forward(x, 1, /*training=*/false);
+    const auto engine_logits = net.infer(img);
+    ASSERT_EQ(train_logits.size(), engine_logits.size());
+    for (std::size_t i = 0; i < train_logits.size(); ++i) {
+      // Both sides compute integer-valued +-1 dot products.
+      ASSERT_EQ(train_logits[i], engine_logits[i]) << "sample " << s << " logit " << i;
+    }
+  }
+}
+
+TEST(Export, AccuracyMatchesTrainingGraph) {
+  const data::Dataset all = data::make_synth_digits(400, data::Difficulty::kEasy, 53, 12);
+  data::Dataset train_set, test_set;
+  data::split(all, 5, train_set, test_set);
+  Sequential model = tiny_bnn(9);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.lr = 0.02f;
+  train_classifier(model, train_set, cfg);
+  const float train_graph_acc = evaluate(model, test_set);
+
+  graph::BinaryNetwork net = export_to_engine(model, graph::NetworkConfig{});
+  int correct = 0;
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    const auto scores = net.infer(test_set.images[i]);
+    const int pred = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    if (pred == test_set.labels[i]) ++correct;
+  }
+  const float engine_acc = static_cast<float>(correct) / static_cast<float>(test_set.size());
+  EXPECT_FLOAT_EQ(engine_acc, train_graph_acc);
+}
+
+TEST(Export, NegativeGammaFoldsViaWeightFlip) {
+  // Force a negative BN gamma and verify the exporter's flip keeps the
+  // engine identical to the training graph.
+  Sequential model = tiny_bnn(11);
+  // Locate the first BatchNorm and negate one channel's gamma.
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    if (auto* bn = dynamic_cast<BatchNorm*>(&model.layer(i))) {
+      auto& gamma = const_cast<std::vector<float>&>(bn->gamma());
+      gamma[0] = -0.5f;
+      gamma[1] = 0.0f;  // degenerate channel too
+      auto& beta = const_cast<std::vector<float>&>(bn->beta());
+      beta[1] = -0.25f;  // constant -1 channel
+      break;
+    }
+  }
+  graph::BinaryNetwork net = export_to_engine(model, graph::NetworkConfig{});
+  const data::Dataset probe = data::make_synth_digits(32, data::Difficulty::kMedium, 54, 12);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    std::vector<float> x(probe.images[i].data(),
+                         probe.images[i].data() + probe.images[i].num_elements());
+    const std::vector<float>& train_logits = model.forward(x, 1, false);
+    const auto engine_logits = net.infer(probe.images[i]);
+    for (std::size_t j = 0; j < train_logits.size(); ++j) {
+      ASSERT_EQ(train_logits[j], engine_logits[j]) << "sample " << i << " logit " << j;
+    }
+  }
+}
+
+TEST(Export, RejectsMalformedStacks) {
+  // Missing leading sign.
+  {
+    Sequential m;
+    m.add(std::make_unique<Fc>(16, 4, true, 1));
+    EXPECT_THROW((void)export_to_engine(m, {}), std::invalid_argument);
+  }
+  // Float weights.
+  {
+    Sequential m;
+    m.add(std::make_unique<SignAct>(Dims{1, 1, 16}));
+    m.add(std::make_unique<Fc>(16, 8, /*binary=*/false, 1));
+    m.add(std::make_unique<BatchNorm>(Dims{1, 1, 8}));
+    m.add(std::make_unique<SignAct>(Dims{1, 1, 8}));
+    m.add(std::make_unique<Fc>(8, 4, true, 2));
+    EXPECT_THROW((void)export_to_engine(m, {}), std::invalid_argument);
+  }
+  // Conv not followed by batchnorm + sign.
+  {
+    Sequential m;
+    m.add(std::make_unique<SignAct>(Dims{6, 6, 1}));
+    m.add(std::make_unique<Conv2d>(Dims{6, 6, 1}, 4, 3, 1, 1, true, 1, -1.0f));
+    m.add(std::make_unique<MaxPool>(Dims{6, 6, 4}, 2, 2));
+    m.add(std::make_unique<Flatten>(Dims{3, 3, 4}));
+    m.add(std::make_unique<Fc>(36, 4, true, 2));
+    EXPECT_THROW((void)export_to_engine(m, {}), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace bitflow::train

@@ -1,0 +1,192 @@
+// Full-precision first layer: engine semantics against a float reference,
+// trained-model export equivalence, serialization round-trip, and the
+// accuracy benefit it exists for.
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/float_ops.hpp"
+#include "bitpack/packer.hpp"
+#include "data/synthetic.hpp"
+#include "graph/network.hpp"
+#include "io/model.hpp"
+#include "models/vgg.hpp"
+#include "tensor/util.hpp"
+#include "train/export.hpp"
+#include "train/models.hpp"
+#include "train/sequential.hpp"
+
+namespace bitflow::graph {
+namespace {
+
+TEST(FloatFirstLayer, EngineMatchesManualReference) {
+  // Network: float conv (thresholded) -> binary conv -> fc.
+  const FilterBank w1 = models::random_filters(32, 3, 3, 3, 1);
+  const FilterBank w2 = models::random_filters(16, 3, 3, 32, 2);
+  const auto wf = models::random_fc_weights(10 * 10 * 16, 8, 3);
+  std::vector<float> th(32);
+  for (int k = 0; k < 32; ++k) th[static_cast<std::size_t>(k)] = 0.3f * static_cast<float>(k - 16);
+
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_conv_float("c1f", w1, 1, 1, th);
+  net.add_conv("c2", w2, 1, 1);
+  net.add_fc("f", wf, 10 * 10 * 16, 8);
+  net.finalize(TensorDesc{10, 10, 3});
+  ASSERT_TRUE(net.layers()[0].full_precision);
+  EXPECT_FALSE(net.layers()[1].full_precision);
+
+  Tensor image = Tensor::hwc(10, 10, 3);
+  fill_uniform(image, 4);
+  const auto scores = net.infer(image);
+
+  // Reference: float conv with zero padding, threshold to +-1, then the
+  // binary pipeline simulated in the float domain.
+  runtime::ThreadPool pool(1);
+  const Tensor padded = baseline::pad_float(image, 1, 0.0f);
+  Tensor dots = Tensor::hwc(10, 10, 32);
+  baseline::float_conv_direct(padded, w1, kernels::ConvSpec{3, 3, 1}, pool, dots);
+  Tensor bits = Tensor::hwc(10, 10, 32);
+  for (std::int64_t h = 0; h < 10; ++h)
+    for (std::int64_t ww = 0; ww < 10; ++ww)
+      for (std::int64_t k = 0; k < 32; ++k)
+        bits.at(h, ww, k) = dots.at(h, ww, k) >= th[static_cast<std::size_t>(k)] ? 1.0f : -1.0f;
+  // Binary conv 2 (sign weights, -1 padding).
+  FilterBank w2s(16, 3, 3, 32);
+  for (std::int64_t e = 0; e < w2.num_elements(); ++e) {
+    w2s.elements()[static_cast<std::size_t>(e)] =
+        w2.elements()[static_cast<std::size_t>(e)] >= 0.0f ? 1.0f : -1.0f;
+  }
+  const Tensor bpad = baseline::pad_float(bits, 1, -1.0f);
+  Tensor dots2 = Tensor::hwc(10, 10, 16);
+  baseline::float_conv_direct(bpad, w2s, kernels::ConvSpec{3, 3, 1}, pool, dots2);
+  Tensor bits2 = Tensor::hwc(10, 10, 16);
+  for (std::int64_t i = 0; i < dots2.num_elements(); ++i) {
+    bits2.data()[i] = dots2.data()[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  // fc.
+  std::vector<float> expect(8, 0.0f);
+  for (std::int64_t n = 0; n < 10 * 10 * 16; ++n) {
+    const float x = bits2.data()[n];
+    for (std::int64_t k = 0; k < 8; ++k) {
+      expect[static_cast<std::size_t>(k)] +=
+          x * (wf[static_cast<std::size_t>(n * 8 + k)] >= 0.0f ? 1.0f : -1.0f);
+    }
+  }
+  ASSERT_EQ(scores.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    // The float conv is im2col+sgemm vs direct: allow FP reordering noise on
+    // the first layer's dots; at the thresholds it either flips a bit or
+    // not, and with these margins it must not.
+    ASSERT_EQ(scores[k], expect[k]) << k;
+  }
+}
+
+TEST(FloatFirstLayer, OnlyValidAsFirstLayer) {
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_conv("c1", models::random_filters(8, 3, 3, 4, 1), 1, 1);
+  EXPECT_THROW(net.add_conv_float("bad", models::random_filters(8, 3, 3, 8, 2), 1, 1),
+               std::invalid_argument);
+}
+
+TEST(FloatFirstLayer, TrainedModelExportsPredictionIdentical) {
+  const data::Dataset ds = data::make_synth_shapes(240, data::Difficulty::kMedium, 31, 12);
+  train::SmallVggOptions opt;
+  opt.width = 8;
+  opt.num_blocks = 2;
+  opt.fc_width = 32;
+  opt.first_layer_float = true;
+  train::Sequential model =
+      train::make_binary_cnn(train::Dims{12, 12, 3}, ds.num_classes, opt, 5);
+  train::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 32;
+  train::train_classifier(model, ds, cfg);
+
+  BinaryNetwork net = train::export_to_engine(model, NetworkConfig{});
+  ASSERT_TRUE(net.layers().front().full_precision);
+  int mismatches = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::vector<float> x(ds.images[i].data(), ds.images[i].data() + ds.images[i].num_elements());
+    const std::vector<float>& tl = model.forward(x, 1, false);
+    const auto el = net.infer(ds.images[i]);
+    const int tp = static_cast<int>(std::max_element(tl.begin(), tl.end()) - tl.begin());
+    const int ep = static_cast<int>(std::max_element(el.begin(), el.end()) - el.begin());
+    if (tp != ep) ++mismatches;
+  }
+  // The first layer is float math on two differently-ordered summations
+  // (training direct conv vs engine im2col+sgemm): a dot landing exactly on
+  // a threshold can flip.  Demand near-perfect agreement rather than
+  // bit-exactness here.
+  EXPECT_LE(mismatches, 1);
+}
+
+TEST(FloatFirstLayer, SerializationRoundTrip) {
+  io::Model m(TensorDesc{8, 8, 3});
+  const FilterBank w1 = models::random_filters(16, 3, 3, 3, 7);
+  std::vector<float> th(16, 0.5f);
+  m.add_conv_float("c1f", w1, 1, 1, th);
+  const auto wf = models::random_fc_weights(8 * 8 * 16, 5, 8);
+  m.add_fc("f", bitpack::pack_transpose_fc_weights(wf.data(), 8 * 8 * 16, 5));
+
+  std::stringstream ss;
+  m.save(ss);
+  const io::Model loaded = io::Model::load(ss);
+  ASSERT_EQ(loaded.num_layers(), 2u);
+  ASSERT_TRUE(loaded.layers()[0].full_precision);
+  EXPECT_EQ(loaded.layers()[0].thresholds, th);
+  for (std::int64_t e = 0; e < w1.num_elements(); ++e) {
+    ASSERT_EQ(loaded.layers()[0].float_filters.data()[e], w1.data()[e]);
+  }
+
+  BinaryNetwork a = m.instantiate(NetworkConfig{});
+  BinaryNetwork b = loaded.instantiate(NetworkConfig{});
+  Tensor img = Tensor::hwc(8, 8, 3);
+  fill_uniform(img, 9);
+  const auto sa = a.infer(img);
+  const auto sb = b.infer(img);
+  for (std::size_t i = 0; i < sa.size(); ++i) ASSERT_EQ(sa[i], sb[i]);
+}
+
+TEST(FloatFirstLayer, RecoversAccuracyOnHardTask) {
+  // The reason this feature exists: on a noisy task, sign()-ing the input
+  // throws away the information the first layer needs.
+  const data::Dataset all = data::make_synth_digits(600, data::Difficulty::kHard, 33);
+  data::Dataset train_set, test_set;
+  data::split(all, 5, train_set, test_set);
+  train::SmallVggOptions opt;
+  opt.width = 16;
+  opt.num_blocks = 2;
+  opt.fc_width = 64;
+
+  auto run = [&](bool float_first, std::uint64_t seed) {
+    train::SmallVggOptions o = opt;
+    o.first_layer_float = float_first;
+    train::Sequential model = train::make_binary_cnn(train::Dims{16, 16, 1}, 10, o, seed);
+    train::TrainConfig cfg;
+    cfg.epochs = 12;
+    cfg.batch_size = 32;
+    cfg.lr = 0.02f;
+    train::train_classifier(model, train_set, cfg);
+    BinaryNetwork net = train::export_to_engine(model, NetworkConfig{});
+    int correct = 0;
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      const auto s = net.infer(test_set.images[i]);
+      if (static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin()) ==
+          test_set.labels[i]) {
+        ++correct;
+      }
+    }
+    return static_cast<float>(correct) / static_cast<float>(test_set.size());
+  };
+  const float plain = run(false, 41);
+  const float hybrid = run(true, 41);
+  EXPECT_GT(hybrid, plain + 0.03f)
+      << "full-precision first layer should measurably improve the hard task "
+      << "(plain=" << plain << ", hybrid=" << hybrid << ")";
+}
+
+}  // namespace
+}  // namespace bitflow::graph

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "gpuref/gpu_reference.hpp"
+#include "models/vgg.hpp"
+
+namespace bitflow::gpuref {
+namespace {
+
+TEST(GpuReference, EndToEndTimesQuotedFromPaper) {
+  EXPECT_DOUBLE_EQ(gtx1080_vgg16_ms(), 12.87);
+  EXPECT_DOUBLE_EQ(gtx1080_vgg19_ms(), 14.92);
+}
+
+TEST(GpuReference, CoversEveryTable4Operator) {
+  for (const auto& op : models::table4_benchmarks()) {
+    const auto t = gtx1080_operator_ms(op.name);
+    ASSERT_TRUE(t.has_value()) << op.name;
+    EXPECT_GT(*t, 0.0);
+  }
+  EXPECT_FALSE(gtx1080_operator_ms("conv9.9").has_value());
+}
+
+TEST(GpuReference, ProvenanceIsExplicit) {
+  const std::string p = provenance();
+  EXPECT_NE(p.find("Fig. 10"), std::string::npos);
+  EXPECT_NE(p.find("no GPU"), std::string::npos);
+}
+
+TEST(GpuReference, RelativeMagnitudesFollowFig10) {
+  // Pooling is far cheaper than convolution on the GPU, and fc7 cheaper
+  // than fc6 (quarter the weights).
+  EXPECT_LT(*gtx1080_operator_ms("pool5"), *gtx1080_operator_ms("pool4"));
+  EXPECT_LT(*gtx1080_operator_ms("pool4"), *gtx1080_operator_ms("conv5.1"));
+  EXPECT_LT(*gtx1080_operator_ms("fc7"), *gtx1080_operator_ms("fc6"));
+}
+
+}  // namespace
+}  // namespace bitflow::gpuref

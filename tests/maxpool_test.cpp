@@ -1,0 +1,128 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "baseline/unopt_binary.hpp"
+#include "bitpack/packer.hpp"
+#include "kernels/binary_maxpool.hpp"
+#include "simd/cpu_features.hpp"
+#include "tensor/util.hpp"
+#include "test_util.hpp"
+
+namespace bitflow::kernels {
+namespace {
+
+using simd::IsaLevel;
+
+TEST(PoolSpec, OutputExtents) {
+  PoolSpec s{2, 2, 2};
+  EXPECT_EQ(s.out_h(8), 4);
+  EXPECT_EQ(s.out_w(9), 4);  // floor
+  PoolSpec overlapping{3, 3, 2};
+  EXPECT_EQ(overlapping.out_h(9), 4);
+}
+
+class MaxPoolParam : public ::testing::TestWithParam<IsaLevel> {};
+
+TEST_P(MaxPoolParam, OrPoolEqualsDecodedMaxPool) {
+  const IsaLevel isa = GetParam();
+  if (!simd::cpu_features().supports(isa)) GTEST_SKIP();
+  for (std::int64_t c : {64, 70, 128, 512}) {
+    PackedTensor in(8, 8, c);
+    fill_random_bits(in, static_cast<std::uint64_t>(c));
+    const PoolSpec spec{2, 2, 2};
+    runtime::ThreadPool pool(2);
+    PackedTensor out(4, 4, c);
+    binary_maxpool(in, spec, isa, pool, out, 0);
+    const Tensor ref = testing::reference_binary_maxpool(in, spec);
+    const Tensor got = bitpack::unpack_to_signs(out);
+    EXPECT_EQ(max_abs_diff(got, ref), 0.0f) << "isa=" << simd::isa_name(isa) << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsa, MaxPoolParam,
+                         ::testing::Values(IsaLevel::kU64, IsaLevel::kSse, IsaLevel::kAvx2,
+                                           IsaLevel::kAvx512),
+                         [](const auto& info) { return std::string(simd::isa_name(info.param)); });
+
+TEST(MaxPool, OverlappingWindows) {
+  PackedTensor in(7, 7, 96);
+  fill_random_bits(in, 9);
+  const PoolSpec spec{3, 3, 2};
+  runtime::ThreadPool pool(2);
+  PackedTensor out(3, 3, 96);
+  binary_maxpool(in, spec, pool, out, 0);
+  const Tensor ref = testing::reference_binary_maxpool(in, spec);
+  EXPECT_EQ(max_abs_diff(bitpack::unpack_to_signs(out), ref), 0.0f);
+}
+
+TEST(MaxPool, MarginOutputLeavesBorderZero) {
+  PackedTensor in(8, 8, 64);
+  fill_random_bits(in, 10);
+  const PoolSpec spec{2, 2, 2};
+  runtime::ThreadPool pool(1);
+  PackedTensor out(6, 6, 64);  // 4x4 logical + margin 1
+  binary_maxpool(in, spec, pool, out, 1);
+  for (std::int64_t h = 0; h < 6; ++h) {
+    for (std::int64_t w = 0; w < 6; ++w) {
+      if (h == 0 || h == 5 || w == 0 || w == 5) EXPECT_EQ(out.pixel(h, w)[0], 0u);
+    }
+  }
+  PackedTensor flat(4, 4, 64);
+  binary_maxpool(in, spec, pool, flat, 0);
+  for (std::int64_t h = 0; h < 4; ++h) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      EXPECT_EQ(out.pixel(h + 1, w + 1)[0], flat.pixel(h, w)[0]);
+    }
+  }
+}
+
+TEST(MaxPool, UnoptimizedVariantAgrees) {
+  PackedTensor in(10, 10, 130);
+  fill_random_bits(in, 11);
+  const PoolSpec spec{2, 2, 2};
+  runtime::ThreadPool pool(2);
+  PackedTensor fast(5, 5, 130), slow(5, 5, 130);
+  binary_maxpool(in, spec, pool, fast, 0);
+  baseline::unopt_binary_maxpool(in, spec, pool, slow);
+  for (std::int64_t i = 0; i < fast.num_words(); ++i) {
+    ASSERT_EQ(fast.words()[i], slow.words()[i]);
+  }
+}
+
+TEST(MaxPool, ThreadCountInvariance) {
+  PackedTensor in(16, 16, 256);
+  fill_random_bits(in, 12);
+  const PoolSpec spec{2, 2, 2};
+  runtime::ThreadPool p1(1), p6(6);
+  PackedTensor a(8, 8, 256), b(8, 8, 256);
+  binary_maxpool(in, spec, p1, a, 0);
+  binary_maxpool(in, spec, p6, b, 0);
+  for (std::int64_t i = 0; i < a.num_words(); ++i) ASSERT_EQ(a.words()[i], b.words()[i]);
+}
+
+TEST(MaxPool, RejectsBadShapes) {
+  PackedTensor in(4, 4, 64);
+  runtime::ThreadPool pool(1);
+  PackedTensor bad(3, 3, 64);
+  EXPECT_THROW(binary_maxpool(in, PoolSpec{2, 2, 2}, pool, bad, 0), std::invalid_argument);
+  PackedTensor wrong_c(2, 2, 128);
+  EXPECT_THROW(binary_maxpool(in, PoolSpec{2, 2, 2}, pool, wrong_c, 0), std::invalid_argument);
+  EXPECT_THROW(binary_maxpool(in, PoolSpec{5, 5, 5}, pool, bad, 0), std::invalid_argument);
+}
+
+TEST(MaxPool, OrSemanticsDirect) {
+  // A window with any +1 pools to +1; all -1 pools to -1.
+  PackedTensor in(2, 2, 64);
+  in.set_bit(1, 1, 7, true);  // single +1 in the window at channel 7
+  runtime::ThreadPool pool(1);
+  PackedTensor out(1, 1, 64);
+  binary_maxpool(in, PoolSpec{2, 2, 2}, pool, out, 0);
+  EXPECT_TRUE(out.get_bit(0, 0, 7));
+  for (std::int64_t c = 0; c < 64; ++c) {
+    if (c != 7) EXPECT_FALSE(out.get_bit(0, 0, c));
+  }
+}
+
+}  // namespace
+}  // namespace bitflow::kernels

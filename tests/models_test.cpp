@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "models/vgg.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::models {
+namespace {
+
+TEST(Table4, ContainsThePapersEightOperators) {
+  const auto ops = table4_benchmarks();
+  ASSERT_EQ(ops.size(), 8u);
+  EXPECT_EQ(ops[0].name, "conv2.1");
+  EXPECT_EQ(ops[0].c, 64);
+  EXPECT_EQ(ops[0].k, 128);
+  EXPECT_EQ(ops[0].h, 112);
+  EXPECT_EQ(ops[3].name, "conv5.1");
+  EXPECT_EQ(ops[3].c, 512);
+  EXPECT_EQ(ops[4].name, "fc6");
+  EXPECT_EQ(ops[4].c, 25088);
+  EXPECT_EQ(ops[4].k, 4096);
+  EXPECT_EQ(ops[5].name, "fc7");
+  EXPECT_EQ(ops[6].name, "pool4");
+  EXPECT_EQ(ops[6].kernel, 2);
+  EXPECT_EQ(ops[6].stride, 2);
+  EXPECT_EQ(ops[7].name, "pool5");
+  // All convs are 3x3 stride 1 pad 1 (VGG uses 3x3 exclusively).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].kernel, 3);
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].stride, 1);
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].pad, 1);
+  }
+}
+
+TEST(VggConfig, BlockStructure) {
+  const VggConfig v16 = vgg16();
+  ASSERT_EQ(v16.conv_blocks.size(), 5u);
+  int convs16 = 0;
+  for (const auto& b : v16.conv_blocks) convs16 += static_cast<int>(b.size());
+  EXPECT_EQ(convs16, 13);  // VGG-16 = 13 conv + 3 fc
+  const VggConfig v19 = vgg19();
+  int convs19 = 0;
+  for (const auto& b : v19.conv_blocks) convs19 += static_cast<int>(b.size());
+  EXPECT_EQ(convs19, 16);  // VGG-19 = 16 conv + 3 fc
+  EXPECT_EQ(v16.fc_sizes, (std::vector<std::int64_t>{4096, 4096, 1000}));
+}
+
+TEST(RandomWeights, Deterministic) {
+  const FilterBank a = random_filters(4, 3, 3, 8, 42);
+  const FilterBank b = random_filters(4, 3, 3, 8, 42);
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+  const auto w1 = random_fc_weights(10, 5, 7);
+  const auto w2 = random_fc_weights(10, 5, 7);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(BuildBinaryVgg, SmallVariantRuns) {
+  // A reduced-input VGG16-shaped network (input 32 -> pools to 1x1).
+  VggConfig cfg = vgg16();
+  cfg.input_size = 32;
+  cfg.fc_sizes = {64, 32, 10};
+  graph::NetworkConfig nc;
+  nc.num_threads = 2;
+  graph::BinaryNetwork net = build_binary_vgg(cfg, nc, 7);
+  // 13 convs + 5 pools + 3 fcs
+  EXPECT_EQ(net.layers().size(), 21u);
+  Tensor input = Tensor::hwc(32, 32, 3);
+  fill_uniform(input, 5);
+  const auto scores = net.infer(input);
+  EXPECT_EQ(scores.size(), 10u);
+  // Deterministic across rebuilds with the same seed.
+  graph::BinaryNetwork net2 = build_binary_vgg(cfg, nc, 7);
+  const auto scores1 = std::vector<float>(scores.begin(), scores.end());
+  const auto scores2 = net2.infer(input);
+  for (std::size_t i = 0; i < scores1.size(); ++i) ASSERT_EQ(scores1[i], scores2[i]);
+}
+
+}  // namespace
+}  // namespace bitflow::models

@@ -1,0 +1,250 @@
+// BinaryNetwork: shape inference, memory planning (zero-cost padding),
+// kernel selection, and end-to-end equivalence against manual layer-by-layer
+// composition of the standalone kernels.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitpack/packer.hpp"
+#include "graph/network.hpp"
+#include "kernels/padding.hpp"
+#include "models/vgg.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::graph {
+namespace {
+
+FilterBank random_filters(std::int64_t k, std::int64_t c, std::uint64_t seed) {
+  return models::random_filters(k, 3, 3, c, seed);
+}
+
+/// conv(pad 1) -> pool(2x2) -> conv(pad 1) -> fc -> fc, a miniature VGG.
+BinaryNetwork make_small_net(NetworkConfig cfg) {
+  BinaryNetwork net(cfg);
+  net.add_conv("c1", random_filters(64, 16, 1), 1, 1);
+  net.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  net.add_conv("c2", random_filters(32, 64, 2), 1, 1);
+  net.add_fc("f1", models::random_fc_weights(8 * 8 * 32, 40, 3), 8 * 8 * 32, 40);
+  net.add_fc("f2", models::random_fc_weights(40, 10, 4), 40, 10);
+  net.finalize(TensorDesc{16, 16, 16});
+  return net;
+}
+
+TEST(BinaryNetwork, ShapeInferenceAndLayerInfo) {
+  BinaryNetwork net = make_small_net({});
+  ASSERT_TRUE(net.finalized());
+  const auto& layers = net.layers();
+  ASSERT_EQ(layers.size(), 5u);
+  EXPECT_EQ(layers[0].out, (TensorDesc{16, 16, 64}));  // padded conv keeps extents
+  EXPECT_EQ(layers[1].out, (TensorDesc{8, 8, 64}));
+  EXPECT_EQ(layers[2].out, (TensorDesc{8, 8, 32}));
+  EXPECT_EQ(layers[3].out, (TensorDesc{1, 1, 40}));
+  EXPECT_EQ(layers[4].out, (TensorDesc{1, 1, 10}));
+  EXPECT_EQ(net.output_size(), 10);
+  EXPECT_EQ(net.input_desc(), (TensorDesc{16, 16, 16}));
+  EXPECT_FALSE(layers[0].isa_reason.empty());
+  EXPECT_GT(net.packed_weight_bytes(), 0);
+}
+
+TEST(BinaryNetwork, InferMatchesManualComposition) {
+  NetworkConfig cfg;
+  cfg.num_threads = 2;
+  BinaryNetwork net = make_small_net(cfg);
+  Tensor input = Tensor::hwc(16, 16, 16);
+  fill_uniform(input, 99);
+  const auto scores = net.infer(input);
+  ASSERT_EQ(scores.size(), 10u);
+
+  // Manual composition with the standalone kernels, same weights (seeds).
+  runtime::ThreadPool pool(1);
+  const FilterBank f1 = random_filters(64, 16, 1);
+  const FilterBank f2 = random_filters(32, 64, 2);
+  const auto w1 = models::random_fc_weights(8 * 8 * 32, 40, 3);
+  const auto w2 = models::random_fc_weights(40, 10, 4);
+
+  PackedTensor in0(18, 18, 16);
+  bitpack::pack_activations_into_interior(input, in0, 1);
+  const auto pf1 = bitpack::pack_filters(f1);
+  PackedTensor a1(16, 16, 64);
+  kernels::pressed_conv_binarize(in0, pf1, kernels::ConvSpec{3, 3, 1}, nullptr, pool, a1, 0);
+  PackedTensor a2(10, 10, 64);  // pool output with margin 1 for the next conv
+  kernels::binary_maxpool(a1, kernels::PoolSpec{2, 2, 2}, pool, a2, 1);
+  const auto pf2 = bitpack::pack_filters(f2);
+  PackedTensor a3(8, 8, 32);
+  kernels::pressed_conv_binarize(a2, pf2, kernels::ConvSpec{3, 3, 1}, nullptr, pool, a3, 0);
+  PackedMatrix flat(1, 8 * 8 * 32);
+  bitpack::flatten_packed(a3, flat);
+  const auto pw1 = bitpack::pack_transpose_fc_weights(w1.data(), 8 * 8 * 32, 40);
+  PackedMatrix h1(1, 40);
+  kernels::bgemm_binarize(flat, pw1, nullptr, pool, h1);
+  const auto pw2 = bitpack::pack_transpose_fc_weights(w2.data(), 40, 10);
+  std::vector<float> manual(10);
+  kernels::bgemm(h1, pw2, pool, manual.data());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(scores[static_cast<std::size_t>(i)], manual[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(BinaryNetwork, ThreadCountInvariance) {
+  Tensor input = Tensor::hwc(16, 16, 16);
+  fill_uniform(input, 7);
+  NetworkConfig c1, c4;
+  c1.num_threads = 1;
+  c4.num_threads = 4;
+  BinaryNetwork n1 = make_small_net(c1);
+  BinaryNetwork n4 = make_small_net(c4);
+  const auto s1 = n1.infer(input);
+  const auto s4 = n4.infer(input);
+  for (std::size_t i = 0; i < s1.size(); ++i) ASSERT_EQ(s1[i], s4[i]);
+}
+
+TEST(BinaryNetwork, SchedulerPolicyDoesNotChangeResults) {
+  Tensor input = Tensor::hwc(16, 16, 16);
+  fill_uniform(input, 8);
+  NetworkConfig paper, widest;
+  widest.policy = SchedulerPolicy::kWidest;
+  BinaryNetwork a = make_small_net(paper);
+  BinaryNetwork b = make_small_net(widest);
+  const auto sa = a.infer(input);
+  const auto sb = b.infer(input);
+  for (std::size_t i = 0; i < sa.size(); ++i) ASSERT_EQ(sa[i], sb[i]);
+}
+
+TEST(BinaryNetwork, RepeatedInferenceIsDeterministicAndPaddingStaysArmed) {
+  // The pre-allocated margins must stay zero across runs (the engine never
+  // writes them) or the second inference would differ.
+  BinaryNetwork net = make_small_net({});
+  Tensor a = Tensor::hwc(16, 16, 16);
+  Tensor b = Tensor::hwc(16, 16, 16);
+  fill_uniform(a, 1);
+  fill_uniform(b, 2);
+  std::vector<float> first(net.infer(a).begin(), net.infer(a).end());
+  (void)net.infer(b);  // perturb every buffer
+  const auto again = net.infer(a);
+  for (std::size_t i = 0; i < first.size(); ++i) ASSERT_EQ(first[i], again[i]);
+}
+
+TEST(BinaryNetwork, ConvThresholdsChangeBits) {
+  BinaryNetwork plain{NetworkConfig{}}, biased{NetworkConfig{}};
+  plain.add_conv("c", random_filters(8, 16, 5), 1, 0);
+  plain.add_fc("f", models::random_fc_weights(6 * 6 * 8, 4, 6), 6 * 6 * 8, 4);
+  plain.finalize(TensorDesc{8, 8, 16});
+
+  std::vector<float> th(8, 1e9f);  // impossible threshold: all bits 0
+  biased.add_conv("c", random_filters(8, 16, 5), 1, 0, th);
+  biased.add_fc("f", models::random_fc_weights(6 * 6 * 8, 4, 6), 6 * 6 * 8, 4);
+  biased.finalize(TensorDesc{8, 8, 16});
+
+  Tensor input = Tensor::hwc(8, 8, 16);
+  fill_uniform(input, 9);
+  const auto sp = plain.infer(input);
+  const auto sb = biased.infer(input);
+  // All-zero bits into the fc = all -1 inputs: dot = -(sum of weight signs).
+  bool differs = false;
+  for (std::size_t i = 0; i < sp.size(); ++i) differs |= sp[i] != sb[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(BinaryNetwork, FcOnlyNetwork) {
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_fc("f1", models::random_fc_weights(64, 32, 1), 64, 32);
+  net.add_fc("f2", models::random_fc_weights(32, 8, 2), 32, 8);
+  net.finalize(TensorDesc{1, 1, 64});
+  Tensor input(Shape{64});
+  fill_uniform(input, 3);
+  const auto s = net.infer(input);
+  EXPECT_EQ(s.size(), 8u);
+  // Cross-check the first fc against standalone kernels.
+  runtime::ThreadPool pool(1);
+  const auto w1 = models::random_fc_weights(64, 32, 1);
+  const auto w2 = models::random_fc_weights(32, 8, 2);
+  const auto x = bitpack::pack_rows(input.data(), 1, 64);
+  const auto pw1 = bitpack::pack_transpose_fc_weights(w1.data(), 64, 32);
+  PackedMatrix h(1, 32);
+  kernels::bgemm_binarize(x, pw1, nullptr, pool, h);
+  const auto pw2 = bitpack::pack_transpose_fc_weights(w2.data(), 32, 8);
+  std::vector<float> manual(8);
+  kernels::bgemm(h, pw2, pool, manual.data());
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(s[static_cast<std::size_t>(i)], manual[static_cast<std::size_t>(i)]);
+}
+
+TEST(BinaryNetwork, ConvEndingNetworkEmitsDots) {
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_conv("c", random_filters(8, 32, 11), 1, 0);
+  net.finalize(TensorDesc{6, 6, 32});
+  Tensor input = Tensor::hwc(6, 6, 32);
+  fill_uniform(input, 12);
+  const auto s = net.infer(input);
+  EXPECT_EQ(s.size(), static_cast<std::size_t>(4 * 4 * 8));
+  // Dots have the parity of N = 3*3*32.
+  for (float v : s) {
+    EXPECT_EQ((static_cast<std::int64_t>(v) - 3 * 3 * 32) % 2, 0);
+  }
+}
+
+TEST(BinaryNetwork, ProfileModeRecordsPerLayerTimes) {
+  NetworkConfig cfg;
+  cfg.profile = true;
+  BinaryNetwork net = make_small_net(cfg);
+  Tensor input = Tensor::hwc(16, 16, 16);
+  fill_uniform(input, 13);
+  (void)net.infer(input);
+  // input pack + 5 layers
+  EXPECT_EQ(net.last_profile_ms().size(), 6u);
+  for (double t : net.last_profile_ms()) EXPECT_GE(t, 0.0);
+}
+
+TEST(BinaryNetwork, BuildErrors) {
+  BinaryNetwork net{NetworkConfig{}};
+  EXPECT_THROW(net.finalize(TensorDesc{8, 8, 8}), std::logic_error);  // no layers
+  net.add_conv("c", random_filters(4, 8, 1), 1, 1);
+  EXPECT_THROW(
+      {
+        BinaryNetwork bad{NetworkConfig{}};
+        bad.add_conv("c", random_filters(4, 16, 1), 1, 1);  // channel mismatch vs input
+        bad.finalize(TensorDesc{8, 8, 8});
+      },
+      std::invalid_argument);
+  net.finalize(TensorDesc{8, 8, 8});
+  EXPECT_THROW(net.finalize(TensorDesc{8, 8, 8}), std::logic_error);    // double finalize
+  EXPECT_THROW(net.add_maxpool("p", {}), std::logic_error);             // add after finalize
+  Tensor wrong = Tensor::hwc(9, 9, 8);
+  EXPECT_THROW((void)net.infer(wrong), std::invalid_argument);          // wrong input extents
+  BinaryNetwork unfinalized{NetworkConfig{}};
+  unfinalized.add_conv("c", random_filters(4, 8, 1), 1, 1);
+  Tensor in = Tensor::hwc(8, 8, 8);
+  EXPECT_THROW((void)unfinalized.infer(in), std::logic_error);
+  // fc size mismatch
+  EXPECT_THROW(
+      {
+        BinaryNetwork bad{NetworkConfig{}};
+        bad.add_fc("f", models::random_fc_weights(10, 4, 1), 10, 4);
+        bad.finalize(TensorDesc{1, 1, 12});
+      },
+      std::invalid_argument);
+  // conv after fc unsupported
+  EXPECT_THROW(
+      {
+        BinaryNetwork bad{NetworkConfig{}};
+        bad.add_fc("f", models::random_fc_weights(64, 32, 1), 64, 32);
+        bad.add_conv("c", random_filters(4, 32, 1), 1, 1);
+        bad.finalize(TensorDesc{1, 1, 64});
+      },
+      std::invalid_argument);
+}
+
+TEST(BinaryNetwork, WeightBytesReflect32xCompression) {
+  // One conv layer: K*kh*kw*C bits packed -> K*kh*kw*C/8 bytes (C mult of 64).
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_conv("c", random_filters(16, 64, 1), 1, 0);
+  net.finalize(TensorDesc{4, 4, 64});
+  EXPECT_EQ(net.packed_weight_bytes(), 16 * 3 * 3 * 64 / 8);
+  // Float storage would be 16*3*3*64*4 bytes: exactly 32x larger.
+  EXPECT_EQ(16 * 3 * 3 * 64 * 4 / net.packed_weight_bytes(), 32);
+}
+
+}  // namespace
+}  // namespace bitflow::graph

@@ -1,0 +1,105 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tensor/packed_tensor.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow {
+namespace {
+
+TEST(WordsForChannels, Boundaries) {
+  EXPECT_EQ(words_for_channels(1), 1);
+  EXPECT_EQ(words_for_channels(63), 1);
+  EXPECT_EQ(words_for_channels(64), 1);
+  EXPECT_EQ(words_for_channels(65), 2);
+  EXPECT_EQ(words_for_channels(128), 2);
+  EXPECT_EQ(words_for_channels(512), 8);
+}
+
+TEST(PackedTensor, BitSetGet) {
+  PackedTensor t(3, 3, 70);
+  EXPECT_EQ(t.words_per_pixel(), 2);
+  EXPECT_EQ(t.num_words(), 3 * 3 * 2);
+  EXPECT_FALSE(t.get_bit(1, 2, 65));
+  t.set_bit(1, 2, 65, true);
+  EXPECT_TRUE(t.get_bit(1, 2, 65));
+  EXPECT_EQ(t.sign_value(1, 2, 65), 1.0f);
+  t.set_bit(1, 2, 65, false);
+  EXPECT_FALSE(t.get_bit(1, 2, 65));
+  EXPECT_EQ(t.sign_value(1, 2, 65), -1.0f);
+}
+
+TEST(PackedTensor, PixelAdjacency) {
+  // NHWC channel packing: pixel (h, w+1) starts words_per_pixel after (h, w).
+  PackedTensor t(2, 4, 130);
+  EXPECT_EQ(t.pixel(0, 1) - t.pixel(0, 0), t.words_per_pixel());
+  EXPECT_EQ(t.pixel(1, 0) - t.pixel(0, 0), 4 * t.words_per_pixel());
+}
+
+TEST(PackedTensor, ZeroInitialized) {
+  PackedTensor t(4, 4, 96);
+  for (std::int64_t i = 0; i < t.num_words(); ++i) EXPECT_EQ(t.words()[i], 0u);
+}
+
+TEST(PackedTensor, RandomFillKeepsTailZero) {
+  PackedTensor t(5, 5, 70);  // 6 valid bits in word 1 of each pixel
+  fill_random_bits(t, 99);
+  for (std::int64_t h = 0; h < 5; ++h) {
+    for (std::int64_t w = 0; w < 5; ++w) {
+      const std::uint64_t tail = t.pixel(h, w)[1] >> 6;
+      EXPECT_EQ(tail, 0u) << "tail bits beyond channel 70 must stay zero";
+    }
+  }
+}
+
+TEST(PackedFilterBank, TapLayout) {
+  PackedFilterBank f(4, 3, 3, 128);
+  EXPECT_EQ(f.words_per_pixel(), 2);
+  EXPECT_EQ(f.words_per_filter(), 3 * 3 * 2);
+  EXPECT_EQ(f.bits_per_filter(), 3 * 3 * 128);
+  // Taps of one filter row are contiguous (the kernels rely on this).
+  EXPECT_EQ(f.tap(0, 0, 1) - f.tap(0, 0, 0), f.words_per_pixel());
+  EXPECT_EQ(f.tap(1, 0, 0) - f.filter(0), f.words_per_filter());
+}
+
+TEST(PackedFilterBank, BitRoundTrip) {
+  PackedFilterBank f(2, 3, 3, 33);
+  f.set_bit(1, 2, 2, 32, true);
+  EXPECT_TRUE(f.get_bit(1, 2, 2, 32));
+  EXPECT_FALSE(f.get_bit(1, 2, 2, 31));
+  EXPECT_EQ(f.sign_value(1, 2, 2, 32), 1.0f);
+}
+
+TEST(PackedFilterBank, RandomFillKeepsTailZero) {
+  PackedFilterBank f(3, 2, 2, 100);
+  fill_random_bits(f, 7);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t i = 0; i < 2; ++i) {
+      for (std::int64_t j = 0; j < 2; ++j) {
+        EXPECT_EQ(f.tap(k, i, j)[1] >> 36, 0u);
+      }
+    }
+  }
+}
+
+TEST(PackedMatrix, RowsAndBits) {
+  PackedMatrix m(3, 130);
+  EXPECT_EQ(m.words_per_row(), 3);
+  EXPECT_EQ(m.row(2) - m.row(0), 6);
+  m.set_bit(2, 129, true);
+  EXPECT_TRUE(m.get_bit(2, 129));
+  m.set_bit(2, 129, false);
+  EXPECT_FALSE(m.get_bit(2, 129));
+}
+
+TEST(PackedMatrix, RandomFillKeepsTailZero) {
+  PackedMatrix m(4, 130);
+  fill_random_bits(m, 3);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(m.row(r)[2] >> 2, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bitflow

@@ -1,0 +1,190 @@
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scaling_sim.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace bitflow::runtime {
+namespace {
+
+TEST(StaticBlock, CoversRangeExactlyOnce) {
+  for (std::int64_t n : {1, 7, 64, 1000}) {
+    for (int p : {1, 2, 3, 8, 64}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      for (int b = 0; b < p; ++b) {
+        const Range r = static_block(n, p, b);
+        for (std::int64_t i = r.begin; i < r.end; ++i) ++hits[static_cast<std::size_t>(i)];
+      }
+      for (int h : hits) EXPECT_EQ(h, 1) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(StaticBlock, BalancedWithinOne) {
+  const std::int64_t n = 1003;
+  const int p = 7;
+  std::int64_t mn = n, mx = 0;
+  for (int b = 0; b < p; ++b) {
+    const Range r = static_block(n, p, b);
+    mn = std::min(mn, r.size());
+    mx = std::max(mx, r.size());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+class ThreadPoolParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolParam, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(GetParam());
+  EXPECT_EQ(pool.num_threads(), GetParam());
+  const std::int64_t n = 10007;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](Range r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolParam, ParallelForSumMatches) {
+  ThreadPool pool(GetParam());
+  const std::int64_t n = 4096;
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(pool.num_threads()), 0);
+  pool.parallel_for(n, [&](Range r, int worker) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) partial[static_cast<std::size_t>(worker)] += i;
+  });
+  const std::int64_t total = std::accumulate(partial.begin(), partial.end(), std::int64_t{0});
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST_P(ThreadPoolParam, ReusableAcrossJobs) {
+  ThreadPool pool(GetParam());
+  std::atomic<int> counter{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.run_on_all([&](int) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50 * pool.num_threads());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParam, ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](Range, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](Range r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
+
+TEST(ScalingSimulator, UniformChunksScaleLinearlyWithoutOverhead) {
+  ScalingSimulator sim(std::vector<double>(64, 1.0), /*fork_join_base=*/0.0);
+  EXPECT_DOUBLE_EQ(sim.serial_seconds(), 64.0);
+  EXPECT_DOUBLE_EQ(sim.predict_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(sim.predict_speedup(2), 2.0);
+  EXPECT_DOUBLE_EQ(sim.predict_speedup(64), 64.0);
+}
+
+TEST(ScalingSimulator, SpeedupCappedByChunkCount) {
+  ScalingSimulator sim(std::vector<double>(4, 1.0), 0.0);
+  // More threads than chunks: makespan is one chunk.
+  EXPECT_DOUBLE_EQ(sim.predict_speedup(64), 4.0);
+}
+
+TEST(ScalingSimulator, ImbalanceLimitsSpeedup) {
+  // One dominant chunk bounds the makespan.
+  std::vector<double> costs(16, 0.1);
+  costs[0] = 10.0;
+  ScalingSimulator sim(costs, 0.0);
+  EXPECT_LE(sim.predict_speedup(16), sim.serial_seconds() / 10.0 + 1e-12);
+}
+
+TEST(ScalingSimulator, OverheadCausesSaturation) {
+  // Tiny chunks + per-fork overhead: wider is eventually not better — the
+  // mechanism behind conv5.1's saturation in Fig. 9.
+  ScalingSimulator sim(std::vector<double>(16, 1e-6), /*fork_join_base=*/1e-5);
+  EXPECT_GT(sim.predict_seconds(16), sim.predict_seconds(1));
+}
+
+TEST(ScalingSimulator, RejectsBadArgs) {
+  EXPECT_THROW(ScalingSimulator({}, 0.0), std::invalid_argument);
+  ScalingSimulator sim(std::vector<double>(4, 1.0));
+  EXPECT_THROW((void)sim.predict_seconds(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](Range r, int) {
+                          if (r.begin >= 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](Range r, int) {
+    count.fetch_add(static_cast<int>(r.size()));
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, CallerExceptionPropagates) {
+  ThreadPool pool(3);
+  // Worker 0 is the calling thread; its exception must surface too.
+  EXPECT_THROW(pool.run_on_all([&](int w) {
+    if (w == 0) throw std::logic_error("caller");
+  }),
+               std::logic_error);
+}
+
+TEST(MeasureChunkCosts, CountsAndPositivity) {
+  std::atomic<std::int64_t> work{0};
+  auto costs = measure_chunk_costs(8, [&](Range r) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      volatile double x = 0;
+      for (int j = 0; j < 1000; ++j) x = x + j;
+      work.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(costs.size(), 8u);
+  for (double c : costs) EXPECT_GT(c, 0.0);
+}
+
+TEST(Timer, MonotoneAndResettable) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double a = t.elapsed_seconds();
+  EXPECT_GT(a, 0.0);
+  t.reset();
+  EXPECT_LE(t.elapsed_seconds(), a + 1.0);
+}
+
+TEST(MeasureBestSeconds, ReturnsPositiveTime) {
+  const double s = measure_best_seconds(
+      [] {
+        volatile double x = 0;
+        for (int i = 0; i < 10000; ++i) x = x + i;
+      },
+      3, 0.001);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+}  // namespace
+}  // namespace bitflow::runtime

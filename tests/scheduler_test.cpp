@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/bitflow.hpp"
+#include "graph/scheduler.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::graph {
+namespace {
+
+using simd::CpuFeatures;
+using simd::IsaLevel;
+
+CpuFeatures all_features() {
+  CpuFeatures f;
+  f.popcnt = f.sse42 = f.avx2 = f.fma = true;
+  f.avx512f = f.avx512bw = f.avx512vl = f.avx512vpopcntdq = true;
+  return f;
+}
+
+TEST(Scheduler, PaperRulesOnFullHardware) {
+  const CpuFeatures f = all_features();
+  // The VGG mapping of Fig. 6.
+  EXPECT_EQ(select_isa(512, f), IsaLevel::kAvx512);   // conv5.1 -> rule 1
+  EXPECT_EQ(select_isa(256, f), IsaLevel::kAvx2);     // conv4.1 -> rule 2
+  EXPECT_EQ(select_isa(128, f), IsaLevel::kSse);      // conv3.1 -> rule 3
+  EXPECT_EQ(select_isa(64, f), IsaLevel::kU64);       // conv2.1 -> rule 4
+  EXPECT_EQ(select_isa(3, f), IsaLevel::kU64);        // conv1.1 -> pad, rule 4
+  EXPECT_EQ(select_isa(1024, f), IsaLevel::kAvx512);  // multiple of 512
+  EXPECT_EQ(select_isa(25088, f), IsaLevel::kAvx512);  // fc6: 25088 = 512*49 -> rule 1
+  EXPECT_EQ(select_isa(4096, f), IsaLevel::kAvx512);  // fc7
+}
+
+TEST(Scheduler, RulesDegradeWithHardware) {
+  CpuFeatures f = all_features();
+  f.avx512f = f.avx512bw = false;
+  EXPECT_EQ(select_isa(512, f), IsaLevel::kAvx2) << "C=512 is also a multiple of 256";
+  f.avx2 = false;
+  EXPECT_EQ(select_isa(512, f), IsaLevel::kSse);
+  f.sse42 = false;
+  EXPECT_EQ(select_isa(512, f), IsaLevel::kU64);
+}
+
+TEST(Scheduler, WidestPolicyIgnoresChannelMultiples) {
+  const CpuFeatures f = all_features();
+  EXPECT_EQ(select_isa(64, f, SchedulerPolicy::kWidest), IsaLevel::kAvx512);
+  EXPECT_EQ(select_isa(3, f, SchedulerPolicy::kWidest), IsaLevel::kAvx512);
+}
+
+TEST(Scheduler, ExplainStringsNameTheRule) {
+  const CpuFeatures f = all_features();
+  EXPECT_NE(explain_isa_selection(512, f, SchedulerPolicy::kPaperRules).find("rule 1"),
+            std::string::npos);
+  EXPECT_NE(explain_isa_selection(256, f, SchedulerPolicy::kPaperRules).find("rule 2"),
+            std::string::npos);
+  EXPECT_NE(explain_isa_selection(128, f, SchedulerPolicy::kPaperRules).find("rule 3"),
+            std::string::npos);
+  EXPECT_NE(explain_isa_selection(64, f, SchedulerPolicy::kPaperRules).find("rule 4"),
+            std::string::npos);
+  EXPECT_NE(explain_isa_selection(3, f, SchedulerPolicy::kPaperRules).find("zero-padded"),
+            std::string::npos);
+  EXPECT_NE(explain_isa_selection(64, f, SchedulerPolicy::kWidest).find("widest"),
+            std::string::npos);
+}
+
+TEST(Scheduler, SelectedIsaIsAlwaysSupported) {
+  // Whatever the hardware, the selection must be executable.
+  const CpuFeatures& real = simd::cpu_features();
+  for (std::int64_t c : {1, 3, 32, 64, 128, 192, 256, 512, 4096, 25088}) {
+    EXPECT_TRUE(real.supports(select_isa(c, real, SchedulerPolicy::kPaperRules))) << c;
+    EXPECT_TRUE(real.supports(select_isa(c, real, SchedulerPolicy::kWidest))) << c;
+  }
+}
+
+TEST(SystemReport, MentionsVersionAndMapping) {
+  const std::string r = bitflow::system_report();
+  EXPECT_NE(r.find("BitFlow"), std::string::npos);
+  EXPECT_NE(r.find("C=512"), std::string::npos);
+  EXPECT_NE(r.find("Operator -> kernel mapping"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitflow::graph

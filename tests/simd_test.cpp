@@ -1,0 +1,130 @@
+// Cross-ISA equivalence of the word-run primitives: every vector variant
+// must agree bit-for-bit with the scalar reference on every run length,
+// including the 1..7-word tails handled by the AVX-512 masked forms.
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/bitops.hpp"
+#include "simd/cpu_features.hpp"
+#include "simd/isa.hpp"
+
+namespace bitflow::simd {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::int64_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+  for (auto& w : v) w = rng();
+  return v;
+}
+
+std::uint64_t naive_xor_popcount(const std::uint64_t* a, const std::uint64_t* b, std::int64_t n) {
+  std::uint64_t total = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+TEST(CpuFeatures, DetectionIsConsistent) {
+  const CpuFeatures& f = cpu_features();
+  // best_isa must be supported by definition.
+  EXPECT_TRUE(f.supports(f.best_isa()));
+  // The scalar level is always available.
+  EXPECT_TRUE(f.supports(IsaLevel::kU64));
+  EXPECT_FALSE(f.to_string().empty());
+}
+
+TEST(Isa, NamesAndWidths) {
+  EXPECT_EQ(isa_name(IsaLevel::kU64), "u64");
+  EXPECT_EQ(isa_name(IsaLevel::kAvx512), "avx512");
+  EXPECT_EQ(isa_bits(IsaLevel::kSse), 128);
+  EXPECT_EQ(isa_words(IsaLevel::kAvx2), 4);
+  EXPECT_EQ(isa_words(IsaLevel::kAvx512), 8);
+}
+
+class BitopsIsaParam
+    : public ::testing::TestWithParam<std::tuple<IsaLevel, std::int64_t>> {};
+
+TEST_P(BitopsIsaParam, XorPopcountMatchesNaive) {
+  const auto [isa, n] = GetParam();
+  if (!cpu_features().supports(isa)) GTEST_SKIP() << "ISA not available";
+  const auto a = random_words(n, 1000 + static_cast<std::uint64_t>(n));
+  const auto b = random_words(n, 2000 + static_cast<std::uint64_t>(n));
+  const auto fn = xor_popcount_fn(isa);
+  EXPECT_EQ(fn(a.data(), b.data(), n), naive_xor_popcount(a.data(), b.data(), n))
+      << "isa=" << isa_name(isa) << " n=" << n;
+}
+
+TEST_P(BitopsIsaParam, OrAccumulateMatchesNaive) {
+  const auto [isa, n] = GetParam();
+  if (!cpu_features().supports(isa)) GTEST_SKIP() << "ISA not available";
+  auto dst = random_words(n, 3000 + static_cast<std::uint64_t>(n));
+  const auto src = random_words(n, 4000 + static_cast<std::uint64_t>(n));
+  auto expect = dst;
+  for (std::int64_t i = 0; i < n; ++i) expect[static_cast<std::size_t>(i)] |= src[static_cast<std::size_t>(i)];
+  or_accumulate_fn(isa)(dst.data(), src.data(), n);
+  EXPECT_EQ(dst, expect) << "isa=" << isa_name(isa) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsaAllLengths, BitopsIsaParam,
+    ::testing::Combine(::testing::Values(IsaLevel::kU64, IsaLevel::kSse, IsaLevel::kAvx2,
+                                         IsaLevel::kAvx512),
+                       ::testing::Values<std::int64_t>(1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 24, 64,
+                                                       100, 129)),
+    [](const auto& info) {
+      return std::string(isa_name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BinaryDot, Eq1IdentityAgainstDecodedDot) {
+  // dot = N - 2*popcount(xor) must equal the +-1 inner product.
+  const std::int64_t n_words = 5;
+  const std::int64_t bits = 290;  // 4.5 words + tail
+  std::mt19937_64 rng(77);
+  std::vector<std::uint64_t> a(n_words, 0), b(n_words, 0);
+  for (std::int64_t i = 0; i < bits; ++i) {
+    if (rng() & 1) a[i >> 6] |= std::uint64_t{1} << (i & 63);
+    if (rng() & 1) b[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < bits; ++i) {
+    const float av = (a[i >> 6] >> (i & 63)) & 1 ? 1.0f : -1.0f;
+    const float bv = (b[i >> 6] >> (i & 63)) & 1 ? 1.0f : -1.0f;
+    expect += static_cast<std::int64_t>(av * bv);
+  }
+  EXPECT_EQ(binary_dot(xor_popcount_fn(IsaLevel::kU64), a.data(), b.data(), n_words, bits),
+            expect);
+}
+
+TEST(Bitops, ZeroLengthRuns) {
+  std::uint64_t w = 0;
+  for (IsaLevel isa :
+       {IsaLevel::kU64, IsaLevel::kSse, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (!cpu_features().supports(isa)) continue;
+    EXPECT_EQ(xor_popcount_fn(isa)(&w, &w, 0), 0u);
+    or_accumulate_fn(isa)(&w, &w, 0);
+    EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(Bitops, AllOnesAndAllZeros) {
+  const std::int64_t n = 11;
+  std::vector<std::uint64_t> ones(static_cast<std::size_t>(n), ~std::uint64_t{0});
+  std::vector<std::uint64_t> zeros(static_cast<std::size_t>(n), 0);
+  for (IsaLevel isa :
+       {IsaLevel::kU64, IsaLevel::kSse, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (!cpu_features().supports(isa)) continue;
+    EXPECT_EQ(xor_popcount_fn(isa)(ones.data(), zeros.data(), n),
+              static_cast<std::uint64_t>(64 * n));
+    EXPECT_EQ(xor_popcount_fn(isa)(ones.data(), ones.data(), n), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bitflow::simd

@@ -1,0 +1,150 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "tensor/aligned_buffer.hpp"
+#include "tensor/filter_bank.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow {
+namespace {
+
+TEST(Shape, BasicsAndEquality) {
+  Shape s{3, 4, 5};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[2], 5);
+  EXPECT_EQ(s.num_elements(), 60);
+  EXPECT_EQ(s, (Shape{3, 4, 5}));
+  EXPECT_NE(s, (Shape{3, 4}));
+  EXPECT_NE(s, (Shape{3, 4, 6}));
+  EXPECT_EQ(s.to_string(), "[3, 4, 5]");
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer b(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kBufferAlignment, 0u);
+  EXPECT_EQ(b.size_bytes(), 1000u);
+  for (std::size_t i = 0; i < b.size_bytes(); ++i) {
+    EXPECT_EQ(std::to_integer<int>(b.data()[i]), 0);
+  }
+}
+
+TEST(AlignedBuffer, CopyAndMove) {
+  AlignedBuffer a(64);
+  a.data()[3] = std::byte{42};
+  AlignedBuffer copy = a;
+  EXPECT_EQ(std::to_integer<int>(copy.data()[3]), 42);
+  copy.data()[3] = std::byte{7};
+  EXPECT_EQ(std::to_integer<int>(a.data()[3]), 42) << "copies must not alias";
+  AlignedBuffer moved = std::move(a);
+  EXPECT_EQ(std::to_integer<int>(moved.data()[3]), 42);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, ZeroReset) {
+  AlignedBuffer b(16);
+  b.data()[0] = std::byte{1};
+  b.zero();
+  EXPECT_EQ(std::to_integer<int>(b.data()[0]), 0);
+}
+
+TEST(Tensor, HwcIndexing) {
+  Tensor t = Tensor::hwc(2, 3, 4);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.width(), 3);
+  EXPECT_EQ(t.channels(), 4);
+  EXPECT_EQ(t.num_elements(), 24);
+  // (h*W + w)*C + c
+  EXPECT_EQ(t.index(1, 2, 3), (1 * 3 + 2) * 4 + 3);
+  t.at(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t.data()[t.index(1, 2, 3)], 5.0f);
+}
+
+TEST(Tensor, ChwIndexing) {
+  Tensor t(Shape{2, 3, 4}, Layout::kCHW);
+  // (c*H + h)*W + w
+  EXPECT_EQ(t.index(1, 2, 3), (3 * 2 + 1) * 3 + 2);
+}
+
+TEST(Tensor, LayoutRoundTrip) {
+  Tensor t = Tensor::hwc(3, 4, 5);
+  fill_uniform(t, 7);
+  const Tensor chw = t.to_layout(Layout::kCHW);
+  const Tensor back = chw.to_layout(Layout::kHWC);
+  for (std::int64_t h = 0; h < 3; ++h) {
+    for (std::int64_t w = 0; w < 4; ++w) {
+      for (std::int64_t c = 0; c < 5; ++c) {
+        EXPECT_EQ(t.at(h, w, c), chw.at(h, w, c));
+        EXPECT_EQ(t.at(h, w, c), back.at(h, w, c));
+      }
+    }
+  }
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t = Tensor::hwc(4, 4, 4);
+  for (float v : t.elements()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, Rank2AndRank1) {
+  Tensor m(Shape{3, 5});
+  EXPECT_EQ(m.width(), 3);
+  EXPECT_EQ(m.channels(), 5);
+  Tensor v(Shape{7});
+  EXPECT_EQ(v.channels(), 7);
+  EXPECT_EQ(v.num_elements(), 7);
+}
+
+TEST(Tensor, RejectsRank4) {
+  EXPECT_THROW(Tensor(Shape{1, 2, 3, 4}), std::invalid_argument);
+}
+
+TEST(TensorUtil, FillUniformDeterministic) {
+  Tensor a = Tensor::hwc(4, 4, 8);
+  Tensor b = Tensor::hwc(4, 4, 8);
+  fill_uniform(a, 123);
+  fill_uniform(b, 123);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  fill_uniform(b, 124);
+  EXPECT_GT(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(TensorUtil, FillUniformRange) {
+  Tensor a = Tensor::hwc(8, 8, 8);
+  fill_uniform(a, 5, -2.0f, 3.0f);
+  for (float v : a.elements()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(FilterBank, IndexingAndStorageOrder) {
+  FilterBank f(2, 3, 3, 4);
+  EXPECT_EQ(f.num_elements(), 2 * 3 * 3 * 4);
+  // [k][i][j][c] with c minor
+  EXPECT_EQ(f.index(1, 2, 1, 3), ((1 * 3 + 2) * 3 + 1) * 4 + 3);
+  f.at(1, 2, 1, 3) = 9.0f;
+  EXPECT_EQ(f.data()[f.index(1, 2, 1, 3)], 9.0f);
+  // Channels of one tap are contiguous.
+  EXPECT_EQ(f.index(0, 0, 0, 1) - f.index(0, 0, 0, 0), 1);
+  // One filter is contiguous.
+  EXPECT_EQ(f.index(1, 0, 0, 0) - f.index(0, 0, 0, 0), 3 * 3 * 4);
+}
+
+TEST(TensorUtil, MaxAbsDiffThrowsOnShapeMismatch) {
+  Tensor a = Tensor::hwc(2, 2, 2);
+  Tensor b = Tensor::hwc(2, 2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bitflow

@@ -1,0 +1,51 @@
+// Shared helpers for the BitFlow test suite: reference (naive) binary
+// operators computed on decoded +-1 floats, against which every optimized
+// kernel is checked.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/float_ops.hpp"
+#include "bitpack/packer.hpp"
+#include "kernels/conv_spec.hpp"
+#include "tensor/filter_bank.hpp"
+#include "tensor/packed_tensor.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::testing {
+
+/// Naive binary convolution: decode signs, run the float direct reference.
+/// `in` must already carry any padding (the kernels' contract).
+inline Tensor reference_binary_conv(const PackedTensor& in, const PackedFilterBank& filters,
+                                    const kernels::ConvSpec& spec) {
+  const Tensor signs = bitpack::unpack_to_signs(in);
+  const FilterBank fsigns = bitpack::unpack_to_signs(filters);
+  runtime::ThreadPool pool(1);
+  Tensor out = Tensor::hwc(spec.out_h(in.height()), spec.out_w(in.width()),
+                           filters.num_filters());
+  baseline::float_conv_direct(signs, fsigns, spec, pool, out);
+  return out;
+}
+
+/// Naive Eq. 1 dot of packed rows via bit decoding.
+inline std::int64_t reference_binary_dot(const PackedMatrix& a, std::int64_t row_a,
+                                         const PackedMatrix& b, std::int64_t row_b) {
+  std::int64_t dot = 0;
+  for (std::int64_t i = 0; i < a.cols(); ++i) {
+    dot += static_cast<std::int64_t>(a.sign_value(row_a, i) * b.sign_value(row_b, i));
+  }
+  return dot;
+}
+
+/// Naive binary max pool on decoded signs.
+inline Tensor reference_binary_maxpool(const PackedTensor& in, const kernels::PoolSpec& spec) {
+  const Tensor signs = bitpack::unpack_to_signs(in);
+  runtime::ThreadPool pool(1);
+  Tensor out = Tensor::hwc(spec.out_h(in.height()), spec.out_w(in.width()), in.channels());
+  baseline::float_maxpool(signs, spec, pool, out);
+  return out;
+}
+
+}  // namespace bitflow::testing

@@ -1,0 +1,245 @@
+// Training substrate: numerical gradient checks for every differentiable
+// layer, batch-norm statistics, and end-to-end convergence on the synthetic
+// datasets (both the float and the binarized recipes).
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "train/layers.hpp"
+#include "train/models.hpp"
+#include "train/sequential.hpp"
+
+namespace bitflow::train {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed, float scale = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+/// Numerical check of dL/dx for a layer, with L = sum(w_i * y_i) for fixed
+/// random w (so dL/dy = w).
+void check_input_gradient(Layer& layer, int batch, float tol = 2e-2f) {
+  const std::size_t in_size =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(layer.in_dims().size());
+  const std::size_t out_size =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(layer.out_dims().size());
+  std::vector<float> x = random_vec(in_size, 11);
+  const std::vector<float> dy = random_vec(out_size, 12);
+
+  layer.forward(x, batch, /*training=*/true);
+  const std::vector<float> dx = layer.backward(dy, batch);
+  ASSERT_EQ(dx.size(), in_size);
+
+  auto loss = [&](const std::vector<float>& xin) {
+    const std::vector<float>& y = layer.forward(xin, batch, true);
+    double acc = 0;
+    for (std::size_t i = 0; i < out_size; ++i) acc += double(y[i]) * double(dy[i]);
+    return acc;
+  };
+  const float eps = 1e-3f;
+  std::mt19937_64 pick(13);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t i = pick() % in_size;
+    std::vector<float> xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, tol * std::max(1.0, std::abs(numeric))) << "index " << i;
+  }
+  // Restore the cache for callers that keep using the layer.
+  layer.forward(x, batch, true);
+}
+
+TEST(GradCheck, FloatConv2d) {
+  Conv2d conv(Dims{5, 5, 3}, 4, 3, 1, 1, /*binary=*/false, 1);
+  check_input_gradient(conv, 2);
+}
+
+TEST(GradCheck, StridedConv2d) {
+  Conv2d conv(Dims{7, 7, 2}, 3, 3, 2, 0, /*binary=*/false, 2);
+  check_input_gradient(conv, 2);
+}
+
+TEST(GradCheck, Fc) {
+  Fc fc(20, 7, /*binary=*/false, 3);
+  check_input_gradient(fc, 3);
+}
+
+TEST(GradCheck, BatchNorm) {
+  BatchNorm bn(Dims{3, 3, 4});
+  check_input_gradient(bn, 4, /*tol=*/5e-2f);
+}
+
+TEST(GradCheck, ReluSubgradient) {
+  Relu relu(Dims{1, 1, 16});
+  std::vector<float> x = random_vec(16, 21);
+  relu.forward(x, 1, true);
+  const std::vector<float> dy = random_vec(16, 22);
+  const auto dx = relu.backward(dy, 1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(dx[i], x[i] > 0.0f ? dy[i] : 0.0f);
+  }
+}
+
+TEST(GradCheck, MaxPoolRoutesToArgmax) {
+  MaxPool pool(Dims{4, 4, 2}, 2, 2);
+  std::vector<float> x = random_vec(4 * 4 * 2, 31);
+  const auto& y = pool.forward(x, 1, true);
+  ASSERT_EQ(y.size(), 2u * 2 * 2);
+  std::vector<float> dy(y.size(), 1.0f);
+  const auto dx = pool.backward(dy, 1);
+  // Gradient mass is conserved and lands only on window maxima.
+  float total = 0;
+  for (float g : dx) total += g;
+  EXPECT_EQ(total, 8.0f);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (dx[i] != 0.0f) {
+      // This input must equal its window's output value.
+      bool found = false;
+      for (float yv : y) found |= yv == x[i];
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(SignAct, ForwardAndSte) {
+  SignAct sign(Dims{1, 1, 6});
+  std::vector<float> x = {-2.0f, -0.5f, -0.0f, 0.0f, 0.7f, 1.5f};
+  const auto& y = sign.forward(x, 1, true);
+  EXPECT_EQ(y, (std::vector<float>{-1, -1, 1, 1, 1, 1}));
+  std::vector<float> dy(6, 2.0f);
+  const auto dx = sign.backward(dy, 1);
+  // Pass-through inside |x| <= 1, zero outside.
+  EXPECT_EQ(dx, (std::vector<float>{0, 2, 2, 2, 2, 0}));
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm bn(Dims{1, 1, 2});
+  // Batch of 100 samples, channel 0 ~ offset 5, channel 1 ~ offset -3.
+  const int batch = 100;
+  std::vector<float> x(static_cast<std::size_t>(batch) * 2);
+  std::mt19937_64 rng(41);
+  std::normal_distribution<float> n0(5.0f, 2.0f), n1(-3.0f, 0.5f);
+  for (int b = 0; b < batch; ++b) {
+    x[static_cast<std::size_t>(b * 2)] = n0(rng);
+    x[static_cast<std::size_t>(b * 2 + 1)] = n1(rng);
+  }
+  const auto& y = bn.forward(x, batch, /*training=*/true);
+  double m0 = 0, m1 = 0;
+  for (int b = 0; b < batch; ++b) {
+    m0 += y[static_cast<std::size_t>(b * 2)];
+    m1 += y[static_cast<std::size_t>(b * 2 + 1)];
+  }
+  EXPECT_NEAR(m0 / batch, 0.0, 1e-4);
+  EXPECT_NEAR(m1 / batch, 0.0, 1e-4);
+  // Running stats move toward the batch stats.
+  EXPECT_GT(bn.running_mean()[0], 0.0f);
+  EXPECT_LT(bn.running_mean()[1], 0.0f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn(Dims{1, 1, 1});
+  std::vector<float> x = {10.0f, 12.0f, 8.0f, 10.0f};
+  for (int i = 0; i < 50; ++i) bn.forward(x, 4, true);
+  // Inference on a single sample must use the accumulated running stats.
+  std::vector<float> one = {10.0f};
+  const auto& y = bn.forward(one, 1, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 0.2f) << "10 is the running mean";
+}
+
+TEST(Conv2d, BinaryWeightsAreSignsAndLatentClipped) {
+  Conv2d conv(Dims{4, 4, 2}, 2, 3, 1, 1, /*binary=*/true, 5);
+  std::vector<float> x = random_vec(4 * 4 * 2, 6);
+  conv.forward(x, 1, true);
+  std::vector<float> dy(static_cast<std::size_t>(conv.out_dims().size()), 1.0f);
+  conv.backward(dy, 1);
+  conv.step(/*lr=*/10.0f, /*momentum=*/0.0f);  // huge step to trigger clipping
+  for (float w : conv.weights()) {
+    EXPECT_GE(w, -1.0f);
+    EXPECT_LE(w, 1.0f);
+  }
+}
+
+TEST(Conv2d, PadValueMinusOneChangesBorderOutputs) {
+  // Identical weights; only the pad constant differs: border dots differ,
+  // interior dots match.
+  Conv2d c0(Dims{4, 4, 1}, 1, 3, 1, 1, false, 7, 0.0f);
+  Conv2d cm(Dims{4, 4, 1}, 1, 3, 1, 1, false, 7, -1.0f);
+  std::vector<float> x = random_vec(16, 8);
+  const auto y0 = c0.forward(x, 1, true);
+  const auto ym = cm.forward(x, 1, true);
+  // Interior output (1,1)..(2,2) sees no padding.
+  EXPECT_EQ(y0[5], ym[5]);
+  EXPECT_EQ(y0[6], ym[6]);
+  EXPECT_NE(y0[0], ym[0]);
+}
+
+TEST(Sequential, RejectsDimsMismatch) {
+  Sequential m;
+  m.add(std::make_unique<Fc>(10, 5, false, 1));
+  EXPECT_THROW(m.add(std::make_unique<Fc>(6, 2, false, 2)), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradient) {
+  // Two classes, logits heavily favoring the correct one: loss near 0 and
+  // gradient pushing further toward it is ~0.
+  std::vector<float> logits = {10.0f, -10.0f};
+  std::vector<int> labels = {0};
+  std::vector<float> grad;
+  const float loss = softmax_cross_entropy(logits, labels, 1, 2, grad);
+  EXPECT_NEAR(loss, 0.0f, 1e-3f);
+  EXPECT_NEAR(grad[0], 0.0f, 1e-3f);
+  // Uniform logits: loss = log(2), gradient +-1/2.
+  logits = {0.0f, 0.0f};
+  const float loss2 = softmax_cross_entropy(logits, labels, 1, 2, grad);
+  EXPECT_NEAR(loss2, std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(grad[0], -0.5f, 1e-5f);
+  EXPECT_NEAR(grad[1], 0.5f, 1e-5f);
+}
+
+TEST(Training, FloatCnnLearnsEasyDigits) {
+  const data::Dataset all = data::make_synth_digits(600, data::Difficulty::kEasy, 100);
+  data::Dataset train_set, test_set;
+  data::split(all, 5, train_set, test_set);
+  SmallVggOptions opt;
+  opt.width = 8;
+  opt.num_blocks = 2;
+  opt.fc_width = 32;
+  Sequential model = make_float_cnn(Dims{16, 16, 1}, 10, opt, 1);
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.lr = 0.05f;
+  train_classifier(model, train_set, cfg);
+  const float acc = evaluate(model, test_set);
+  EXPECT_GT(acc, 0.85f) << "float CNN should master the easy digits";
+}
+
+TEST(Training, BinaryCnnLearnsEasyDigits) {
+  const data::Dataset all = data::make_synth_digits(600, data::Difficulty::kEasy, 101);
+  data::Dataset train_set, test_set;
+  data::split(all, 5, train_set, test_set);
+  SmallVggOptions opt;
+  opt.width = 16;
+  opt.num_blocks = 2;
+  opt.fc_width = 64;
+  Sequential model = make_binary_cnn(Dims{16, 16, 1}, 10, opt, 2);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 32;
+  cfg.lr = 0.02f;
+  train_classifier(model, train_set, cfg);
+  const float acc = evaluate(model, test_set);
+  EXPECT_GT(acc, 0.7f) << "binarized CNN should learn the easy digits";
+}
+
+}  // namespace
+}  // namespace bitflow::train

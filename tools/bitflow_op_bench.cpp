@@ -1,0 +1,126 @@
+// bitflow_op_bench: ad-hoc operator benchmarking from the command line.
+//
+//   $ bitflow_op_bench conv <H> <W> <C> <K> [kernel=3] [stride=1] [pad=1]
+//   $ bitflow_op_bench fc   <N> <K>
+//   $ bitflow_op_bench pool <H> <W> <C> [window=2] [stride=2]
+//
+// Times the float baseline, the unoptimized binary engine, and BitFlow on
+// the given geometry (single thread) and prints the speedups — the tool to
+// answer "what would BitFlow buy me on *my* layer?".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "baseline/float_ops.hpp"
+#include "baseline/unopt_binary.hpp"
+#include "bitpack/packer.hpp"
+#include "models/vgg.hpp"
+#include "ops/operators.hpp"
+#include "runtime/timer.hpp"
+#include "tensor/util.hpp"
+
+namespace {
+
+using namespace bitflow;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s conv <H> <W> <C> <K> [kernel=3] [stride=1] [pad=1]\n"
+               "       %s fc   <N> <K>\n"
+               "       %s pool <H> <W> <C> [window=2] [stride=2]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+void report(const char* name, double t_float, double t_unopt, double t_bitflow) {
+  std::printf("%-18s %10.3f ms\n", "float baseline:", t_float * 1e3);
+  std::printf("%-18s %10.3f ms   (%5.1fx over float)\n", "unopt binary:", t_unopt * 1e3,
+              t_float / t_unopt);
+  std::printf("%-18s %10.3f ms   (%5.1fx over float, %4.1fx over unopt) [%s]\n",
+              "BitFlow:", t_bitflow * 1e3, t_float / t_bitflow, t_unopt / t_bitflow, name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  runtime::ThreadPool pool(1);
+  const auto arg = [&](int i, std::int64_t def) {
+    return i < argc ? std::atoll(argv[i]) : def;
+  };
+
+  if (std::strcmp(argv[1], "conv") == 0) {
+    if (argc < 6) return usage(argv[0]);
+    const std::int64_t h = arg(2, 0), w = arg(3, 0), c = arg(4, 0), k = arg(5, 0);
+    const std::int64_t kernel = arg(6, 3), stride = arg(7, 1), pad = arg(8, 1);
+    std::printf("conv %lldx%lldx%lld -> %lld filters, %lldx%lld s%lld p%lld, 1 thread\n\n",
+                (long long)h, (long long)w, (long long)c, (long long)k, (long long)kernel,
+                (long long)kernel, (long long)stride, (long long)pad);
+    const FilterBank filters = models::random_filters(k, kernel, kernel, c, 1);
+    Tensor in = Tensor::hwc(h, w, c);
+    fill_uniform(in, 2);
+    const std::int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+    const std::int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+    Tensor out = Tensor::hwc(oh, ow, k);
+
+    ops::FloatConvOp fop(filters, stride, pad);
+    const double tf = runtime::measure_best_seconds([&] { fop.run(in, pool, out); }, 3, 0.2);
+    baseline::UnoptBinaryConv uop(filters, kernels::ConvSpec{kernel, kernel, stride});
+    const Tensor padded = baseline::pad_float(in, pad);
+    Tensor uout = Tensor::hwc(oh, ow, k);
+    const double tu =
+        runtime::measure_best_seconds([&] { uop.run(padded, pool, uout); }, 3, 0.2);
+    ops::BinaryConvOp bop(filters, stride, pad);
+    const double tb = runtime::measure_best_seconds([&] { bop.run(in, pool, out); }, 3, 0.2);
+    report(std::string(simd::isa_name(bop.isa())).c_str(), tf, tu, tb);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "fc") == 0) {
+    if (argc < 4) return usage(argv[0]);
+    const std::int64_t n = arg(2, 0), k = arg(3, 0);
+    std::printf("fc %lld -> %lld, 1 thread\n\n", (long long)n, (long long)k);
+    const auto w = models::random_fc_weights(n, k, 1);
+    std::vector<float> x(static_cast<std::size_t>(n));
+    std::mt19937_64 rng(2);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (float& v : x) v = dist(rng);
+    std::vector<float> y(static_cast<std::size_t>(k));
+    const double tf = runtime::measure_best_seconds(
+        [&] { baseline::float_fc(w.data(), x.data(), y.data(), n, k, pool); }, 3, 0.2);
+    baseline::UnoptBinaryFc ufc(w.data(), n, k);
+    const double tu = runtime::measure_best_seconds(
+        [&] { ufc.run(x.data(), pool, y.data()); }, 3, 0.2);
+    ops::BinaryFcOp bfc(w.data(), n, k);
+    const double tb = runtime::measure_best_seconds(
+        [&] { bfc.run(x.data(), pool, y.data()); }, 3, 0.2);
+    report(std::string(simd::isa_name(bfc.isa())).c_str(), tf, tu, tb);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "pool") == 0) {
+    if (argc < 5) return usage(argv[0]);
+    const std::int64_t h = arg(2, 0), w = arg(3, 0), c = arg(4, 0);
+    const std::int64_t window = arg(5, 2), stride = arg(6, 2);
+    std::printf("maxpool %lldx%lldx%lld, %lldx%lld s%lld, 1 thread\n\n", (long long)h,
+                (long long)w, (long long)c, (long long)window, (long long)window,
+                (long long)stride);
+    Tensor in = Tensor::hwc(h, w, c);
+    fill_uniform(in, 3);
+    const kernels::PoolSpec spec{window, window, stride};
+    Tensor fout = Tensor::hwc(spec.out_h(h), spec.out_w(w), c);
+    const double tf = runtime::measure_best_seconds(
+        [&] { baseline::float_maxpool(in, spec, pool, fout); }, 3, 0.2);
+    const PackedTensor packed = bitpack::pack_activations(in);
+    PackedTensor pout(spec.out_h(h), spec.out_w(w), c);
+    const double tu = runtime::measure_best_seconds(
+        [&] { baseline::unopt_binary_maxpool(packed, spec, pool, pout); }, 3, 0.2);
+    ops::BinaryPoolOp bop(spec, c);
+    const double tb = runtime::measure_best_seconds(
+        [&] { bop.run_packed(packed, pool, pout, 0); }, 3, 0.2);
+    report(std::string(simd::isa_name(bop.isa())).c_str(), tf, tu, tb);
+    return 0;
+  }
+  return usage(argv[0]);
+}
