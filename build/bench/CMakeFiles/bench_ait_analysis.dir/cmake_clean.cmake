@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ait_analysis.dir/bench_ait_analysis.cpp.o"
+  "CMakeFiles/bench_ait_analysis.dir/bench_ait_analysis.cpp.o.d"
+  "bench_ait_analysis"
+  "bench_ait_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ait_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

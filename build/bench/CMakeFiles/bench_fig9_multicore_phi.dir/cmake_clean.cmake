@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multicore_phi.dir/bench_fig9_multicore_phi.cpp.o"
+  "CMakeFiles/bench_fig9_multicore_phi.dir/bench_fig9_multicore_phi.cpp.o.d"
+  "bench_fig9_multicore_phi"
+  "bench_fig9_multicore_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multicore_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isa_ablation.dir/bench_isa_ablation.cpp.o"
+  "CMakeFiles/bench_isa_ablation.dir/bench_isa_ablation.cpp.o.d"
+  "bench_isa_ablation"
+  "bench_isa_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isa_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multibase.dir/bench_multibase.cpp.o"
+  "CMakeFiles/bench_multibase.dir/bench_multibase.cpp.o.d"
+  "bench_multibase"
+  "bench_multibase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_padding_ablation.dir/bench_padding_ablation.cpp.o"
+  "CMakeFiles/bench_padding_ablation.dir/bench_padding_ablation.cpp.o.d"
+  "bench_padding_ablation"
+  "bench_padding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_padding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

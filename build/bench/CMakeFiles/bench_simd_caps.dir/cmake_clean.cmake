@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simd_caps.dir/bench_simd_caps.cpp.o"
+  "CMakeFiles/bench_simd_caps.dir/bench_simd_caps.cpp.o.d"
+  "bench_simd_caps"
+  "bench_simd_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simd_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

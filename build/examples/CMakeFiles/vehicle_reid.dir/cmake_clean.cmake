@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_reid.dir/vehicle_reid.cpp.o"
+  "CMakeFiles/vehicle_reid.dir/vehicle_reid.cpp.o.d"
+  "vehicle_reid"
+  "vehicle_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("runtime")
+subdirs("simd")
+subdirs("bitpack")
+subdirs("kernels")
+subdirs("baseline")
+subdirs("ops")
+subdirs("graph")
+subdirs("io")
+subdirs("models")
+subdirs("train")
+subdirs("data")
+subdirs("gpuref")
+subdirs("core")

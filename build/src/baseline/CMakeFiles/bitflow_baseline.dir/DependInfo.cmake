@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/float_ops.cpp" "src/baseline/CMakeFiles/bitflow_baseline.dir/float_ops.cpp.o" "gcc" "src/baseline/CMakeFiles/bitflow_baseline.dir/float_ops.cpp.o.d"
+  "/root/repo/src/baseline/sgemm.cpp" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm.cpp.o" "gcc" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm.cpp.o.d"
+  "/root/repo/src/baseline/sgemm_avx2.cpp" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm_avx2.cpp.o" "gcc" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm_avx2.cpp.o.d"
+  "/root/repo/src/baseline/sgemm_generic.cpp" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm_generic.cpp.o" "gcc" "src/baseline/CMakeFiles/bitflow_baseline.dir/sgemm_generic.cpp.o.d"
+  "/root/repo/src/baseline/unopt_binary.cpp" "src/baseline/CMakeFiles/bitflow_baseline.dir/unopt_binary.cpp.o" "gcc" "src/baseline/CMakeFiles/bitflow_baseline.dir/unopt_binary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bitflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/bitflow_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bitflow_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bitflow_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_baseline.dir/float_ops.cpp.o"
+  "CMakeFiles/bitflow_baseline.dir/float_ops.cpp.o.d"
+  "CMakeFiles/bitflow_baseline.dir/sgemm.cpp.o"
+  "CMakeFiles/bitflow_baseline.dir/sgemm.cpp.o.d"
+  "CMakeFiles/bitflow_baseline.dir/sgemm_avx2.cpp.o"
+  "CMakeFiles/bitflow_baseline.dir/sgemm_avx2.cpp.o.d"
+  "CMakeFiles/bitflow_baseline.dir/sgemm_generic.cpp.o"
+  "CMakeFiles/bitflow_baseline.dir/sgemm_generic.cpp.o.d"
+  "CMakeFiles/bitflow_baseline.dir/unopt_binary.cpp.o"
+  "CMakeFiles/bitflow_baseline.dir/unopt_binary.cpp.o.d"
+  "libbitflow_baseline.a"
+  "libbitflow_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

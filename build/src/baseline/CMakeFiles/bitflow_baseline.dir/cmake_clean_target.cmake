@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbitflow_baseline.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitpack/pack_avx2.cpp" "src/bitpack/CMakeFiles/bitflow_bitpack.dir/pack_avx2.cpp.o" "gcc" "src/bitpack/CMakeFiles/bitflow_bitpack.dir/pack_avx2.cpp.o.d"
+  "/root/repo/src/bitpack/packer.cpp" "src/bitpack/CMakeFiles/bitflow_bitpack.dir/packer.cpp.o" "gcc" "src/bitpack/CMakeFiles/bitflow_bitpack.dir/packer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bitflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/bitflow_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bitflow_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

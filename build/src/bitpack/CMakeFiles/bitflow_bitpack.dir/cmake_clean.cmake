@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_bitpack.dir/pack_avx2.cpp.o"
+  "CMakeFiles/bitflow_bitpack.dir/pack_avx2.cpp.o.d"
+  "CMakeFiles/bitflow_bitpack.dir/packer.cpp.o"
+  "CMakeFiles/bitflow_bitpack.dir/packer.cpp.o.d"
+  "libbitflow_bitpack.a"
+  "libbitflow_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

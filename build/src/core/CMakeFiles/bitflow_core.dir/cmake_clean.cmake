@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_core.dir/ait.cpp.o"
+  "CMakeFiles/bitflow_core.dir/ait.cpp.o.d"
+  "CMakeFiles/bitflow_core.dir/bitflow.cpp.o"
+  "CMakeFiles/bitflow_core.dir/bitflow.cpp.o.d"
+  "libbitflow_core.a"
+  "libbitflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

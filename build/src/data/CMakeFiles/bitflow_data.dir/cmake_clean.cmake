@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_data.dir/synthetic.cpp.o"
+  "CMakeFiles/bitflow_data.dir/synthetic.cpp.o.d"
+  "libbitflow_data.a"
+  "libbitflow_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_gpuref.dir/gpu_reference.cpp.o"
+  "CMakeFiles/bitflow_gpuref.dir/gpu_reference.cpp.o.d"
+  "libbitflow_gpuref.a"
+  "libbitflow_gpuref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_gpuref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

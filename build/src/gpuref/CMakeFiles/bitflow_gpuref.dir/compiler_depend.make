@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bitflow_gpuref.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_graph.dir/network.cpp.o"
+  "CMakeFiles/bitflow_graph.dir/network.cpp.o.d"
+  "CMakeFiles/bitflow_graph.dir/scheduler.cpp.o"
+  "CMakeFiles/bitflow_graph.dir/scheduler.cpp.o.d"
+  "libbitflow_graph.a"
+  "libbitflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

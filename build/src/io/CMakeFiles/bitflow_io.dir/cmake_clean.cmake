@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_io.dir/model.cpp.o"
+  "CMakeFiles/bitflow_io.dir/model.cpp.o.d"
+  "libbitflow_io.a"
+  "libbitflow_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

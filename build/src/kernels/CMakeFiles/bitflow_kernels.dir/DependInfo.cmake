@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bgemm.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/bgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/bgemm.cpp.o.d"
+  "/root/repo/src/kernels/binary_maxpool.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/binary_maxpool.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/binary_maxpool.cpp.o.d"
+  "/root/repo/src/kernels/padding.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/padding.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/padding.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv_avx2.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx2.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx2.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv_avx512.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx512.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx512.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv_avx512vp.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx512vp.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_avx512vp.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv_sse.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_sse.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_sse.cpp.o.d"
+  "/root/repo/src/kernels/pressedconv_u64.cpp" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_u64.cpp.o" "gcc" "src/kernels/CMakeFiles/bitflow_kernels.dir/pressedconv_u64.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bitflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/bitflow_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bitflow_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_kernels.dir/bgemm.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/bgemm.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/binary_maxpool.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/binary_maxpool.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/padding.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/padding.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx2.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx2.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx512.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx512.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx512vp.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_avx512vp.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_sse.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_sse.cpp.o.d"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_u64.cpp.o"
+  "CMakeFiles/bitflow_kernels.dir/pressedconv_u64.cpp.o.d"
+  "libbitflow_kernels.a"
+  "libbitflow_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_models.dir/vgg.cpp.o"
+  "CMakeFiles/bitflow_models.dir/vgg.cpp.o.d"
+  "libbitflow_models.a"
+  "libbitflow_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

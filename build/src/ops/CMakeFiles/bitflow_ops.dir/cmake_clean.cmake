@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_ops.dir/multibase.cpp.o"
+  "CMakeFiles/bitflow_ops.dir/multibase.cpp.o.d"
+  "CMakeFiles/bitflow_ops.dir/operators.cpp.o"
+  "CMakeFiles/bitflow_ops.dir/operators.cpp.o.d"
+  "libbitflow_ops.a"
+  "libbitflow_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_runtime.dir/scaling_sim.cpp.o"
+  "CMakeFiles/bitflow_runtime.dir/scaling_sim.cpp.o.d"
+  "CMakeFiles/bitflow_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/bitflow_runtime.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/bitflow_runtime.dir/timer.cpp.o"
+  "CMakeFiles/bitflow_runtime.dir/timer.cpp.o.d"
+  "libbitflow_runtime.a"
+  "libbitflow_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

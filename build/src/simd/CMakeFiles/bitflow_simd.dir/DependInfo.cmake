@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/bitops_avx2.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx2.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx2.cpp.o.d"
+  "/root/repo/src/simd/bitops_avx512.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx512.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx512.cpp.o.d"
+  "/root/repo/src/simd/bitops_avx512vp.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx512vp.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_avx512vp.cpp.o.d"
+  "/root/repo/src/simd/bitops_sse.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_sse.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_sse.cpp.o.d"
+  "/root/repo/src/simd/bitops_u64.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_u64.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/bitops_u64.cpp.o.d"
+  "/root/repo/src/simd/cpu_features.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/cpu_features.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/cpu_features.cpp.o.d"
+  "/root/repo/src/simd/dispatch.cpp" "src/simd/CMakeFiles/bitflow_simd.dir/dispatch.cpp.o" "gcc" "src/simd/CMakeFiles/bitflow_simd.dir/dispatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

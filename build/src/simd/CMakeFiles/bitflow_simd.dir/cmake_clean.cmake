@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_simd.dir/bitops_avx2.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/bitops_avx2.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/bitops_avx512.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/bitops_avx512.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/bitops_avx512vp.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/bitops_avx512vp.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/bitops_sse.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/bitops_sse.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/bitops_u64.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/bitops_u64.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/cpu_features.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/bitflow_simd.dir/dispatch.cpp.o"
+  "CMakeFiles/bitflow_simd.dir/dispatch.cpp.o.d"
+  "libbitflow_simd.a"
+  "libbitflow_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_tensor.dir/util.cpp.o"
+  "CMakeFiles/bitflow_tensor.dir/util.cpp.o.d"
+  "libbitflow_tensor.a"
+  "libbitflow_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

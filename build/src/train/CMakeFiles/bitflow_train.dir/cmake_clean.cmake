@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_train.dir/export.cpp.o"
+  "CMakeFiles/bitflow_train.dir/export.cpp.o.d"
+  "CMakeFiles/bitflow_train.dir/layers.cpp.o"
+  "CMakeFiles/bitflow_train.dir/layers.cpp.o.d"
+  "CMakeFiles/bitflow_train.dir/models.cpp.o"
+  "CMakeFiles/bitflow_train.dir/models.cpp.o.d"
+  "CMakeFiles/bitflow_train.dir/sequential.cpp.o"
+  "CMakeFiles/bitflow_train.dir/sequential.cpp.o.d"
+  "libbitflow_train.a"
+  "libbitflow_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

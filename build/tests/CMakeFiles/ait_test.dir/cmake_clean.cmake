@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ait_test.dir/ait_test.cpp.o"
+  "CMakeFiles/ait_test.dir/ait_test.cpp.o.d"
+  "ait_test"
+  "ait_test.pdb"
+  "ait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

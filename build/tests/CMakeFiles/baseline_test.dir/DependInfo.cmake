@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bitflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/bitflow_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/bitflow_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/bitflow_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bitflow_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bitflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bitflow_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bitflow_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/bitflow_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/bitflow_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bitflow_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bitflow_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bitflow_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuref/CMakeFiles/bitflow_gpuref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgemm_test.dir/bgemm_test.cpp.o"
+  "CMakeFiles/bgemm_test.dir/bgemm_test.cpp.o.d"
+  "bgemm_test"
+  "bgemm_test.pdb"
+  "bgemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

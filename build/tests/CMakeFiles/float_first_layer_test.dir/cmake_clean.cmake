@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_first_layer_test.dir/float_first_layer_test.cpp.o"
+  "CMakeFiles/float_first_layer_test.dir/float_first_layer_test.cpp.o.d"
+  "float_first_layer_test"
+  "float_first_layer_test.pdb"
+  "float_first_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_first_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_network_test.dir/fuzz_network_test.cpp.o"
+  "CMakeFiles/fuzz_network_test.dir/fuzz_network_test.cpp.o.d"
+  "fuzz_network_test"
+  "fuzz_network_test.pdb"
+  "fuzz_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuref_test.dir/gpuref_test.cpp.o"
+  "CMakeFiles/gpuref_test.dir/gpuref_test.cpp.o.d"
+  "gpuref_test"
+  "gpuref_test.pdb"
+  "gpuref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxpool_test.dir/maxpool_test.cpp.o"
+  "CMakeFiles/maxpool_test.dir/maxpool_test.cpp.o.d"
+  "maxpool_test"
+  "maxpool_test.pdb"
+  "maxpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibase_test.dir/multibase_test.cpp.o"
+  "CMakeFiles/multibase_test.dir/multibase_test.cpp.o.d"
+  "multibase_test"
+  "multibase_test.pdb"
+  "multibase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

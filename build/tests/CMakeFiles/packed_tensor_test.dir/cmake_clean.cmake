@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_tensor_test.dir/packed_tensor_test.cpp.o"
+  "CMakeFiles/packed_tensor_test.dir/packed_tensor_test.cpp.o.d"
+  "packed_tensor_test"
+  "packed_tensor_test.pdb"
+  "packed_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

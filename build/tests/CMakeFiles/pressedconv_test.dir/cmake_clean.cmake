@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressedconv_test.dir/pressedconv_test.cpp.o"
+  "CMakeFiles/pressedconv_test.dir/pressedconv_test.cpp.o.d"
+  "pressedconv_test"
+  "pressedconv_test.pdb"
+  "pressedconv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressedconv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_model_info.dir/bitflow_model_info.cpp.o"
+  "CMakeFiles/bitflow_model_info.dir/bitflow_model_info.cpp.o.d"
+  "bitflow_model_info"
+  "bitflow_model_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_model_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflow_op_bench.dir/bitflow_op_bench.cpp.o"
+  "CMakeFiles/bitflow_op_bench.dir/bitflow_op_bench.cpp.o.d"
+  "bitflow_op_bench"
+  "bitflow_op_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflow_op_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
