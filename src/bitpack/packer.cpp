@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bitpack/bit64.hpp"
+#include "core/check.hpp"
 #include "simd/cpu_features.hpp"
 
 namespace bitflow::bitpack {
@@ -59,6 +60,7 @@ std::uint64_t pack64_strided(const float* p, std::int64_t stride) {
 
 /// Packs a contiguous run of `count` floats into `words` (tail bits zero).
 void pack_run(const float* src, std::int64_t count, std::uint64_t* dst) {
+  BF_DCHECK(count >= 0, "pack_run: negative count ", count);
   std::int64_t c = 0, p = 0;
   for (; c + 64 <= count; c += 64, ++p) dst[p] = pack64(src + c);
   if (c < count) dst[p] = pack_partial(src + c, count - c);
@@ -235,6 +237,8 @@ PackedFilterBank pack_filters(const FilterBank& filters) {
 }
 
 PackedMatrix pack_transpose_fc_weights(const float* b, std::int64_t n, std::int64_t k) {
+  BF_CHECK(b != nullptr, "pack_transpose_fc_weights: null weight matrix");
+  BF_CHECK(n >= 1 && k >= 1, "pack_transpose_fc_weights: extents n=", n, " k=", k);
   PackedMatrix out(k, n);
   for (std::int64_t j = 0; j < k; ++j) {
     std::uint64_t* row = out.row(j);
@@ -279,6 +283,7 @@ PackedMatrix pack_transpose_fc_weights_unfused(const float* b, std::int64_t n, s
 }
 
 PackedMatrix pack_rows(const float* x, std::int64_t rows, std::int64_t cols) {
+  BF_CHECK(x != nullptr || rows * cols == 0, "pack_rows: null input with ", rows, "x", cols);
   PackedMatrix out(rows, cols);
   for (std::int64_t r = 0; r < rows; ++r) {
     pack_run(x + r * cols, cols, out.row(r));

@@ -1,0 +1,113 @@
+// Contract-check macros for BitFlow: BF_CHECK / BF_DCHECK / BF_UNREACHABLE.
+//
+// A failed check is a *programmer error* (a violated precondition or
+// invariant), not a recoverable runtime condition, so a failure prints the
+// expression, location and optional context to stderr and calls
+// std::abort().  Aborting (rather than throwing) keeps the macros usable
+// inside noexcept hot paths, produces a faultable stack for debuggers and
+// sanitizers, and is testable with gtest death tests.
+//
+// Gating:
+//   * BF_CHECK      — active when NDEBUG is not defined (any Debug build) or
+//                     when the build sets -DBITFLOW_ENABLE_CHECKS (CMake
+//                     option BITFLOW_ENABLE_CHECKS=ON; sanitizer builds turn
+//                     it on automatically).  Intended for cold contract
+//                     boundaries: constructors, kernel entry validation,
+//                     partition preconditions.
+//   * BF_DCHECK     — active in Debug builds, or when the build additionally
+//                     sets -DBITFLOW_ENABLE_DCHECKS.  Intended for per-element
+//                     hot paths (tensor indexing) where even a predictable
+//                     branch is measurable in Release.
+//   * BF_UNREACHABLE — aborts loudly when checks are on, lowers to
+//                     __builtin_unreachable() when they are off.
+//
+// Compiled-out checks still parse their condition (inside an `if (false)`),
+// so a check cannot silently rot when its gate is off; the optimizer removes
+// the dead branch entirely.
+//
+// Extra macro arguments are streamed into the failure message lazily —
+// they are never evaluated unless the check fires:
+//   BF_CHECK(h >= 0 && h < h_, "pixel row ", h, " outside [0, ", h_, ")");
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bitflow::detail {
+
+/// Builds the optional context suffix of a failure message.
+template <typename... Args>
+[[nodiscard]] inline std::string check_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+/// Prints the failure report and aborts.  Never returns.
+[[noreturn]] inline void check_failed(const char* kind, const char* expr, const char* file,
+                                      int line, const std::string& message) noexcept {
+  std::fprintf(stderr, "[bitflow] %s failed: %s\n[bitflow]   at %s:%d\n", kind, expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, "[bitflow]   %s\n", message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bitflow::detail
+
+#if defined(BITFLOW_ENABLE_CHECKS) || !defined(NDEBUG)
+#define BITFLOW_CHECKS_ENABLED 1
+#else
+#define BITFLOW_CHECKS_ENABLED 0
+#endif
+
+#if defined(BITFLOW_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define BITFLOW_DCHECKS_ENABLED 1
+#else
+#define BITFLOW_DCHECKS_ENABLED 0
+#endif
+
+// Shared expansion: evaluate `cond` once; on failure, build the message and
+// abort.  `kind` is the macro name shown in the report.
+#define BF_DETAIL_CHECK_IMPL(kind, cond, ...)                                             \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      ::bitflow::detail::check_failed(kind, #cond, __FILE__, __LINE__,                    \
+                                      ::bitflow::detail::check_message(__VA_ARGS__));     \
+    }                                                                                     \
+  } while (0)
+
+// Compiled-out form: the condition still typechecks but is never evaluated.
+#define BF_DETAIL_CHECK_NOP(cond, ...)            \
+  do {                                            \
+    if (false && static_cast<bool>(cond)) {       \
+    }                                             \
+  } while (0)
+
+#if BITFLOW_CHECKS_ENABLED
+#define BF_CHECK(cond, ...) BF_DETAIL_CHECK_IMPL("BF_CHECK", cond, __VA_ARGS__)
+#else
+#define BF_CHECK(cond, ...) BF_DETAIL_CHECK_NOP(cond, __VA_ARGS__)
+#endif
+
+#if BITFLOW_DCHECKS_ENABLED
+#define BF_DCHECK(cond, ...) BF_DETAIL_CHECK_IMPL("BF_DCHECK", cond, __VA_ARGS__)
+#else
+#define BF_DCHECK(cond, ...) BF_DETAIL_CHECK_NOP(cond, __VA_ARGS__)
+#endif
+
+#if BITFLOW_CHECKS_ENABLED
+#define BF_UNREACHABLE(...)                                                                 \
+  ::bitflow::detail::check_failed("BF_UNREACHABLE", "reached supposedly unreachable code",  \
+                                  __FILE__, __LINE__,                                       \
+                                  ::bitflow::detail::check_message(__VA_ARGS__))
+#else
+#define BF_UNREACHABLE(...) __builtin_unreachable()
+#endif

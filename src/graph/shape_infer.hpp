@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "kernels/binary_maxpool.hpp"
 #include "kernels/conv_spec.hpp"
 
@@ -26,6 +27,11 @@ struct TensorDesc {
 /// Output extents of a convolution with symmetric input padding `pad`.
 [[nodiscard]] inline TensorDesc infer_conv(const TensorDesc& in, const kernels::ConvSpec& spec,
                                            std::int64_t pad, std::int64_t out_channels) {
+  BF_CHECK(in.h >= 1 && in.w >= 1 && in.c >= 1, "infer_conv: degenerate input ", in.h, "x", in.w,
+           "x", in.c);
+  BF_CHECK(pad >= 0, "infer_conv: negative padding ", pad);
+  BF_CHECK(out_channels >= 1, "infer_conv: out_channels ", out_channels);
+  spec.validate();
   const std::int64_t ph = in.h + 2 * pad;
   const std::int64_t pw = in.w + 2 * pad;
   if (ph < spec.kernel_h || pw < spec.kernel_w) {
@@ -36,6 +42,10 @@ struct TensorDesc {
 
 /// Output extents of a max pooling operator.
 [[nodiscard]] inline TensorDesc infer_pool(const TensorDesc& in, const kernels::PoolSpec& spec) {
+  BF_CHECK(in.h >= 1 && in.w >= 1 && in.c >= 1, "infer_pool: degenerate input ", in.h, "x", in.w,
+           "x", in.c);
+  BF_CHECK(spec.pool_h >= 1 && spec.pool_w >= 1 && spec.stride >= 1, "infer_pool: bad window ",
+           spec.pool_h, "x", spec.pool_w, " stride ", spec.stride);
   const std::int64_t oh = spec.out_h(in.h);
   const std::int64_t ow = spec.out_w(in.w);
   if (oh <= 0 || ow <= 0) throw std::invalid_argument("infer_pool: window does not fit");

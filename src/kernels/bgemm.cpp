@@ -21,25 +21,31 @@ BITFLOW_DECLARE_BGEMM(avx512vp)
 }  // namespace detail
 
 BgemmFn bgemm_kernel(simd::IsaLevel isa) {
+  return bgemm_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa) {
+  return bgemm_binarize_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmFn bgemm_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
   switch (isa) {
     case simd::IsaLevel::kU64: return &detail::bgemm_u64;
     case simd::IsaLevel::kSse: return &detail::bgemm_sse;
     case simd::IsaLevel::kAvx2: return &detail::bgemm_avx2;
     case simd::IsaLevel::kAvx512:
-      return simd::cpu_features().avx512vpopcntdq ? &detail::bgemm_avx512vp
-                                                  : &detail::bgemm_avx512;
+      return use_vpopcntdq ? &detail::bgemm_avx512vp : &detail::bgemm_avx512;
   }
   throw std::invalid_argument("bgemm_kernel: bad ISA level");
 }
 
-BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa) {
+BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
   switch (isa) {
     case simd::IsaLevel::kU64: return &detail::bgemm_binarize_u64;
     case simd::IsaLevel::kSse: return &detail::bgemm_binarize_sse;
     case simd::IsaLevel::kAvx2: return &detail::bgemm_binarize_avx2;
     case simd::IsaLevel::kAvx512:
-      return simd::cpu_features().avx512vpopcntdq ? &detail::bgemm_binarize_avx512vp
-                                                  : &detail::bgemm_binarize_avx512;
+      return use_vpopcntdq ? &detail::bgemm_binarize_avx512vp : &detail::bgemm_binarize_avx512;
   }
   throw std::invalid_argument("bgemm_binarize_kernel: bad ISA level");
 }

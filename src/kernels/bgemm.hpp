@@ -39,6 +39,12 @@ using BgemmBinarizeFn = void (*)(const PackedMatrix& a, const PackedMatrix& w,
 /// Returns the fused binarize bgemm compiled for `isa`.
 [[nodiscard]] BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa);
 
+/// Variant-pinned overloads: at kAvx512, `use_vpopcntdq` picks the byte-LUT
+/// or native-VPOPCNTDQ translation unit explicitly rather than by CPUID (for
+/// the ISA-parity harness); ignored at narrower levels.
+[[nodiscard]] BgemmFn bgemm_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+[[nodiscard]] BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+
 /// Dispatching wrappers (widest hardware ISA).
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y);
 void bgemm_binarize(const PackedMatrix& a, const PackedMatrix& w, const float* thresholds,

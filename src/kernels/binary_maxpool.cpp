@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/check.hpp"
 #include "simd/bitops.hpp"
 #include "simd/cpu_features.hpp"
 
@@ -11,6 +12,10 @@ namespace bitflow::kernels {
 
 void binary_maxpool(const PackedTensor& in, const PoolSpec& spec, simd::IsaLevel isa,
                     runtime::ThreadPool& pool, PackedTensor& out, std::int64_t margin) {
+  BF_CHECK(spec.pool_h >= 1 && spec.pool_w >= 1, "binary_maxpool: window ", spec.pool_h, "x",
+           spec.pool_w);
+  BF_CHECK(spec.stride >= 1, "binary_maxpool: stride ", spec.stride);
+  BF_CHECK(margin >= 0, "binary_maxpool: negative margin ", margin);
   const std::int64_t oh = spec.out_h(in.height());
   const std::int64_t ow = spec.out_w(in.width());
   if (oh <= 0 || ow <= 0) throw std::invalid_argument("binary_maxpool: window larger than input");

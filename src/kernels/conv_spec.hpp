@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace bitflow::kernels {
 
 /// Geometry of one convolution: filter extents and stride.  Output extents
@@ -18,6 +20,14 @@ struct ConvSpec {
   std::int64_t kernel_h = 3;
   std::int64_t kernel_w = 3;
   std::int64_t stride = 1;
+
+  /// Contract check on the geometry itself (independent of any input):
+  /// positive filter extents and stride.
+  void validate() const {
+    BF_CHECK(kernel_h >= 1 && kernel_w >= 1, "ConvSpec: filter extents ", kernel_h, "x",
+             kernel_w);
+    BF_CHECK(stride >= 1, "ConvSpec: stride ", stride);
+  }
 
   [[nodiscard]] std::int64_t out_h(std::int64_t in_h) const {
     const std::int64_t o = (in_h - kernel_h) / stride + 1;

@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "simd/cpu_features.hpp"
 
 namespace bitflow::kernels {
@@ -23,31 +24,39 @@ BITFLOW_DECLARE_PRESSEDCONV(avx512vp)
 }  // namespace detail
 
 ConvDotFn conv_dot_kernel(simd::IsaLevel isa) {
+  return conv_dot_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa) {
+  return conv_binarize_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvDotFn conv_dot_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
   switch (isa) {
     case simd::IsaLevel::kU64: return &detail::conv_dot_u64;
     case simd::IsaLevel::kSse: return &detail::conv_dot_sse;
     case simd::IsaLevel::kAvx2: return &detail::conv_dot_avx2;
     case simd::IsaLevel::kAvx512:
-      return simd::cpu_features().avx512vpopcntdq ? &detail::conv_dot_avx512vp
-                                                  : &detail::conv_dot_avx512;
+      return use_vpopcntdq ? &detail::conv_dot_avx512vp : &detail::conv_dot_avx512;
   }
   throw std::invalid_argument("conv_dot_kernel: bad ISA level");
 }
 
-ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa) {
+ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
   switch (isa) {
     case simd::IsaLevel::kU64: return &detail::conv_binarize_u64;
     case simd::IsaLevel::kSse: return &detail::conv_binarize_sse;
     case simd::IsaLevel::kAvx2: return &detail::conv_binarize_avx2;
     case simd::IsaLevel::kAvx512:
-      return simd::cpu_features().avx512vpopcntdq ? &detail::conv_binarize_avx512vp
-                                                  : &detail::conv_binarize_avx512;
+      return use_vpopcntdq ? &detail::conv_binarize_avx512vp : &detail::conv_binarize_avx512;
   }
   throw std::invalid_argument("conv_binarize_kernel: bad ISA level");
 }
 
 void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
                      const ConvSpec& spec) {
+  spec.validate();
+  BF_CHECK(filters.num_filters() >= 1, "PressedConv: empty filter bank");
   if (in.channels() != filters.channels()) {
     throw std::invalid_argument("PressedConv: input/filter channel mismatch");
   }
@@ -75,6 +84,7 @@ void pressed_conv_binarize(const PackedTensor& in, const PackedFilterBank& filte
                            const ConvSpec& spec, const float* thresholds,
                            runtime::ThreadPool& pool, PackedTensor& out, std::int64_t margin) {
   check_conv_args(in, filters, spec);
+  BF_CHECK(margin >= 0, "pressed_conv_binarize: negative margin ", margin);
   const std::int64_t oh = spec.out_h(in.height());
   const std::int64_t ow = spec.out_w(in.width());
   if (out.height() != oh + 2 * margin || out.width() != ow + 2 * margin ||

@@ -53,6 +53,13 @@ using ConvBinarizeFn = void (*)(const PackedTensor& in, const PackedFilterBank& 
 /// Returns the fused binarize kernel compiled for `isa`.
 [[nodiscard]] ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa);
 
+/// Variant-pinned overloads: at kAvx512, `use_vpopcntdq` selects between the
+/// byte-LUT TU and the native-VPOPCNTDQ TU instead of deferring to CPUID (the
+/// ISA-parity harness exercises both on capable hosts).  At narrower levels
+/// the flag is ignored.
+[[nodiscard]] ConvDotFn conv_dot_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+[[nodiscard]] ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+
 /// Convenience wrappers that dispatch to the widest kernel the executing CPU
 /// supports (still honouring the channel-multiple rules is the scheduler's
 /// job; these pick purely by hardware).

@@ -48,12 +48,15 @@ void ThreadPool::worker_loop(int index) {
 }
 
 void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  BF_CHECK(static_cast<bool>(fn), "run_on_all: empty job");
   if (num_threads_ == 1) {
     fn(0);
     return;
   }
   {
     std::lock_guard lock(mutex_);
+    BF_DCHECK(pending_ == 0, "run_on_all: previous job still pending (", pending_, " workers)");
+    BF_DCHECK(job_ == nullptr, "run_on_all: re-entrant dispatch on the same pool");
     job_ = &fn;
     pending_ = num_threads_ - 1;
     first_error_ = nullptr;

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace bitflow::runtime {
 
 /// Inclusive-exclusive index range [begin, end).
@@ -26,8 +28,16 @@ struct Range {
 };
 
 /// Static block partition used everywhere in BitFlow: block `b` of `p` over
-/// `n` items.  Blocks differ in size by at most one item.
+/// `n` items.  Blocks differ in size by at most one item; consecutive blocks
+/// tile [0, n) exactly (contiguous, non-overlapping).
+///
+/// Preconditions: n >= 0, p >= 1, 0 <= b < p, and n * p must not overflow
+/// int64 (the partition arithmetic computes n * (b + 1)).
 [[nodiscard]] inline Range static_block(std::int64_t n, int p, int b) noexcept {
+  BF_DCHECK(n >= 0, "static_block: negative range length ", n);
+  BF_DCHECK(p >= 1 && b >= 0 && b < p, "static_block: block ", b, " of ", p);
+  BF_DCHECK(p <= 1 || n <= INT64_MAX / p, "static_block: n=", n, " * p=", p,
+            " overflows the partition arithmetic");
   const std::int64_t lo = n * b / p;
   const std::int64_t hi = n * (b + 1) / p;
   return {lo, hi};

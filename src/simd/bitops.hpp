@@ -34,6 +34,14 @@ std::uint64_t xor_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b, 
 /// _mm512_maskz_* forms of Table I.
 std::uint64_t xor_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b, std::int64_t n);
 
+/// AVX-512 xor_popcount pinned to one popcount lowering instead of the
+/// CPUID-selected one: the byte-LUT half (use_vpopcntdq = false, any
+/// AVX-512BW CPU) or the native VPOPCNTDQ half (use_vpopcntdq = true,
+/// requires cpu_features().avx512vpopcntdq).  Exists so the ISA-parity
+/// harness can exercise both halves explicitly.
+std::uint64_t xor_popcount_avx512_variant(const std::uint64_t* a, const std::uint64_t* b,
+                                          std::int64_t n, bool use_vpopcntdq);
+
 // --- per-ISA bitwise-OR accumulation (binary max pooling) ----------------
 
 void or_accumulate_u64(std::uint64_t* dst, const std::uint64_t* src, std::int64_t n);

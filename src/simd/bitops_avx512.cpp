@@ -28,6 +28,12 @@ std::uint64_t xor_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b
   return impl(a, b, n);
 }
 
+std::uint64_t xor_popcount_avx512_variant(const std::uint64_t* a, const std::uint64_t* b,
+                                          std::int64_t n, bool use_vpopcntdq) {
+  return use_vpopcntdq ? detail::xor_popcount_avx512_vpopcnt(a, b, n)
+                       : detail::xor_popcount_avx512_lut(a, b, n);
+}
+
 void or_accumulate_avx512(std::uint64_t* dst, const std::uint64_t* src, std::int64_t n) {
   inl::or_accumulate_avx512(dst, src, n);
 }

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "core/check.hpp"
+
 namespace bitflow::simd {
 
 /// Vector ISA selected for a kernel, ordered from narrowest to widest.
@@ -33,7 +35,7 @@ enum class IsaLevel : std::uint8_t {
     case IsaLevel::kAvx2: return "avx2";
     case IsaLevel::kAvx512: return "avx512";
   }
-  return "?";
+  BF_UNREACHABLE("isa_name: corrupt IsaLevel ", static_cast<int>(isa));
 }
 
 /// Vector width of an ISA level in bits.
@@ -44,7 +46,7 @@ enum class IsaLevel : std::uint8_t {
     case IsaLevel::kAvx2: return 256;
     case IsaLevel::kAvx512: return 512;
   }
-  return 64;
+  BF_UNREACHABLE("isa_bits: corrupt IsaLevel ", static_cast<int>(isa));
 }
 
 /// Vector width of an ISA level in 64-bit words.

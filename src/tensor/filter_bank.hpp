@@ -4,10 +4,11 @@
 // once at network initialization (network-level optimization).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "core/check.hpp"
 
 namespace bitflow {
 
@@ -16,7 +17,10 @@ class FilterBank {
   FilterBank() = default;
 
   FilterBank(std::int64_t k, std::int64_t kh, std::int64_t kw, std::int64_t c)
-      : k_(k), kh_(kh), kw_(kw), c_(c), data_(static_cast<std::size_t>(k * kh * kw * c), 0.0f) {}
+      : k_(k), kh_(kh), kw_(kw), c_(c), data_(static_cast<std::size_t>(k * kh * kw * c), 0.0f) {
+    BF_CHECK(k >= 0 && kh >= 0 && kw >= 0 && c >= 0, "FilterBank extents ", k, "x", kh, "x", kw,
+             "x", c);
+  }
 
   [[nodiscard]] std::int64_t num_filters() const noexcept { return k_; }
   [[nodiscard]] std::int64_t kernel_h() const noexcept { return kh_; }
@@ -28,7 +32,9 @@ class FilterBank {
 
   [[nodiscard]] std::int64_t index(std::int64_t k, std::int64_t i, std::int64_t j,
                                    std::int64_t c) const noexcept {
-    assert(k >= 0 && k < k_ && i >= 0 && i < kh_ && j >= 0 && j < kw_ && c >= 0 && c < c_);
+    BF_DCHECK(k >= 0 && k < k_ && i >= 0 && i < kh_ && j >= 0 && j < kw_ && c >= 0 && c < c_,
+              "tap (", k, ", ", i, ", ", j, ", ", c, ") outside ", k_, "x", kh_, "x", kw_, "x",
+              c_);
     return ((k * kh_ + i) * kw_ + j) * c_ + c;
   }
 

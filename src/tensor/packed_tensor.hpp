@@ -15,10 +15,10 @@
 // therefore never perturb the popcount.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 
+#include "core/check.hpp"
 #include "tensor/aligned_buffer.hpp"
 
 namespace bitflow {
@@ -39,7 +39,9 @@ class PackedTensor {
         w_(w),
         c_(c),
         pc_(words_for_channels(c)),
-        buffer_(static_cast<std::size_t>(h * w * pc_) * sizeof(std::uint64_t)) {}
+        buffer_(static_cast<std::size_t>(h * w * pc_) * sizeof(std::uint64_t)) {
+    BF_CHECK(h >= 0 && w >= 0 && c >= 0, "PackedTensor extents ", h, "x", w, "x", c);
+  }
 
   [[nodiscard]] std::int64_t height() const noexcept { return h_; }
   [[nodiscard]] std::int64_t width() const noexcept { return w_; }
@@ -57,21 +59,23 @@ class PackedTensor {
 
   /// Pointer to the first packed word of pixel (h, w).
   [[nodiscard]] const std::uint64_t* pixel(std::int64_t h, std::int64_t w) const noexcept {
-    assert(h >= 0 && h < h_ && w >= 0 && w < w_);
+    BF_DCHECK(h >= 0 && h < h_ && w >= 0 && w < w_, "pixel (", h, ", ", w, ") outside ", h_, "x",
+              w_);
     return words() + (h * w_ + w) * pc_;
   }
   [[nodiscard]] std::uint64_t* pixel(std::int64_t h, std::int64_t w) noexcept {
-    assert(h >= 0 && h < h_ && w >= 0 && w < w_);
+    BF_DCHECK(h >= 0 && h < h_ && w >= 0 && w < w_, "pixel (", h, ", ", w, ") outside ", h_, "x",
+              w_);
     return words() + (h * w_ + w) * pc_;
   }
 
   [[nodiscard]] bool get_bit(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
-    assert(c >= 0 && c < c_);
+    BF_DCHECK(c >= 0 && c < c_, "channel bit ", c, " outside C=", c_);
     return (pixel(h, w)[c >> 6] >> (c & 63)) & 1u;
   }
 
   void set_bit(std::int64_t h, std::int64_t w, std::int64_t c, bool value) noexcept {
-    assert(c >= 0 && c < c_);
+    BF_DCHECK(c >= 0 && c < c_, "channel bit ", c, " outside C=", c_);
     std::uint64_t& word = pixel(h, w)[c >> 6];
     const std::uint64_t mask = std::uint64_t{1} << (c & 63);
     if (value) {
@@ -107,7 +111,10 @@ class PackedFilterBank {
         kw_(kw),
         c_(c),
         pc_(words_for_channels(c)),
-        buffer_(static_cast<std::size_t>(k * kh * kw * pc_) * sizeof(std::uint64_t)) {}
+        buffer_(static_cast<std::size_t>(k * kh * kw * pc_) * sizeof(std::uint64_t)) {
+    BF_CHECK(k >= 0 && kh >= 0 && kw >= 0 && c >= 0, "PackedFilterBank extents ", k, "x", kh, "x",
+             kw, "x", c);
+  }
 
   [[nodiscard]] std::int64_t num_filters() const noexcept { return k_; }
   [[nodiscard]] std::int64_t kernel_h() const noexcept { return kh_; }
@@ -127,11 +134,11 @@ class PackedFilterBank {
 
   /// Pointer to the packed words of filter k (kh*kw*pc consecutive words).
   [[nodiscard]] const std::uint64_t* filter(std::int64_t k) const noexcept {
-    assert(k >= 0 && k < k_);
+    BF_DCHECK(k >= 0 && k < k_, "filter ", k, " outside K=", k_);
     return words() + k * words_per_filter();
   }
   [[nodiscard]] std::uint64_t* filter(std::int64_t k) noexcept {
-    assert(k >= 0 && k < k_);
+    BF_DCHECK(k >= 0 && k < k_, "filter ", k, " outside K=", k_);
     return words() + k * words_per_filter();
   }
 
@@ -146,13 +153,13 @@ class PackedFilterBank {
 
   [[nodiscard]] bool get_bit(std::int64_t k, std::int64_t i, std::int64_t j,
                              std::int64_t c) const noexcept {
-    assert(c >= 0 && c < c_);
+    BF_DCHECK(c >= 0 && c < c_, "channel bit ", c, " outside C=", c_);
     return (tap(k, i, j)[c >> 6] >> (c & 63)) & 1u;
   }
 
   void set_bit(std::int64_t k, std::int64_t i, std::int64_t j, std::int64_t c,
                bool value) noexcept {
-    assert(c >= 0 && c < c_);
+    BF_DCHECK(c >= 0 && c < c_, "channel bit ", c, " outside C=", c_);
     std::uint64_t& word = tap(k, i, j)[c >> 6];
     const std::uint64_t mask = std::uint64_t{1} << (c & 63);
     if (value) {
@@ -183,7 +190,9 @@ class PackedMatrix {
       : rows_(rows),
         cols_(cols),
         wpr_(words_for_channels(cols)),
-        buffer_(static_cast<std::size_t>(rows * wpr_) * sizeof(std::uint64_t)) {}
+        buffer_(static_cast<std::size_t>(rows * wpr_) * sizeof(std::uint64_t)) {
+    BF_CHECK(rows >= 0 && cols >= 0, "PackedMatrix extents ", rows, "x", cols);
+  }
 
   [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
@@ -198,21 +207,21 @@ class PackedMatrix {
   }
 
   [[nodiscard]] const std::uint64_t* row(std::int64_t r) const noexcept {
-    assert(r >= 0 && r < rows_);
+    BF_DCHECK(r >= 0 && r < rows_, "row ", r, " outside rows=", rows_);
     return words() + r * wpr_;
   }
   [[nodiscard]] std::uint64_t* row(std::int64_t r) noexcept {
-    assert(r >= 0 && r < rows_);
+    BF_DCHECK(r >= 0 && r < rows_, "row ", r, " outside rows=", rows_);
     return words() + r * wpr_;
   }
 
   [[nodiscard]] bool get_bit(std::int64_t r, std::int64_t c) const noexcept {
-    assert(c >= 0 && c < cols_);
+    BF_DCHECK(c >= 0 && c < cols_, "column bit ", c, " outside cols=", cols_);
     return (row(r)[c >> 6] >> (c & 63)) & 1u;
   }
 
   void set_bit(std::int64_t r, std::int64_t c, bool value) noexcept {
-    assert(c >= 0 && c < cols_);
+    BF_DCHECK(c >= 0 && c < cols_, "column bit ", c, " outside cols=", cols_);
     std::uint64_t& word = row(r)[c >> 6];
     const std::uint64_t mask = std::uint64_t{1} << (c & 63);
     if (value) {

@@ -2,12 +2,13 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <numeric>
 #include <ostream>
 #include <string>
+
+#include "core/check.hpp"
 
 namespace bitflow {
 
@@ -21,20 +22,23 @@ class Shape {
   Shape() = default;
 
   Shape(std::initializer_list<std::int64_t> dims) : rank_(static_cast<int>(dims.size())) {
-    assert(rank_ <= kMaxRank);
+    BF_CHECK(rank_ <= kMaxRank, "shape rank ", rank_, " exceeds kMaxRank=", kMaxRank);
     int i = 0;
-    for (std::int64_t d : dims) dims_[i++] = d;
+    for (std::int64_t d : dims) {
+      BF_CHECK(d >= 0, "shape dimension ", i, " is negative: ", d);
+      dims_[i++] = d;
+    }
   }
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
 
   [[nodiscard]] std::int64_t operator[](int i) const noexcept {
-    assert(i >= 0 && i < rank_);
+    BF_DCHECK(i >= 0 && i < rank_, "shape axis ", i, " outside rank ", rank_);
     return dims_[i];
   }
 
   std::int64_t& operator[](int i) noexcept {
-    assert(i >= 0 && i < rank_);
+    BF_DCHECK(i >= 0 && i < rank_, "shape axis ", i, " outside rank ", rank_);
     return dims_[i];
   }
 

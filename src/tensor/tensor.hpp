@@ -8,11 +8,11 @@
 // frameworks.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "tensor/aligned_buffer.hpp"
 #include "tensor/shape.hpp"
 
@@ -75,7 +75,8 @@ class Tensor {
   /// Linear index of (h, w, c) under the tensor's layout.
   [[nodiscard]] std::int64_t index(std::int64_t h, std::int64_t w, std::int64_t c) const noexcept {
     const std::int64_t H = height(), W = width(), C = channels();
-    assert(h >= 0 && h < H && w >= 0 && w < W && c >= 0 && c < C);
+    BF_DCHECK(h >= 0 && h < H && w >= 0 && w < W && c >= 0 && c < C, "element (", h, ", ", w,
+              ", ", c, ") outside ", H, "x", W, "x", C);
     (void)H;
     if (layout_ == Layout::kHWC) return (h * W + w) * C + c;
     return (c * height() + h) * W + w;

@@ -1,0 +1,59 @@
+// Contract-check substrate (core/check.hpp): the macros must abort with a
+// diagnostic naming the expression and context when a contract is violated,
+// and must cost nothing (not even operand evaluation) when compiled out.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/check.hpp"
+
+namespace bitflow {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  BF_CHECK(1 + 1 == 2);
+  BF_CHECK(true, "context that is never rendered");
+  SUCCEED();
+}
+
+#if BITFLOW_CHECKS_ENABLED
+using CheckDeath = ::testing::Test;
+
+TEST(CheckDeath, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH({ BF_CHECK(2 + 2 == 5); }, "BF_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeath, FailingCheckPrintsContext) {
+  const std::int64_t axis = 7;
+  EXPECT_DEATH({ BF_CHECK(axis < 4, "axis ", axis, " outside rank 4"); },
+               "axis 7 outside rank 4");
+}
+
+TEST(CheckDeath, UnreachableAborts) {
+  EXPECT_DEATH({ BF_UNREACHABLE("corrupt enum value ", 99); }, "corrupt enum value 99");
+}
+#endif
+
+#if BITFLOW_DCHECKS_ENABLED
+TEST(CheckDeath, FailingDcheckAborts) {
+  EXPECT_DEATH({ BF_DCHECK(false, "dcheck fired"); }, "dcheck fired");
+}
+#else
+TEST(Check, DisabledDcheckDoesNotEvaluateOperands) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return false;
+  };
+  BF_DCHECK(count());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(Check, MessageFormatting) {
+  EXPECT_EQ(detail::check_message(), "");
+  EXPECT_EQ(detail::check_message("axis ", 3, " of ", 4), "axis 3 of 4");
+}
+
+}  // namespace
+}  // namespace bitflow

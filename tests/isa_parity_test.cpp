@@ -1,0 +1,338 @@
+// ISA-parity harness (ROADMAP "analysis" item): every kernel family —
+// xor/popcount + or_accumulate primitives, PressedConv, bgemm, binary max
+// pool — must be bit-exact across every ISA variant the executing CPU
+// supports, including both AVX-512 popcount lowerings where available.
+//
+// The scalar u64 path is the reference; shapes are randomized (seeded) and
+// deliberately adversarial: odd channel counts that leave ragged tail bits,
+// stride/margin combinations, tiny spatial extents, and one large-H*W case.
+// Failures name the kernel, the variant, and the full shape so a divergence
+// on exotic hardware is reproducible from the log alone.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/bgemm.hpp"
+#include "kernels/binary_maxpool.hpp"
+#include "kernels/pressedconv.hpp"
+#include "simd/cpu_features.hpp"
+#include "simd/parity.hpp"
+#include "tensor/util.hpp"
+#include "test_util.hpp"
+
+namespace bitflow {
+namespace {
+
+using kernels::ConvSpec;
+using kernels::PoolSpec;
+using simd::IsaLevel;
+using simd::IsaVariant;
+
+// --- primitive word-run parity ---------------------------------------------
+
+TEST(IsaParity, BitopsPrimitivesMatchScalar) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const simd::ParityResult r = simd::check_all_bitops_parity(seed);
+    ASSERT_TRUE(r.ok) << r.to_string();
+  }
+}
+
+TEST(IsaParity, VariantEnumerationIsSane) {
+  const auto levels = simd::supported_isa_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), IsaLevel::kU64);
+  const auto variants = simd::supported_isa_variants();
+  ASSERT_GE(variants.size(), levels.size());
+  EXPECT_EQ(variants.front().name, "u64");
+  // Exactly one variant per level, except kAvx512 which may contribute two.
+  std::size_t expected = levels.size();
+  if (simd::cpu_features().supports(IsaLevel::kAvx512) &&
+      simd::cpu_features().avx512vpopcntdq) {
+    ++expected;
+  }
+  EXPECT_EQ(variants.size(), expected);
+}
+
+// --- shared randomized shape set -------------------------------------------
+
+struct ConvShape {
+  std::int64_t h, w, c, k, kernel, stride, margin;
+};
+
+std::string describe(const ConvShape& s) {
+  std::string d = "in " + std::to_string(s.h) + "x" + std::to_string(s.w) + "x" +
+                  std::to_string(s.c) + " K=" + std::to_string(s.k) + " kernel=" +
+                  std::to_string(s.kernel) + " stride=" + std::to_string(s.stride) +
+                  " margin=" + std::to_string(s.margin);
+  return d;
+}
+
+// Fixed adversarial shapes plus seeded random draws.  Channels are chosen to
+// hit every tail class (sub-word, word-exact, each vector width, ragged just
+// past each width); spatial extents span tiny (1x1 output) to a large H*W.
+std::vector<ConvShape> conv_shapes() {
+  std::vector<ConvShape> shapes = {
+      {3, 3, 7, 3, 3, 1, 0},       // sub-word channels, smallest output
+      {6, 7, 64, 8, 3, 1, 1},      // word-exact, margin-carrying output
+      {5, 5, 65, 5, 3, 2, 0},      // one bit past a word, strided
+      {7, 6, 129, 4, 3, 1, 2},     // one bit past SSE width, fat margin
+      {6, 6, 257, 6, 5, 1, 0},     // one bit past AVX2 width, 5x5 kernel
+      {8, 8, 513, 3, 3, 2, 1},     // one bit past AVX-512 width
+      {4, 9, 96, 7, 1, 1, 0},      // 1x1 kernel (pure channel reduction)
+      {40, 40, 63, 4, 3, 1, 0},    // large H*W, ragged tail
+  };
+  std::mt19937_64 rng(20260805);
+  std::uniform_int_distribution<std::int64_t> dim(5, 14);
+  std::uniform_int_distribution<std::int64_t> chan(1, 300);
+  std::uniform_int_distribution<std::int64_t> filt(1, 40);
+  std::uniform_int_distribution<std::int64_t> ker(1, 3);
+  std::uniform_int_distribution<std::int64_t> stride(1, 2);
+  std::uniform_int_distribution<std::int64_t> margin(0, 2);
+  for (int i = 0; i < 6; ++i) {
+    ConvShape s{};
+    s.kernel = 2 * ker(rng) - 1;  // 1, 3, or 5
+    s.h = dim(rng) + s.kernel;
+    s.w = dim(rng) + s.kernel;
+    s.c = chan(rng);
+    s.k = filt(rng);
+    s.stride = stride(rng);
+    s.margin = margin(rng);
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+// --- PressedConv -----------------------------------------------------------
+
+TEST(IsaParity, PressedConvDotAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 1000;
+  for (const ConvShape& s : conv_shapes()) {
+    PackedTensor in(s.h, s.w, s.c);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(in, seed++);
+    fill_random_bits(filters, seed++);
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+
+    Tensor ref = Tensor::hwc(oh, ow, s.k);
+    kernels::conv_dot_kernel(IsaLevel::kU64, false)(in, filters, spec, pool, ref);
+    // The scalar kernel itself is pinned against the decoded naive conv once
+    // per shape, so variant agreement is agreement with ground truth.
+    const Tensor naive = testing::reference_binary_conv(in, filters, spec);
+    ASSERT_EQ(max_abs_diff(ref, naive), 0.0f)
+        << "kernel conv_dot[u64] vs naive reference, shape " << describe(s);
+
+    for (const IsaVariant& v : variants) {
+      Tensor out = Tensor::hwc(oh, ow, s.k);
+      kernels::conv_dot_kernel(v.isa, v.use_vpopcntdq)(in, filters, spec, pool, out);
+      ASSERT_EQ(max_abs_diff(out, ref), 0.0f)
+          << "kernel conv_dot[" << v.name << "] diverges from u64 reference, shape "
+          << describe(s);
+    }
+  }
+}
+
+TEST(IsaParity, PressedConvBinarizeAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 2000;
+  for (const ConvShape& s : conv_shapes()) {
+    PackedTensor in(s.h, s.w, s.c);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(in, seed++);
+    fill_random_bits(filters, seed++);
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+
+    // Per-filter thresholds near zero so both binarization outcomes occur.
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed);
+    std::uniform_real_distribution<float> tdist(-3.0f, 3.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    PackedTensor ref(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+    kernels::conv_binarize_kernel(IsaLevel::kU64, false)(in, filters, spec, thresholds.data(),
+                                                         pool, ref, s.margin);
+    for (const IsaVariant& v : variants) {
+      PackedTensor out(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+      kernels::conv_binarize_kernel(v.isa, v.use_vpopcntdq)(in, filters, spec, thresholds.data(),
+                                                            pool, out, s.margin);
+      // Whole-buffer word compare: covers payload bits, tail-zero invariant,
+      // and the untouched zero margin in one pass.
+      for (std::int64_t i = 0; i < ref.num_words(); ++i) {
+        ASSERT_EQ(out.words()[i], ref.words()[i])
+            << "kernel conv_binarize[" << v.name << "] diverges from u64 at word " << i
+            << ", shape " << describe(s);
+      }
+    }
+  }
+}
+
+// --- bgemm -----------------------------------------------------------------
+
+struct GemmShape {
+  std::int64_t m, n_bits, k;
+};
+
+std::string describe(const GemmShape& s) {
+  return "A " + std::to_string(s.m) + "x" + std::to_string(s.n_bits) + " bits, W " +
+         std::to_string(s.k) + "x" + std::to_string(s.n_bits) + " bits";
+}
+
+std::vector<GemmShape> gemm_shapes() {
+  std::vector<GemmShape> shapes = {
+      {1, 1, 1},       // degenerate single bit
+      {1, 63, 10},     // sub-word tail
+      {1, 512, 128},   // AVX-512 exact, register-blocked K
+      {2, 513, 33},    // ragged everything
+      {3, 1000, 17},   // several vector widths + tail
+      {1, 4096, 101},  // large-N fully connected layer shape
+  };
+  std::mt19937_64 rng(20260806);
+  std::uniform_int_distribution<std::int64_t> m(1, 4);
+  std::uniform_int_distribution<std::int64_t> n(1, 2000);
+  std::uniform_int_distribution<std::int64_t> k(1, 150);
+  for (int i = 0; i < 6; ++i) shapes.push_back({m(rng), n(rng), k(rng)});
+  return shapes;
+}
+
+TEST(IsaParity, BgemmDotAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 3000;
+  for (const GemmShape& s : gemm_shapes()) {
+    PackedMatrix a(s.m, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+
+    std::vector<float> ref(static_cast<std::size_t>(s.m * s.k));
+    kernels::bgemm_kernel(IsaLevel::kU64, false)(a, w, pool, ref.data());
+    // Pin the scalar kernel to the decoded naive dot for a few entries.
+    for (std::int64_t e = 0; e < std::min<std::int64_t>(s.m * s.k, 8); ++e) {
+      const std::int64_t rm = e % s.m, rk = e % s.k;
+      ASSERT_EQ(ref[static_cast<std::size_t>(rm * s.k + rk)],
+                static_cast<float>(testing::reference_binary_dot(a, rm, w, rk)))
+          << "kernel bgemm[u64] vs naive dot at (" << rm << "," << rk << "), shape "
+          << describe(s);
+    }
+
+    for (const IsaVariant& v : variants) {
+      std::vector<float> y(static_cast<std::size_t>(s.m * s.k), -12345.0f);
+      kernels::bgemm_kernel(v.isa, v.use_vpopcntdq)(a, w, pool, y.data());
+      for (std::int64_t i = 0; i < s.m * s.k; ++i) {
+        ASSERT_EQ(y[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)])
+            << "kernel bgemm[" << v.name << "] diverges from u64 at element (" << i / s.k
+            << "," << i % s.k << "), shape " << describe(s);
+      }
+    }
+  }
+}
+
+TEST(IsaParity, BgemmBinarizeAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 4000;
+  for (const GemmShape& s : gemm_shapes()) {
+    PackedMatrix a(s.m, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed);
+    std::uniform_real_distribution<float> tdist(-5.0f, 5.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    PackedMatrix ref(s.m, s.k);
+    kernels::bgemm_binarize_kernel(IsaLevel::kU64, false)(a, w, thresholds.data(), pool, ref);
+    for (const IsaVariant& v : variants) {
+      PackedMatrix out(s.m, s.k);
+      kernels::bgemm_binarize_kernel(v.isa, v.use_vpopcntdq)(a, w, thresholds.data(), pool, out);
+      for (std::int64_t i = 0; i < ref.num_words(); ++i) {
+        ASSERT_EQ(out.words()[i], ref.words()[i])
+            << "kernel bgemm_binarize[" << v.name << "] diverges from u64 at word " << i
+            << ", shape " << describe(s);
+      }
+    }
+  }
+}
+
+// --- binary max pool -------------------------------------------------------
+
+struct PoolShape {
+  std::int64_t h, w, c, pool, stride, margin;
+};
+
+std::string describe(const PoolShape& s) {
+  return "in " + std::to_string(s.h) + "x" + std::to_string(s.w) + "x" + std::to_string(s.c) +
+         " pool=" + std::to_string(s.pool) + " stride=" + std::to_string(s.stride) +
+         " margin=" + std::to_string(s.margin);
+}
+
+std::vector<PoolShape> pool_shapes() {
+  std::vector<PoolShape> shapes = {
+      {2, 2, 1, 2, 2, 0},       // single output pixel, single channel
+      {6, 6, 64, 2, 2, 1},      // word-exact, margin-carrying
+      {7, 9, 65, 3, 2, 0},      // ragged channels, overlapping windows
+      {8, 8, 513, 2, 2, 2},     // past AVX-512 width, fat margin
+      {32, 32, 100, 2, 2, 0},   // large H*W
+  };
+  std::mt19937_64 rng(20260807);
+  std::uniform_int_distribution<std::int64_t> dim(4, 16);
+  std::uniform_int_distribution<std::int64_t> chan(1, 300);
+  std::uniform_int_distribution<std::int64_t> ps(2, 3);
+  std::uniform_int_distribution<std::int64_t> margin(0, 1);
+  for (int i = 0; i < 5; ++i) {
+    PoolShape s{};
+    s.pool = ps(rng);
+    s.stride = ps(rng);
+    s.h = dim(rng) + s.pool;
+    s.w = dim(rng) + s.pool;
+    s.c = chan(rng);
+    s.margin = margin(rng);
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+TEST(IsaParity, BinaryMaxpoolAllLevels) {
+  runtime::ThreadPool pool(3);
+  const auto levels = simd::supported_isa_levels();
+  std::uint64_t seed = 5000;
+  for (const PoolShape& s : pool_shapes()) {
+    PackedTensor in(s.h, s.w, s.c);
+    fill_random_bits(in, seed++);
+    const PoolSpec spec{s.pool, s.pool, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+
+    PackedTensor ref(oh + 2 * s.margin, ow + 2 * s.margin, s.c);
+    kernels::binary_maxpool(in, spec, IsaLevel::kU64, pool, ref, s.margin);
+    // Pin the scalar path to the decoded naive max pool (interior only).
+    const Tensor naive = testing::reference_binary_maxpool(in, spec);
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        for (std::int64_t c = 0; c < s.c; ++c) {
+          ASSERT_EQ(ref.get_bit(y + s.margin, x + s.margin, c), naive.at(y, x, c) >= 0.0f)
+              << "kernel binary_maxpool[u64] vs naive at (" << y << "," << x << "," << c
+              << "), shape " << describe(s);
+        }
+      }
+    }
+
+    for (IsaLevel isa : levels) {
+      PackedTensor out(oh + 2 * s.margin, ow + 2 * s.margin, s.c);
+      kernels::binary_maxpool(in, spec, isa, pool, out, s.margin);
+      for (std::int64_t i = 0; i < ref.num_words(); ++i) {
+        ASSERT_EQ(out.words()[i], ref.words()[i])
+            << "kernel binary_maxpool[" << simd::isa_name(isa)
+            << "] diverges from u64 at word " << i << ", shape " << describe(s);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bitflow

@@ -1,6 +1,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -141,6 +142,85 @@ TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
     count.fetch_add(static_cast<int>(r.size()));
   });
   EXPECT_EQ(count.load(), 16);
+}
+
+TEST(StaticBlock, EdgeCases) {
+  // n = 0: every block is empty.
+  for (int b = 0; b < 5; ++b) {
+    const Range r = static_block(0, 5, b);
+    EXPECT_EQ(r.begin, r.end) << "b=" << b;
+  }
+  // More blocks than elements: blocks are contiguous, non-overlapping, sizes
+  // differ by at most one, and exactly n of them are non-empty.
+  {
+    const std::int64_t n = 3;
+    const int p = 8;
+    std::int64_t covered = 0, prev_end = 0, mn = n, mx = 0;
+    for (int b = 0; b < p; ++b) {
+      const Range r = static_block(n, p, b);
+      EXPECT_EQ(r.begin, prev_end) << "b=" << b;
+      EXPECT_LE(r.begin, r.end);
+      prev_end = r.end;
+      covered += r.size();
+      mn = std::min(mn, r.size());
+      mx = std::max(mx, r.size());
+    }
+    EXPECT_EQ(prev_end, n);
+    EXPECT_EQ(covered, n);
+    EXPECT_LE(mx - mn, 1);
+  }
+  // Non-divisible split: same contiguity/balance contract.
+  {
+    const std::int64_t n = 10;
+    const int p = 3;
+    std::int64_t prev_end = 0;
+    for (int b = 0; b < p; ++b) {
+      const Range r = static_block(n, p, b);
+      EXPECT_EQ(r.begin, prev_end);
+      EXPECT_GE(r.size(), n / p);
+      EXPECT_LE(r.size(), n / p + 1);
+      prev_end = r.end;
+    }
+    EXPECT_EQ(prev_end, n);
+  }
+  // 64-bit-large n: the n*b product must not be computed in 32 bits.
+  {
+    const std::int64_t n = std::int64_t{1} << 40;
+    const int p = 7;
+    std::int64_t prev_end = 0, covered = 0;
+    for (int b = 0; b < p; ++b) {
+      const Range r = static_block(n, p, b);
+      EXPECT_EQ(r.begin, prev_end);
+      EXPECT_GE(r.size(), n / p);
+      EXPECT_LE(r.size(), n / p + 1);
+      prev_end = r.end;
+      covered += r.size();
+    }
+    EXPECT_EQ(prev_end, n);
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ThreadPool, RunOnAllRethrowsWorkerExceptionExactlyOnce) {
+  ThreadPool pool(4);
+  // Several workers throw; the caller must see exactly one rethrow (not an
+  // aggregate, not a terminate), and the message must come from one of them.
+  int caught = 0;
+  try {
+    pool.run_on_all([&](int w) {
+      if (w != 0) throw std::runtime_error("worker " + std::to_string(w));
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u) << e.what();
+  }
+  EXPECT_EQ(caught, 1);
+  // The pool must be fully usable afterwards: pending/job state reset.
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> visits{0};
+    pool.run_on_all([&](int) { visits.fetch_add(1); });
+    EXPECT_EQ(visits.load(), 4) << "round " << round;
+  }
 }
 
 TEST(ThreadPool, CallerExceptionPropagates) {

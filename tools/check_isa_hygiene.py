@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Static lint enforcing BitFlow's ISA-hygiene invariant.
+
+The whole dispatch design of this repository rests on one property that the
+compiler cannot check: *every* use of a vector ISA must live in a translation
+unit compiled with exactly that ISA's -m flags, selected at runtime by CPUID.
+If an intrinsic (or an -m flag) leaks into a shared header or a generic TU,
+the binary silently requires wider hardware than the baseline x86-64 the
+README promises, and the scalar baselines stop being honest.
+
+Three rules, in decreasing order of severity:
+
+  1. Raw SIMD intrinsic calls (_mm_*/_mm256_*/_mm512_*), vector register
+     types (__m128/__m256/__m512) and <immintrin.h> includes may appear only
+     in the per-ISA translation units, or in the designated SIMD
+     implementation headers that those TUs include.  The register-view
+     header bitpack/bit64.hpp may *name* register types (its Table II
+     unions) and include <immintrin.h>, but must not call intrinsics.
+
+  2. SIMD implementation headers (simd/bitops_inline.hpp) may be included
+     only by per-ISA translation units: they contain real intrinsic bodies
+     whose lowering depends on the including TU's -m flags.
+
+  3. In the CMake tree, ISA -m flags (-msse*, -mavx*, -mpopcnt, -mfma, ...)
+     may be attached only to per-ISA translation units via
+     set_source_files_properties — never through add_compile_options,
+     target_compile_options, or CMAKE_CXX_FLAGS.
+
+Exit status: 0 when the tree is clean, 1 with one "file:line: message" per
+violation otherwise.  Run from anywhere: paths are resolved relative to the
+repository root (the parent of this script's directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --- the allowlists: the only places ISA-specific code may live --------------
+
+# Translation units compiled with per-ISA -m flags (see the matching
+# set_source_files_properties calls in the CMake tree).
+PER_ISA_TUS = {
+    "src/simd/bitops_u64.cpp",
+    "src/simd/bitops_sse.cpp",
+    "src/simd/bitops_avx2.cpp",
+    "src/simd/bitops_avx512.cpp",
+    "src/simd/bitops_avx512vp.cpp",
+    "src/kernels/pressedconv_u64.cpp",
+    "src/kernels/pressedconv_sse.cpp",
+    "src/kernels/pressedconv_avx2.cpp",
+    "src/kernels/pressedconv_avx512.cpp",
+    "src/kernels/pressedconv_avx512vp.cpp",
+    "src/bitpack/pack_avx2.cpp",
+    "src/baseline/sgemm_avx2.cpp",
+    "src/baseline/unopt_binary.cpp",
+}
+
+# Headers holding intrinsic implementations; their lowering depends on the
+# including TU's flags, so only per-ISA TUs may include them.
+SIMD_IMPL_HEADERS = {
+    "src/simd/bitops_inline.hpp",
+}
+
+# Headers that may name vector register types (byte-compatible union views)
+# but must not call intrinsics.
+REGISTER_VIEW_HEADERS = {
+    "src/bitpack/bit64.hpp",
+}
+
+SCAN_DIRS = ("src", "tests", "bench", "tools", "examples")
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+
+INTRINSIC_CALL = re.compile(r"\b_mm(?:256|512)?_[A-Za-z0-9_]+\s*\(")
+VECTOR_TYPE = re.compile(r"\b__m(?:128|256|512)[id]?\b")
+INTRIN_INCLUDE = re.compile(
+    r'#\s*include\s*[<"](?:imm|x86|xmm|emm|pmm|tmm|smm|nmm|wmm|amm|avx\w*)intrin\.h[>"]')
+IMPL_HEADER_INCLUDE = re.compile(r'#\s*include\s*[<"]([^">]*bitops_inline\.hpp)[">]')
+
+# ISA-selecting -m flags.  Deliberately narrow so flags like -march (banned
+# separately in review) or -mtune never match by accident, and generic flags
+# (-m64) stay out of scope.
+ISA_FLAG = re.compile(
+    r"-m(?:sse[0-9.]*[a-z0-9.]*|ssse3|avx(?:2|512[a-z0-9]*)?|popcnt|fma4?|bmi2?|f16c|xop)\b")
+
+SET_SRC_PROPS = re.compile(r"set_source_files_properties\s*\(", re.IGNORECASE)
+
+
+STRING_LITERAL = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_string_literals(text: str) -> str:
+    """Blanks double-quoted string literals (offset-preserving) so intrinsic
+    names inside report/log strings don't trip the lint."""
+    return STRING_LITERAL.sub(lambda m: '"' + " " * (len(m.group(0)) - 2) + '"', text)
+
+
+def strip_line_comments(text: str, marker: str) -> str:
+    """Blanks everything from `marker` to end of line, preserving offsets."""
+    out = []
+    for line in text.splitlines(keepends=True):
+        idx = line.find(marker)
+        if idx >= 0:
+            body = line[:idx]
+            tail = line[idx:]
+            line = body + re.sub(r"[^\n]", " ", tail)
+        out.append(line)
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def check_cxx_file(rel: str, text: str, errors: list[str]) -> None:
+    if rel in PER_ISA_TUS or rel in SIMD_IMPL_HEADERS:
+        return  # may contain anything ISA-specific
+    scan = strip_line_comments(strip_string_literals(text), "//")
+    if rel in REGISTER_VIEW_HEADERS:
+        for m in INTRINSIC_CALL.finditer(scan):
+            errors.append(
+                f"{rel}:{line_of(scan, m.start())}: intrinsic call {m.group(0).strip('( ')} in a "
+                "register-view header (bit64.hpp may name __m types but not call intrinsics)")
+        return
+    for m in INTRINSIC_CALL.finditer(scan):
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: raw SIMD intrinsic {m.group(0).strip('( ')} "
+            "outside the per-ISA translation units")
+    for m in VECTOR_TYPE.finditer(scan):
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: vector register type {m.group(0)} outside the "
+            "per-ISA translation units / register-view headers")
+    for m in INTRIN_INCLUDE.finditer(scan):
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: <immintrin.h>-family include outside the per-ISA "
+            "translation units")
+
+
+def check_impl_header_includes(rel: str, text: str, errors: list[str]) -> None:
+    if rel in PER_ISA_TUS or rel in SIMD_IMPL_HEADERS:
+        return
+    scan = strip_line_comments(text, "//")
+    for m in IMPL_HEADER_INCLUDE.finditer(scan):
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: includes SIMD impl header {m.group(1)} — only "
+            "per-ISA translation units may include it (its lowering depends on the TU's -m flags)")
+
+
+def allowed_flag_spans(rel_dir: str, text: str, errors: list[str]) -> list[tuple[int, int]]:
+    """Spans of set_source_files_properties(...) calls whose sources are all
+    per-ISA TUs.  A call on any other source file is itself reported."""
+    spans = []
+    for m in SET_SRC_PROPS.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        body = text[m.end():i - 1]
+        files = []
+        for tok in body.replace("\n", " ").split():
+            if tok.upper() == "PROPERTIES":
+                break
+            files.append(tok.strip('"'))
+        if not ISA_FLAG.search(body):
+            continue
+        bad = [f for f in files
+               if (f"{rel_dir}/{f}" if rel_dir else f) not in PER_ISA_TUS]
+        if bad:
+            errors.append(
+                f"{rel_dir or '.'}/CMakeLists.txt:{line_of(text, m.start())}: ISA -m flags "
+                f"attached to non-per-ISA source(s): {', '.join(bad)}")
+        else:
+            spans.append((m.start(), i))
+    return spans
+
+
+def check_cmake_file(rel: str, text: str, errors: list[str]) -> None:
+    scan = strip_line_comments(text, "#")
+    rel_dir = str(pathlib.PurePosixPath(rel).parent)
+    if rel_dir == ".":
+        rel_dir = ""
+    spans = allowed_flag_spans(rel_dir, scan, errors)
+    for m in ISA_FLAG.finditer(scan):
+        if any(lo <= m.start() < hi for lo, hi in spans):
+            continue
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: ISA flag {m.group(0)} outside a "
+            "set_source_files_properties call on a per-ISA translation unit")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    errors: list[str] = []
+    n_files = 0
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if path.name == "CMakeLists.txt":
+                n_files += 1
+                check_cmake_file(rel, path.read_text(errors="replace"), errors)
+            elif path.suffix in SOURCE_SUFFIXES:
+                n_files += 1
+                text = path.read_text(errors="replace")
+                check_cxx_file(rel, text, errors)
+                check_impl_header_includes(rel, text, errors)
+    # The top-level CMakeLists is outside SCAN_DIRS; check it too.
+    top = root / "CMakeLists.txt"
+    if top.is_file():
+        n_files += 1
+        check_cmake_file("CMakeLists.txt", top.read_text(errors="replace"), errors)
+
+    # The allowlist must not rot: every listed file has to exist.
+    for listed in sorted(PER_ISA_TUS | SIMD_IMPL_HEADERS | REGISTER_VIEW_HEADERS):
+        if not (root / listed).is_file():
+            errors.append(f"{listed}: listed in the hygiene allowlist but missing from the tree")
+
+    if errors:
+        print(f"ISA hygiene: {len(errors)} violation(s) in {n_files} scanned files:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"ISA hygiene: OK ({n_files} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
