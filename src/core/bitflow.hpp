@@ -9,7 +9,8 @@
 //   auto scores = net.infer(image);              // image: HWC float Tensor
 //
 // Layer cake (see DESIGN.md):
-//   core   : this facade, AIT model, version/system report
+//   core   : this facade, AIT model, version/system report, Status/failpoints
+//   serve  : recoverable serving boundary (InferenceSession, see serve/session.hpp)
 //   graph  : static network, memory planner, vector execution scheduler
 //   ops    : standalone operator-level API
 //   kernels: PressedConv / bgemm / OR-pool per-ISA kernels
@@ -23,6 +24,8 @@
 #include "baseline/unopt_binary.hpp"
 #include "bitpack/packer.hpp"
 #include "core/ait.hpp"
+#include "core/failpoint.hpp"
+#include "core/status.hpp"
 #include "graph/network.hpp"
 #include "graph/scheduler.hpp"
 #include "kernels/bgemm.hpp"
@@ -32,6 +35,7 @@
 #include "ops/operators.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
+#include "serve/session.hpp"
 #include "simd/cpu_features.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/util.hpp"

@@ -1,0 +1,135 @@
+// Named fault-injection points ("failpoints") for robustness testing.
+//
+// A failpoint is a named hook compiled into a production code path that can
+// be armed — programmatically or via the BITFLOW_FAILPOINTS environment
+// variable — to inject a fault when execution reaches it:
+//
+//   BF_FAILPOINT("io.read_weights");        // action decided by the armed config
+//   if (BF_FAILPOINT_TRIGGERED("simd.force_fallback")) { /* site-specific fault */ }
+//
+// Cost model: when no failpoint is armed anywhere in the process, both
+// macros are a single relaxed atomic load and a predictable branch — cheap
+// enough to leave in the model loader and the thread-pool dispatch path of
+// release builds (they are deliberately NOT placed in per-element kernel
+// loops).  Only once at least one point is armed does a hit take the
+// registry mutex.
+//
+// Actions (what an armed point does when its trigger fires):
+//   * kError    — throw failpoint::FaultInjected (a std::runtime_error);
+//   * kBadAlloc — throw std::bad_alloc, simulating allocation failure;
+//   * kStall    — sleep for `stall_ms`, simulating a wedged worker/IO;
+//   * kSite     — no effect from the framework; BF_FAILPOINT_TRIGGERED
+//                 returns true and the call site applies its own fault
+//                 (e.g. forcing ISA fallback, truncating a read).
+//
+// Triggers (when an armed point fires):
+//   * kAlways      — every hit;
+//   * kOnce        — the first hit, then the point auto-disarms;
+//   * kCounted(n)  — the first n hits, then the point auto-disarms;
+//   * kEveryNth(n) — hits n, 2n, 3n, ... while armed.
+//
+// Environment activation, parsed once at process start:
+//   BITFLOW_FAILPOINTS="io.open=once:error;runtime.worker_stall=every(3):stall(100)"
+// Spec grammar: name=trigger:action with trigger in {always, once,
+// count(N), every(N)} and action in {error, badalloc, stall(MS), site}.
+//
+// The set of valid names is a fixed catalog (failpoint.cpp); arming an
+// unknown name throws, so tests iterating the catalog provably cover every
+// injection site in the tree.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bitflow::failpoint {
+
+/// What an armed failpoint does when its trigger fires.
+enum class Action : std::uint8_t { kError, kBadAlloc, kStall, kSite };
+
+/// When an armed failpoint fires.
+enum class Trigger : std::uint8_t { kAlways, kOnce, kCounted, kEveryNth };
+
+/// Armed configuration of one failpoint.
+struct Config {
+  Action action = Action::kError;
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t n = 1;          ///< kCounted: first n hits; kEveryNth: every n-th hit
+  std::uint64_t stall_ms = 50;  ///< sleep duration for Action::kStall
+};
+
+/// One catalog entry: the failpoint's name and where it is wired.
+struct PointInfo {
+  std::string_view name;
+  std::string_view site;
+};
+
+/// Exception thrown by Action::kError.  `point()` names the failpoint so
+/// error-mapping layers can classify the fault by subsystem prefix.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(std::string_view point)
+      : std::runtime_error("injected fault at failpoint '" + std::string(point) + "'"),
+        point_(point) {}
+  [[nodiscard]] std::string_view point() const noexcept { return point_; }
+
+ private:
+  std::string_view point_;  // refers to the static catalog string
+};
+
+/// All failpoints compiled into the library (fixed at build time).
+[[nodiscard]] const std::vector<PointInfo>& catalog();
+
+/// Arms `name` with `cfg`; re-arming replaces the previous config and
+/// resets the hit/fire counters.  Throws std::invalid_argument for a name
+/// not in the catalog.
+void arm(std::string_view name, Config cfg);
+
+/// Disarms `name` (no-op if not armed; throws for unknown names).
+void disarm(std::string_view name);
+
+/// Disarms every failpoint.
+void disarm_all();
+
+/// True when `name` is currently armed.
+[[nodiscard]] bool armed(std::string_view name);
+
+/// Number of times execution reached `name` while it was armed (reset by arm()).
+[[nodiscard]] std::uint64_t hit_count(std::string_view name);
+
+/// Parses and applies an activation spec (see file comment for the grammar).
+/// Throws std::invalid_argument on malformed specs or unknown names.
+void arm_from_spec(std::string_view spec);
+
+/// Applies the BITFLOW_FAILPOINTS environment variable if set (malformed
+/// specs are reported to stderr and ignored — a bad env var must not take
+/// the process down).  Called automatically before main(); idempotent only
+/// in the sense that re-calling re-applies the spec.
+void arm_from_env();
+
+namespace detail {
+
+/// Count of currently armed failpoints; both macros gate on this so that a
+/// fully disarmed process pays one relaxed load per hit.
+extern std::atomic<int> g_armed_points;
+
+/// Slow path: looks up `name`, evaluates the trigger, performs the armed
+/// action.  Returns true when an Action::kSite trigger fired.
+bool hit(const char* name);
+
+}  // namespace detail
+
+}  // namespace bitflow::failpoint
+
+#define BF_FAILPOINT(name)                                                                 \
+  do {                                                                                     \
+    if (::bitflow::failpoint::detail::g_armed_points.load(std::memory_order_relaxed) != 0) \
+      (void)::bitflow::failpoint::detail::hit(name);                                       \
+  } while (0)
+
+#define BF_FAILPOINT_TRIGGERED(name)                                                      \
+  (::bitflow::failpoint::detail::g_armed_points.load(std::memory_order_relaxed) != 0 &&   \
+   ::bitflow::failpoint::detail::hit(name))

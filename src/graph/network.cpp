@@ -7,6 +7,7 @@
 
 #include "baseline/float_ops.hpp"
 #include "bitpack/packer.hpp"
+#include "core/failpoint.hpp"
 #include "runtime/timer.hpp"
 
 namespace bitflow::graph {
@@ -209,12 +210,21 @@ void BinaryNetwork::finalize(TensorDesc input) {
   if (im.pending.empty()) throw std::logic_error("BinaryNetwork: no layers");
   const std::size_t n_layers = im.pending.size();
   const simd::CpuFeatures& hw = simd::cpu_features();
+  if (im.cfg.max_isa.has_value() && !hw.supports(*im.cfg.max_isa)) {
+    throw std::invalid_argument(
+        "finalize: configured max_isa " + std::string(simd::isa_name(*im.cfg.max_isa)) +
+        " is not executable on this CPU");
+  }
 
   // Pass 1: shape inference + validation + ISA selection.
   im.input = input;
   TensorDesc cur = input;
   bool seen_fc = false;
   auto clamp_isa = [&](simd::IsaLevel isa) {
+    // Armed simd.force_fallback degrades every layer to the scalar u64
+    // kernels — the ISA-parity harness guarantees this changes nothing but
+    // throughput, which is exactly what the fault matrix asserts.
+    if (BF_FAILPOINT_TRIGGERED("simd.force_fallback")) return simd::IsaLevel::kU64;
     if (im.cfg.max_isa.has_value() &&
         static_cast<int>(isa) > static_cast<int>(*im.cfg.max_isa)) {
       return *im.cfg.max_isa;

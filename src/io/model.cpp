@@ -20,6 +20,7 @@
 // stream throws std::runtime_error with a description of what failed.
 #include "io/model.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -27,12 +28,46 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/failpoint.hpp"
+
 namespace bitflow::io {
 
 namespace {
 
 constexpr char kMagic[4] = {'B', 'F', 'L', 'W'};
 constexpr std::uint32_t kVersion = 1;
+
+std::atomic<std::int64_t> g_load_budget{kDefaultModelLoadBudgetBytes};
+
+/// `a * b`, throwing instead of overflowing.  Loader sizes are products of
+/// attacker-controlled extents: each factor can pass its per-dimension
+/// plausibility cap while the product wraps int64 or demands terabytes.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b, const char* what) {
+  if (a != 0 && b > std::numeric_limits<std::int64_t>::max() / a) {
+    throw std::runtime_error(std::string("model load: size overflow computing ") + what);
+  }
+  return a * b;
+}
+
+/// Running total of payload bytes a load is about to allocate; charge()
+/// must be called BEFORE the corresponding allocation happens.
+class PayloadBudget {
+ public:
+  void charge(std::int64_t bytes, const char* what) {
+    if (bytes < 0 || bytes > std::numeric_limits<std::int64_t>::max() - used_) {
+      throw std::runtime_error(std::string("model load: size overflow computing ") + what);
+    }
+    used_ += bytes;
+    const std::int64_t budget = g_load_budget.load(std::memory_order_relaxed);
+    if (used_ > budget) {
+      throw std::runtime_error(std::string("model load: weight payload exceeds the ") +
+                               std::to_string(budget) + "-byte load budget at " + what);
+    }
+  }
+
+ private:
+  std::int64_t used_ = 0;
+};
 
 // --- little-endian primitive I/O ------------------------------------------
 
@@ -90,6 +125,15 @@ std::vector<float> read_thresholds(std::istream& is, std::int64_t count) {
 }
 
 }  // namespace
+
+std::int64_t model_load_budget_bytes() noexcept {
+  return g_load_budget.load(std::memory_order_relaxed);
+}
+
+void set_model_load_budget_bytes(std::int64_t bytes) {
+  if (bytes < 1) throw std::invalid_argument("model load budget must be >= 1 byte");
+  g_load_budget.store(bytes, std::memory_order_relaxed);
+}
 
 void Model::add_conv(std::string name, PackedFilterBank filters, std::int64_t stride,
                      std::int64_t pad, std::vector<float> thresholds) {
@@ -265,6 +309,8 @@ Model Model::load(std::istream& is) {
   if (version != kVersion) {
     throw std::runtime_error("model load: unsupported version " + std::to_string(version));
   }
+  BF_FAILPOINT("io.read_header");
+  PayloadBudget budget;
   Model m;
   m.input_.h = read_extent(is, "input h");
   m.input_.w = read_extent(is, "input w");
@@ -285,8 +331,15 @@ Model Model::load(std::istream& is) {
         r.stride = read_extent(is, "conv stride", 64);
         r.pad = read_pod<std::int64_t>(is, "conv pad");
         if (r.pad < 0 || r.pad > 64) throw std::runtime_error("model load: implausible pad");
+        const std::int64_t wpf =
+            checked_mul(checked_mul(kh, kw, "conv filter words"), (c + 63) / 64,
+                        "conv filter words");
+        budget.charge(checked_mul(checked_mul(k, wpf, "conv weights"), 8, "conv weights"),
+                      "conv weights");
+        budget.charge(checked_mul(k, 4, "conv thresholds"), "conv thresholds");
         r.thresholds = read_thresholds(is, k);
         r.filters = PackedFilterBank(k, kh, kw, c);
+        BF_FAILPOINT("io.read_weights");
         is.read(reinterpret_cast<char*>(r.filters.words()),
                 static_cast<std::streamsize>(k * r.filters.words_per_filter() * 8));
         if (!is) throw std::runtime_error("model load: truncated conv weights");
@@ -303,8 +356,13 @@ Model Model::load(std::istream& is) {
         r.kind = graph::LayerKind::kFc;
         const std::int64_t k = read_extent(is, "fc k");
         const std::int64_t n = read_extent(is, "fc n", 1 << 28);
+        budget.charge(
+            checked_mul(checked_mul(k, (n + 63) / 64, "fc weights"), 8, "fc weights"),
+            "fc weights");
+        budget.charge(checked_mul(k, 4, "fc thresholds"), "fc thresholds");
         r.thresholds = read_thresholds(is, k);
         r.fc_weights = PackedMatrix(k, n);
+        BF_FAILPOINT("io.read_weights");
         is.read(reinterpret_cast<char*>(r.fc_weights.words()),
                 static_cast<std::streamsize>(r.fc_weights.num_words() * 8));
         if (!is) throw std::runtime_error("model load: truncated fc weights");
@@ -320,8 +378,14 @@ Model Model::load(std::istream& is) {
         r.stride = read_extent(is, "fconv stride", 64);
         r.pad = read_pod<std::int64_t>(is, "fconv pad");
         if (r.pad < 0 || r.pad > 64) throw std::runtime_error("model load: implausible pad");
+        const std::int64_t elems = checked_mul(
+            checked_mul(checked_mul(k, kh, "fconv weights"), kw, "fconv weights"), c,
+            "fconv weights");
+        budget.charge(checked_mul(elems, 4, "fconv weights"), "fconv weights");
+        budget.charge(checked_mul(k, 4, "fconv thresholds"), "fconv thresholds");
         r.thresholds = read_thresholds(is, k);
         r.float_filters = FilterBank(k, kh, kw, c);
+        BF_FAILPOINT("io.read_weights");
         is.read(reinterpret_cast<char*>(r.float_filters.data()),
                 static_cast<std::streamsize>(r.float_filters.num_elements() * 4));
         if (!is) throw std::runtime_error("model load: truncated fconv weights");
@@ -338,6 +402,7 @@ Model Model::load(std::istream& is) {
 Model Model::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("model load: cannot open " + path);
+  BF_FAILPOINT("io.open");
   return load(f);
 }
 

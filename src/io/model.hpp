@@ -25,6 +25,22 @@
 
 namespace bitflow::io {
 
+/// Default ceiling on the total weight/threshold payload bytes a single
+/// Model::load may allocate (1 GiB — comfortably above any real BNN, far
+/// below what a corrupt header can request).
+inline constexpr std::int64_t kDefaultModelLoadBudgetBytes = std::int64_t{1} << 30;
+
+/// Process-wide Model::load allocation budget.  The loader computes each
+/// layer's payload size with overflow-checked arithmetic and rejects the
+/// file (clean std::runtime_error, no allocation) once the running total
+/// exceeds this budget — per-dimension extents can individually look
+/// plausible while their product demands terabytes.
+[[nodiscard]] std::int64_t model_load_budget_bytes() noexcept;
+
+/// Replaces the load budget (serving operators size this to their fleet's
+/// memory headroom).  Throws std::invalid_argument when bytes < 1.
+void set_model_load_budget_bytes(std::int64_t bytes);
+
 /// One serialized layer.  Exactly one of the kind-specific payloads is
 /// meaningful, selected by `kind`.
 struct LayerRecord {

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/failpoint.hpp"
+
 namespace bitflow::runtime {
+
+namespace {
+
+/// Runs one worker's share of a job with the fault-injection hooks applied.
+void run_job(const std::function<void(int)>& fn, int worker) {
+  BF_FAILPOINT("runtime.worker");
+  BF_FAILPOINT("runtime.worker_stall");
+  fn(worker);
+}
+
+/// Best-effort message extraction from a captured exception.
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   if (num_threads < 1) throw std::invalid_argument("ThreadPool needs >= 1 thread");
@@ -35,13 +59,16 @@ void ThreadPool::worker_loop(int index) {
     }
     std::exception_ptr error;
     try {
-      (*job)(index);
+      run_job(*job, index);
     } catch (...) {
       error = std::current_exception();
     }
     {
       std::lock_guard lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
+      if (error) {
+        if (!first_error_) first_error_ = error;
+        ++error_count_;
+      }
       if (--pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -50,7 +77,7 @@ void ThreadPool::worker_loop(int index) {
 void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
   BF_CHECK(static_cast<bool>(fn), "run_on_all: empty job");
   if (num_threads_ == 1) {
-    fn(0);
+    run_job(fn, 0);
     return;
   }
   {
@@ -60,25 +87,35 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
     job_ = &fn;
     pending_ = num_threads_ - 1;
     first_error_ = nullptr;
+    error_count_ = 0;
     ++job_epoch_;
   }
   start_cv_.notify_all();
   std::exception_ptr caller_error;
   try {
-    fn(0);  // the caller is worker 0
+    run_job(fn, 0);  // the caller is worker 0
   } catch (...) {
     caller_error = std::current_exception();
   }
   std::exception_ptr worker_error;
+  int worker_errors = 0;
   {
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
     job_ = nullptr;
     worker_error = first_error_;
+    worker_errors = error_count_;
     first_error_ = nullptr;
+    error_count_ = 0;
   }
-  if (caller_error) std::rethrow_exception(caller_error);
-  if (worker_error) std::rethrow_exception(worker_error);
+  // Error contract: one failure rethrows the original exception (type
+  // preserved); several failures throw an aggregate so no worker's outcome
+  // is silently dropped.  The caller counts as worker 0.
+  const int failures = worker_errors + (caller_error ? 1 : 0);
+  if (failures == 0) return;
+  const std::exception_ptr primary = caller_error ? caller_error : worker_error;
+  if (failures == 1) std::rethrow_exception(primary);
+  throw WorkerFailure(failures, num_threads_, describe(primary));
 }
 
 void ThreadPool::parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn) {

@@ -13,12 +13,31 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/check.hpp"
 
 namespace bitflow::runtime {
+
+/// Aggregate failure thrown by ThreadPool::run_on_all when more than one
+/// worker's job throws: the message carries the failure count and the first
+/// failing worker's message; failed_count() exposes the count for callers
+/// that map pool failures to a Status (serve/session.cpp).  When exactly
+/// one worker throws, the original exception is rethrown unchanged instead.
+class WorkerFailure : public std::runtime_error {
+ public:
+  WorkerFailure(int failed, int total, const std::string& first_message)
+      : std::runtime_error("parallel job: " + std::to_string(failed) + " of " +
+                           std::to_string(total) + " workers failed; first: " + first_message),
+        failed_(failed) {}
+  [[nodiscard]] int failed_count() const noexcept { return failed_; }
+
+ private:
+  int failed_;
+};
 
 /// Inclusive-exclusive index range [begin, end).
 struct Range {
@@ -62,9 +81,11 @@ class ThreadPool {
   [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
 
   /// Runs `fn(worker_index)` on every worker (including the caller as worker
-  /// 0) and returns when all have finished.  If any worker's fn throws, one
-  /// of the exceptions is rethrown on the calling thread after the join
-  /// (the job still completes on every worker).
+  /// 0) and returns when all have finished (the job still completes on every
+  /// worker even when some throw).  Error contract: if exactly one worker's
+  /// fn throws, that exception is rethrown unchanged on the calling thread;
+  /// if several throw, a WorkerFailure aggregating the count and the first
+  /// message is thrown instead.  The pool remains fully usable afterwards.
   void run_on_all(const std::function<void(int)>& fn);
 
   /// Splits [0, n) into static blocks and runs `fn(range, worker_index)` on
@@ -84,7 +105,8 @@ class ThreadPool {
   std::uint64_t job_epoch_ = 0;
   int pending_ = 0;
   bool shutting_down_ = false;
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_;  ///< first worker exception of the current job
+  int error_count_ = 0;             ///< worker exceptions of the current job
 };
 
 /// Process-wide default pool, sized to the hardware concurrency; created on

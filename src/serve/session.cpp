@@ -1,0 +1,211 @@
+#include "serve/session.hpp"
+
+#include <future>
+#include <istream>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "core/failpoint.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::serve {
+
+namespace {
+
+using core::ErrorCode;
+using core::Status;
+
+/// Classifies an injected fault by the subsystem prefix of its failpoint
+/// name, so the fault matrix sees the same code a real fault of that
+/// subsystem would produce.
+ErrorCode code_for_failpoint(std::string_view point) {
+  if (point.starts_with("io.")) return ErrorCode::kInvalidModel;
+  if (point.starts_with("alloc.")) return ErrorCode::kResourceExhausted;
+  if (point.starts_with("runtime.")) return ErrorCode::kWorkerFailure;
+  return ErrorCode::kInternal;
+}
+
+/// Exception → Status mapping for the model-building phase.
+Status map_open_error() {
+  try {
+    throw;
+  } catch (const failpoint::FaultInjected& e) {
+    return {code_for_failpoint(e.point()), e.what()};
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::kResourceExhausted, "allocation failed while loading the model"};
+  } catch (const runtime::WorkerFailure& e) {
+    return {ErrorCode::kWorkerFailure, e.what()};
+  } catch (const std::exception& e) {
+    // Loader errors are runtime_error; graph validation rejects a
+    // malformed layer chain with invalid_argument/logic_error.  Either
+    // way the model, not the caller's request, is at fault.
+    return {ErrorCode::kInvalidModel, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, "unknown exception while loading the model"};
+  }
+}
+
+/// Exception → Status mapping for the inference phase.
+Status map_infer_error() {
+  try {
+    throw;
+  } catch (const failpoint::FaultInjected& e) {
+    return {code_for_failpoint(e.point()), e.what()};
+  } catch (const runtime::WorkerFailure& e) {
+    return {ErrorCode::kWorkerFailure, e.what()};
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::kResourceExhausted, "allocation failed during inference"};
+  } catch (const std::invalid_argument& e) {
+    return {ErrorCode::kBadInput, e.what()};
+  } catch (const std::exception& e) {
+    return {ErrorCode::kInternal, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, "unknown exception during inference"};
+  }
+}
+
+}  // namespace
+
+struct InferenceSession::Impl {
+  SessionConfig cfg;
+  graph::BinaryNetwork net;
+
+  // Watchdog state (deadline mode only).  The task owns nothing: it reads
+  // task_input and writes task_scores, both Impl members, so a straggler
+  // stays valid for as long as the Impl lives — and the Impl address is
+  // stable across session moves.
+  std::future<Status> straggler;
+  Tensor task_input;
+  std::vector<float> task_scores;
+
+  std::uint64_t ok_count = 0;
+  std::uint64_t error_count = 0;
+
+  Impl(SessionConfig c, graph::BinaryNetwork n) : cfg(c), net(std::move(n)) {}
+
+  ~Impl() {
+    if (straggler.valid()) straggler.wait();
+  }
+
+  /// One guarded inference: every failure becomes a Status, `out` is only
+  /// written on success.
+  Status run_once(const Tensor& input, std::vector<float>& out) {
+    try {
+      BF_FAILPOINT("serve.infer");
+      const std::span<const float> s = net.infer(input);
+      out.assign(s.begin(), s.end());
+      return Status::ok();
+    } catch (...) {
+      return map_infer_error();
+    }
+  }
+};
+
+InferenceSession::InferenceSession(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+InferenceSession::InferenceSession(InferenceSession&&) noexcept = default;
+InferenceSession& InferenceSession::operator=(InferenceSession&&) noexcept = default;
+InferenceSession::~InferenceSession() = default;
+
+core::Result<InferenceSession> InferenceSession::from_model(const io::Model& model,
+                                                            SessionConfig cfg) {
+  if (cfg.net.max_isa.has_value() && !simd::cpu_features().supports(*cfg.net.max_isa)) {
+    return Status{ErrorCode::kUnsupportedIsa,
+                  "requested max_isa " + std::string(simd::isa_name(*cfg.net.max_isa)) +
+                      " is not executable on this CPU"};
+  }
+  if (cfg.net.num_threads < 1) {
+    return Status{ErrorCode::kBadInput, "SessionConfig: num_threads must be >= 1"};
+  }
+  try {
+    graph::BinaryNetwork net = model.instantiate(cfg.net);
+    return InferenceSession(std::make_unique<Impl>(cfg, std::move(net)));
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+core::Result<InferenceSession> InferenceSession::open(std::istream& is, SessionConfig cfg) {
+  try {
+    const io::Model model = io::Model::load(is);
+    return from_model(model, cfg);
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+core::Result<InferenceSession> InferenceSession::open(const std::string& path,
+                                                      SessionConfig cfg) {
+  try {
+    const io::Model model = io::Model::load(path);
+    return from_model(model, cfg);
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+core::Status InferenceSession::infer(const Tensor& input_hwc, std::vector<float>& scores) {
+  Impl& im = *impl_;
+
+  // A previous request missed its deadline and is still draining: await it
+  // before touching the shared buffers.  Its (late) result is discarded —
+  // the caller was already told kDeadlineExceeded.
+  if (im.straggler.valid()) {
+    im.straggler.wait();
+    (void)im.straggler.get();
+  }
+
+  // Validate the request before any work; a shape mismatch must not count
+  // against the network or reach the watchdog.
+  const graph::TensorDesc want = im.net.input_desc();
+  if (input_hwc.height() != want.h || input_hwc.width() != want.w ||
+      input_hwc.channels() != want.c) {
+    ++im.error_count;
+    return {ErrorCode::kBadInput,
+            "infer: input is " + std::to_string(input_hwc.height()) + "x" +
+                std::to_string(input_hwc.width()) + "x" +
+                std::to_string(input_hwc.channels()) + ", network wants " +
+                std::to_string(want.h) + "x" + std::to_string(want.w) + "x" +
+                std::to_string(want.c)};
+  }
+
+  Status st;
+  if (im.cfg.deadline.count() <= 0) {
+    st = im.run_once(input_hwc, scores);
+  } else {
+    // Watchdog: run on a separate thread and wait up to the deadline.  The
+    // task reads an Impl-owned copy of the input (the caller's tensor may
+    // die the moment we time out) and writes an Impl-owned score buffer.
+    im.task_input = input_hwc;
+    Impl* impl = &im;
+    std::future<Status> fut = std::async(std::launch::async, [impl] {
+      return impl->run_once(impl->task_input, impl->task_scores);
+    });
+    if (fut.wait_for(im.cfg.deadline) == std::future_status::timeout) {
+      im.straggler = std::move(fut);
+      ++im.error_count;
+      return {ErrorCode::kDeadlineExceeded,
+              "infer: deadline of " + std::to_string(im.cfg.deadline.count()) +
+                  " ms exceeded; the request keeps draining in the background"};
+    }
+    st = fut.get();
+    if (st.is_ok()) scores = im.task_scores;
+  }
+
+  if (st.is_ok()) {
+    ++im.ok_count;
+  } else {
+    ++im.error_count;
+  }
+  return st;
+}
+
+graph::TensorDesc InferenceSession::input_desc() const { return impl_->net.input_desc(); }
+std::int64_t InferenceSession::output_size() const { return impl_->net.output_size(); }
+const std::vector<graph::LayerInfo>& InferenceSession::layers() const {
+  return impl_->net.layers();
+}
+std::uint64_t InferenceSession::ok_count() const noexcept { return impl_->ok_count; }
+std::uint64_t InferenceSession::error_count() const noexcept { return impl_->error_count; }
+
+}  // namespace bitflow::serve

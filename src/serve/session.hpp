@@ -1,0 +1,89 @@
+// Recoverable serving boundary around Model::load + BinaryNetwork.
+//
+// Everything inside the engine reports failure by exception (and contract
+// violations abort via BF_CHECK); everything outside this facade sees a
+// core::Status instead.  An InferenceSession owns one finalized network and
+// guarantees:
+//
+//   * open()/from_model() never throw for malformed files, overlong
+//     payloads, allocation failure or unsupported ISA caps — they return a
+//     Result carrying the mapped error code;
+//   * infer() never throws for bad inputs, worker failures, allocation
+//     failure or injected faults — it returns a Status, and a failed
+//     request leaves the session fully usable for the next one (the
+//     pre-allocated buffers are written before they are read, so a request
+//     abandoned mid-flight cannot poison its successor);
+//   * with a deadline configured, a wedged inference degrades to
+//     kDeadlineExceeded instead of hanging the caller: the request runs on
+//     a watchdog thread, and a straggler is awaited (not abandoned) at the
+//     start of the next request so two inferences never overlap.
+//
+// Exception → Status mapping (see session.cpp): std::bad_alloc →
+// kResourceExhausted; runtime::WorkerFailure → kWorkerFailure;
+// failpoint::FaultInjected → by subsystem prefix of the failpoint name;
+// std::invalid_argument → kBadInput (infer) / kInvalidModel (open);
+// any other std::exception → kInternal.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "graph/network.hpp"
+#include "io/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::serve {
+
+/// Configuration of one serving session.
+struct SessionConfig {
+  graph::NetworkConfig net{};
+  /// Per-request wall-clock budget for infer(); zero disables the watchdog
+  /// (requests run inline on the calling thread).
+  std::chrono::milliseconds deadline{0};
+};
+
+/// One loaded, finalized network behind a Status-returning API.
+/// Move-only; not thread-safe (one session per serving thread — sessions
+/// share nothing mutable, so scaling out is one session per core).
+class InferenceSession {
+ public:
+  /// Loads a .bflow file and builds the inference network.
+  [[nodiscard]] static core::Result<InferenceSession> open(const std::string& path,
+                                                           SessionConfig cfg = {});
+  /// Same, from an already-open stream.
+  [[nodiscard]] static core::Result<InferenceSession> open(std::istream& is,
+                                                           SessionConfig cfg = {});
+  /// Builds the network from an in-memory model description.
+  [[nodiscard]] static core::Result<InferenceSession> from_model(const io::Model& model,
+                                                                 SessionConfig cfg = {});
+
+  InferenceSession(InferenceSession&&) noexcept;
+  InferenceSession& operator=(InferenceSession&&) noexcept;
+  ~InferenceSession();  ///< awaits a straggling deadline-missed request
+
+  /// Runs one batch-1 inference.  On success, `scores` holds the last
+  /// layer's float outputs.  On failure, `scores` is untouched and the
+  /// session remains usable.
+  [[nodiscard]] core::Status infer(const Tensor& input_hwc, std::vector<float>& scores);
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] graph::TensorDesc input_desc() const;
+  [[nodiscard]] std::int64_t output_size() const;
+  [[nodiscard]] const std::vector<graph::LayerInfo>& layers() const;
+  /// Requests that returned OK / non-OK since the session was opened.
+  [[nodiscard]] std::uint64_t ok_count() const noexcept;
+  [[nodiscard]] std::uint64_t error_count() const noexcept;
+
+ private:
+  struct Impl;
+  explicit InferenceSession(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitflow::serve

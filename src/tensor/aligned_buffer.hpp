@@ -12,6 +12,8 @@
 #include <new>
 #include <utility>
 
+#include "core/failpoint.hpp"
+
 namespace bitflow {
 
 /// Allocation alignment used for every tensor buffer (one cache line, and
@@ -29,6 +31,7 @@ class AlignedBuffer {
 
   explicit AlignedBuffer(std::size_t bytes) : size_(bytes) {
     if (bytes > 0) {
+      BF_FAILPOINT("alloc.buffer");  // simulated bad_alloc lands here
       data_ = static_cast<std::byte*>(
           ::operator new[](bytes, std::align_val_t{kBufferAlignment}));
       std::memset(data_, 0, bytes);

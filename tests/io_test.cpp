@@ -189,5 +189,125 @@ TEST(ModelIo, VggScaleModelFileSize) {
   EXPECT_GT(file_size, float_bytes / 34);
 }
 
+// --- load-budget hardening ---------------------------------------------------
+
+/// Little-endian append of a trivially copyable value (matches write_pod in
+/// model.cpp on the x86 targets this test runs on).
+template <typename T>
+void put_pod(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Header + one conv-layer prefix whose declared extents demand `k * kh *
+/// kw * ceil(c/64) * 8` weight bytes.  Stops right before the thresholds:
+/// the budget must reject the layer before any payload is read or allocated.
+std::string conv_header(std::int64_t k, std::int64_t kh, std::int64_t kw, std::int64_t c) {
+  std::string out = "BFLW";
+  put_pod<std::uint32_t>(out, 1);  // version
+  put_pod<std::int64_t>(out, 8);   // input h
+  put_pod<std::int64_t>(out, 8);   // input w
+  put_pod<std::int64_t>(out, 8);   // input c
+  put_pod<std::uint32_t>(out, 1);  // layer count
+  put_pod<std::uint8_t>(out, 0);   // kind: conv
+  put_pod<std::uint32_t>(out, 1);  // name length
+  out += 'x';
+  put_pod<std::int64_t>(out, k);
+  put_pod<std::int64_t>(out, kh);
+  put_pod<std::int64_t>(out, kw);
+  put_pod<std::int64_t>(out, c);
+  put_pod<std::int64_t>(out, 1);  // stride
+  put_pod<std::int64_t>(out, 0);  // pad
+  return out;
+}
+
+/// Restores the process-wide load budget even if an assertion fails.
+class BudgetGuard {
+ public:
+  explicit BudgetGuard(std::int64_t bytes) : saved_(model_load_budget_bytes()) {
+    set_model_load_budget_bytes(bytes);
+  }
+  ~BudgetGuard() { set_model_load_budget_bytes(saved_); }
+  BudgetGuard(const BudgetGuard&) = delete;
+  BudgetGuard& operator=(const BudgetGuard&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+TEST(ModelLoadBudget, GiganticDeclaredPayloadIsRejectedBeforeAllocation) {
+  // Every extent individually passes its per-dimension cap, but the product
+  // demands ~2^57 bytes of weights — the checked budget must reject it up
+  // front (a naive loader would attempt a petabyte allocation here).
+  const std::string bytes = conv_header(1 << 24, 64, 64, 1 << 24);
+  std::stringstream ss(bytes);
+  try {
+    (void)Model::load(ss);
+    FAIL() << "expected the load budget to reject the layer";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("load budget"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ModelLoadBudget, ChargesAccumulateAcrossLayers) {
+  // Two layers, each under the budget alone but over it together.
+  const BudgetGuard guard(std::int64_t{1} << 20);  // 1 MiB
+  std::string bytes = "BFLW";
+  put_pod<std::uint32_t>(bytes, 1);
+  put_pod<std::int64_t>(bytes, 8);
+  put_pod<std::int64_t>(bytes, 8);
+  put_pod<std::int64_t>(bytes, 64);
+  put_pod<std::uint32_t>(bytes, 2);  // two conv layers
+  for (int i = 0; i < 2; ++i) {
+    put_pod<std::uint8_t>(bytes, 0);
+    put_pod<std::uint32_t>(bytes, 1);
+    bytes += static_cast<char>('a' + i);
+    put_pod<std::int64_t>(bytes, 1024);  // k: 1024 * 3*3*1 words * 8 = 72 KiB... per layer
+    put_pod<std::int64_t>(bytes, 3);
+    put_pod<std::int64_t>(bytes, 3);
+    put_pod<std::int64_t>(bytes, 64);
+    put_pod<std::int64_t>(bytes, 1);
+    put_pod<std::int64_t>(bytes, 1);
+    // thresholds flag + 1024 floats + weights for layer 0 so the loader
+    // reaches layer 1's charge; all zeros is fine.
+    put_pod<std::uint8_t>(bytes, 1);
+    bytes.append(1024 * 4, '\0');
+    bytes.append(static_cast<std::size_t>(1024) * 3 * 3 * 8, '\0');
+  }
+  // Each layer charges 72 KiB weights + 4 KiB thresholds; with a 100 KiB
+  // budget the second layer must push it over.
+  const BudgetGuard tight(100 * 1024);
+  std::stringstream ss(bytes);
+  EXPECT_THROW((void)Model::load(ss), std::runtime_error);
+  // With the 1 MiB guard budget alone it loads fine.
+  const BudgetGuard relaxed(std::int64_t{1} << 20);
+  std::stringstream ss2(bytes);
+  const Model m = Model::load(ss2);
+  EXPECT_EQ(m.num_layers(), 2u);
+}
+
+TEST(ModelLoadBudget, BudgetIsAdjustableAndValidated) {
+  EXPECT_EQ(model_load_budget_bytes(), kDefaultModelLoadBudgetBytes);
+  EXPECT_THROW(set_model_load_budget_bytes(0), std::invalid_argument);
+  EXPECT_THROW(set_model_load_budget_bytes(-5), std::invalid_argument);
+
+  // A model that loads under the default budget fails under a 64-byte one.
+  const Model a = make_test_model();
+  std::stringstream ss;
+  a.save(ss);
+  {
+    const BudgetGuard guard(64);
+    std::stringstream in(ss.str());
+    try {
+      (void)Model::load(in);
+      FAIL() << "expected budget rejection";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("load budget"), std::string::npos) << e.what();
+    }
+  }
+  // Guard restored the default: the same bytes load again.
+  std::stringstream in(ss.str());
+  EXPECT_EQ(Model::load(in).num_layers(), a.num_layers());
+}
+
 }  // namespace
 }  // namespace bitflow::io

@@ -201,18 +201,22 @@ TEST(StaticBlock, EdgeCases) {
   }
 }
 
-TEST(ThreadPool, RunOnAllRethrowsWorkerExceptionExactlyOnce) {
+TEST(ThreadPool, RunOnAllAggregatesMultipleWorkerFailures) {
   ThreadPool pool(4);
-  // Several workers throw; the caller must see exactly one rethrow (not an
-  // aggregate, not a terminate), and the message must come from one of them.
+  // Several workers throw; the caller must see one WorkerFailure that
+  // reports how many failed and carries the first failure's message —
+  // no silently dropped exceptions, no terminate.
   int caught = 0;
   try {
     pool.run_on_all([&](int w) {
       if (w != 0) throw std::runtime_error("worker " + std::to_string(w));
     });
-  } catch (const std::runtime_error& e) {
+  } catch (const WorkerFailure& e) {
     ++caught;
-    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u) << e.what();
+    EXPECT_EQ(e.failed_count(), 3);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3 of 4 workers failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker "), std::string::npos) << msg;
   }
   EXPECT_EQ(caught, 1);
   // The pool must be fully usable afterwards: pending/job state reset.
@@ -223,6 +227,16 @@ TEST(ThreadPool, RunOnAllRethrowsWorkerExceptionExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, SingleWorkerFailureRethrowsOriginalType) {
+  ThreadPool pool(4);
+  // Exactly one failure: the caller gets the worker's own exception type,
+  // not a WorkerFailure wrapper.
+  EXPECT_THROW(pool.run_on_all([&](int w) {
+    if (w == 2) throw std::invalid_argument("just worker two");
+  }),
+               std::invalid_argument);
+}
+
 TEST(ThreadPool, CallerExceptionPropagates) {
   ThreadPool pool(3);
   // Worker 0 is the calling thread; its exception must surface too.
@@ -230,6 +244,38 @@ TEST(ThreadPool, CallerExceptionPropagates) {
     if (w == 0) throw std::logic_error("caller");
   }),
                std::logic_error);
+}
+
+TEST(ThreadPool, CallerAndWorkerFailuresAggregateWithCallerFirst) {
+  ThreadPool pool(2);
+  // Both the caller thread and an OS worker throw: the aggregate counts
+  // both, and the caller's message wins the "first" slot (deterministic —
+  // worker 0 is always the calling thread).
+  try {
+    pool.run_on_all([&](int w) {
+      throw std::runtime_error(w == 0 ? "caller boom" : "os-worker boom");
+    });
+    FAIL() << "expected WorkerFailure";
+  } catch (const WorkerFailure& e) {
+    EXPECT_EQ(e.failed_count(), 2);
+    EXPECT_NE(std::string(e.what()).find("caller boom"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ThreadPool, UsableAfterWorkerThrowsTwiceInARow) {
+  ThreadPool pool(4);
+  // Regression for the error-state reset: two consecutive failing jobs,
+  // then a good one — the good job must run on all workers and the stale
+  // error must not resurface.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_THROW(pool.run_on_all([&](int w) {
+                   if (w == 1) throw std::runtime_error("round failure");
+                 }),
+                 std::runtime_error);
+  }
+  std::atomic<int> visits{0};
+  pool.run_on_all([&](int) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 4);
 }
 
 TEST(MeasureChunkCosts, CountsAndPositivity) {
