@@ -1,0 +1,165 @@
+// Serving-engine throughput sweep: workers x max_batch x offered load.
+//
+// Each configuration runs a closed-loop load: `clients` caller threads keep
+// one request in flight each against a serve::Engine, for `--seconds` of
+// wall clock.  Throughput (QPS) comes from the engine's completed counter;
+// latency quantiles from its log-bucketed histogram.  Comparing max_batch=1
+// against max_batch=N at equal worker count isolates what micro-batch
+// fusion buys: N requests cost one fork/join per layer instead of N, so
+// with per-worker thread pools the batched rows must clear strictly more
+// QPS once the queue is deep enough for the batcher to coalesce.
+//
+// Output: one `BENCH {...}` JSON line per configuration (machine-parseable;
+// the CI smoke asserts completed > 0 and that the JSON parses), plus `#`
+// comment lines for humans.  Flags: --seconds <f> per-config duration
+// (default 2), --smoke for the reduced CI sweep.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bitpack/packer.hpp"
+#include "io/model.hpp"
+#include "models/vgg.hpp"
+#include "runtime/timer.hpp"
+#include "serve/engine.hpp"
+#include "tensor/util.hpp"
+
+namespace {
+
+using namespace bitflow;
+
+/// conv -> pool -> conv -> fc on a 16x16x64 input: enough per-request work
+/// that fork/join amortization is measurable, small enough for a CI smoke.
+io::Model make_model() {
+  io::Model m(graph::TensorDesc{16, 16, 64});
+  std::vector<float> th(64, 0.0f);
+  m.add_conv("c1", bitpack::pack_filters(models::random_filters(64, 3, 3, 64, 7)), 1, 1, th);
+  m.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  m.add_conv("c2", bitpack::pack_filters(models::random_filters(64, 3, 3, 64, 8)), 1, 1, th);
+  const auto w = models::random_fc_weights(8 * 8 * 64, 10, 9);
+  m.add_fc("f1", bitpack::pack_transpose_fc_weights(w.data(), 8 * 8 * 64, 10));
+  return m;
+}
+
+struct SweepPoint {
+  int workers;
+  std::int64_t max_batch;
+  int clients;  ///< closed-loop callers, one request in flight each
+};
+
+struct RunResult {
+  double qps = 0.0;
+  std::uint64_t completed = 0;
+};
+
+RunResult run_config(const io::Model& model, const SweepPoint& pt, double seconds) {
+  serve::EngineConfig cfg;
+  cfg.workers = pt.workers;
+  cfg.max_batch = pt.max_batch;
+  cfg.net.num_threads = 2;  // per-worker pool: fork/join cost exists to amortize
+  cfg.batch_timeout = std::chrono::microseconds(200);
+  cfg.queue_capacity = 512;
+  auto r = serve::Engine::create(model, cfg);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "engine create failed: %s\n", r.status().to_string().c_str());
+    std::exit(1);
+  }
+  serve::Engine engine = std::move(r.value());
+
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < pt.clients; ++i) {
+    Tensor t = Tensor::hwc(16, 16, 64);
+    fill_uniform(t, 100 + static_cast<std::uint64_t>(i));
+    inputs.push_back(std::move(t));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < pt.clients; ++c) {
+    callers.emplace_back([&, c] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)engine.infer(inputs[static_cast<std::size_t>(c)]);
+      }
+    });
+  }
+
+  runtime::Timer timer;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6)));
+  const serve::EngineStats stats = engine.stats();
+  const double elapsed = timer.elapsed_ms() / 1e3;
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : callers) t.join();
+  engine.shutdown();
+
+  const double qps = static_cast<double>(stats.completed) / elapsed;
+  std::printf(
+      "BENCH {\"bench\":\"serving_throughput\",\"workers\":%d,\"max_batch\":%lld,"
+      "\"net_threads\":%d,\"clients\":%d,\"duration_s\":%.3f,\"completed\":%llu,"
+      "\"rejected\":%llu,\"expired\":%llu,\"failed\":%llu,\"batches\":%llu,"
+      "\"mean_batch\":%.2f,\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+      pt.workers, static_cast<long long>(pt.max_batch), cfg.net.num_threads, pt.clients,
+      elapsed, static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.batches), stats.mean_batch(), qps,
+      stats.latency_p50_ms, stats.latency_p99_ms);
+  std::fflush(stdout);
+  return {qps, stats.completed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--seconds S] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const io::Model model = make_model();
+  std::printf("# serving throughput sweep: closed-loop load, %.2fs per config\n", seconds);
+
+  // Each {workers, clients} pair appears with max_batch 1 and a batched
+  // variant so the fusion win is a same-row comparison.
+  std::vector<SweepPoint> sweep;
+  if (smoke) {
+    sweep = {{1, 1, 8}, {1, 8, 8}};
+  } else {
+    sweep = {
+        {1, 1, 1},  {1, 8, 1},   // idle-ish: batching can't help without depth
+        {1, 1, 16}, {1, 8, 16},  // single worker under load
+        {2, 1, 32}, {2, 8, 32},  // multi-worker under load
+        {2, 1, 32}, {2, 16, 32},
+    };
+  }
+
+  double best_gain = 0.0;
+  for (std::size_t i = 0; i + 1 < sweep.size(); i += 2) {
+    const RunResult base = run_config(model, sweep[i], seconds);
+    const RunResult batched = run_config(model, sweep[i + 1], seconds);
+    if (base.completed == 0 || batched.completed == 0) {
+      std::fprintf(stderr, "config completed zero requests\n");
+      return 1;
+    }
+    const double gain = batched.qps / base.qps;
+    if (gain > best_gain) best_gain = gain;
+    std::printf("# workers=%d clients=%d: batch-%lld vs batch-1 QPS ratio %.2fx\n",
+                sweep[i].workers, sweep[i].clients,
+                static_cast<long long>(sweep[i + 1].max_batch), gain);
+  }
+  std::printf("# best batched-vs-batch-1 QPS ratio: %.2fx\n", best_gain);
+  return 0;
+}

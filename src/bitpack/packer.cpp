@@ -188,6 +188,41 @@ void flatten_packed(const PackedTensor& t, PackedMatrix& out) {
   }
 }
 
+void flatten_packed_row(const PackedTensor& t, PackedMatrix& out, std::int64_t row) {
+  const std::int64_t bits = t.height() * t.width() * t.channels();
+  if (row < 0 || row >= out.rows()) {
+    throw std::invalid_argument("flatten_packed_row: row out of range");
+  }
+  if (out.cols() != bits) {
+    throw std::invalid_argument("flatten_packed_row: output cols must be H*W*C");
+  }
+  std::uint64_t* dst = out.row(row);
+  if (t.channels() % 64 == 0) {
+    std::memcpy(dst, t.words(), static_cast<std::size_t>(t.num_words()) * 8);
+    return;
+  }
+  for (std::int64_t w = 0; w < out.words_per_row(); ++w) dst[w] = 0;
+  std::int64_t bit = 0;
+  for (std::int64_t h = 0; h < t.height(); ++h) {
+    for (std::int64_t w = 0; w < t.width(); ++w) {
+      for (std::int64_t c = 0; c < t.channels(); ++c, ++bit) {
+        if (t.get_bit(h, w, c)) dst[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+}
+
+void pack_row_into(const float* x, std::int64_t count, PackedMatrix& out, std::int64_t row) {
+  BF_CHECK(x != nullptr || count == 0, "pack_row_into: null input with count ", count);
+  if (row < 0 || row >= out.rows()) {
+    throw std::invalid_argument("pack_row_into: row out of range");
+  }
+  if (count != out.cols()) {
+    throw std::invalid_argument("pack_row_into: count must equal out.cols()");
+  }
+  pack_run(x, count, out.row(row));
+}
+
 PackedTensor pack_activations(const Tensor& hwc) {
   if (simd::cpu_features().avx2) return pack_activations_avx2(hwc);
   return pack_activations_scalar(hwc);

@@ -65,6 +65,15 @@ void pack_thresholded_into_interior(const Tensor& hwc, const float* thresholds,
 /// gaps are squeezed out bit by bit.  `out` must be a 1 x (H*W*C) matrix.
 void flatten_packed(const PackedTensor& t, PackedMatrix& out);
 
+/// Same flatten, but into row `row` of a multi-row matrix (the batch-N
+/// serving path keeps one max_batch-row activation matrix and flattens each
+/// image of a micro-batch into its own row).  `out.cols()` must be H*W*C.
+void flatten_packed_row(const PackedTensor& t, PackedMatrix& out, std::int64_t row);
+
+/// Binarizes + packs `count` floats into row `row` of `out` (tail bits
+/// zero), without allocating — the multi-row counterpart of pack_rows.
+void pack_row_into(const float* x, std::int64_t count, PackedMatrix& out, std::int64_t row);
+
 // --- filters ---------------------------------------------------------------
 
 /// Packs a float filter bank along the channel dimension (one-time,

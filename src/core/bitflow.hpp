@@ -35,6 +35,7 @@
 #include "ops/operators.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
+#include "serve/engine.hpp"
 #include "serve/session.hpp"
 #include "simd/cpu_features.hpp"
 #include "tensor/tensor.hpp"

@@ -15,14 +15,15 @@ namespace {
 // Fixed catalog of every injection site compiled into the library.  Names
 // are namespaced by subsystem; the serving boundary maps a FaultInjected
 // back to a Status code by this prefix (serve/session.cpp).
-constexpr std::array<PointInfo, 8> kCatalog{{
+constexpr std::array<PointInfo, 9> kCatalog{{
     {"io.open", "Model::load(path) after the file was opened"},
     {"io.read_header", "Model::load(istream) after magic/version were read"},
     {"io.read_weights", "Model::load(istream) before each layer weight payload"},
     {"alloc.buffer", "AlignedBuffer allocation (every tensor/weight buffer)"},
     {"runtime.worker", "ThreadPool job execution, every worker incl. the caller"},
     {"runtime.worker_stall", "ThreadPool job execution (stall flavour, same site)"},
-    {"serve.infer", "InferenceSession::infer entry, inside the error boundary"},
+    {"serve.infer", "InferenceSession/Engine inference entry, inside the error boundary"},
+    {"serve.queue_admit", "Engine::submit admission path, before the request is enqueued"},
     {"simd.force_fallback", "finalize() ISA clamp: site-fault lowers every layer to u64"},
 }};
 

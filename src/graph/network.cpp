@@ -36,7 +36,8 @@ struct PendingLayer {
   std::vector<float> thresholds;
 };
 
-/// A lowered, executable stage.
+/// A lowered, executable stage.  Immutable after finalize(): stages hold the
+/// packed weights and (batch-capable) kernel pointers, never scratch.
 struct Stage {
   LayerKind kind = LayerKind::kConv;
   simd::IsaLevel isa = simd::IsaLevel::kU64;
@@ -45,8 +46,8 @@ struct Stage {
   // conv
   kernels::ConvSpec conv_spec;
   PackedFilterBank filters;
-  kernels::ConvBinarizeFn conv_bin = nullptr;
-  kernels::ConvDotFn conv_dot = nullptr;
+  kernels::ConvBinarizeBatchFn conv_bin = nullptr;
+  kernels::ConvDotBatchFn conv_dot = nullptr;
   // first-layer full-precision conv
   bool full_precision = false;
   std::vector<float> float_weights_t;  // (kh*kw*C) x K, im2col layout
@@ -57,45 +58,131 @@ struct Stage {
 
   // fc
   PackedMatrix fc_weights;  // k x n bits (pre-transposed at finalize)
-  kernels::BgemmFn fc_dot = nullptr;
-  kernels::BgemmBinarizeFn fc_bin = nullptr;
+  kernels::BgemmRowsFn fc_dot = nullptr;
+  kernels::BgemmBinarizeRowsFn fc_bin = nullptr;
 
   std::vector<float> thresholds;  // empty = sign at zero
 
-  // buffer routing (indices into Impl buffers)
+  // buffer routing (indices into the context's buffers)
   int in_act = -1, out_act = -1;  // packed activation tensors
   int in_fc = -1, out_fc = -1;    // packed fc bit rows
   std::int64_t out_margin = 0;    // interior offset in the output buffer
   bool flatten_input = false;     // conv/pool output -> fc row transition
 };
 
+/// Extents of one planned buffer.
+struct PlannedDims {
+  std::int64_t h = 0, w = 0, c = 0;
+};
+
+/// The memory plan finalize() computes: every buffer a context must carry,
+/// by extent.  Allocation happens per context in make_context().
+struct BufferPlan {
+  std::vector<PlannedDims> acts;         // packed activation buffers
+  std::vector<std::int64_t> fc_cols;     // packed fc bit-row widths
+  PlannedDims last_conv_dot{};           // float dots if the last stage is a conv
+  bool need_last_conv_dot = false;
+  PlannedDims last_pool_out{};           // packed output if the last stage is a pool
+  bool need_last_pool_out = false;
+  PlannedDims f_in_padded{}, f_dots{};   // full-precision first conv
+  bool need_float_first = false;
+  std::int64_t scores_size = 0;          // per-image output floats
+};
+
 }  // namespace
 
 struct BinaryNetwork::Impl {
   NetworkConfig cfg;
-  runtime::ThreadPool pool;
   std::vector<PendingLayer> pending;
   bool finalized = false;
 
-  // Finalized state.
+  // Finalized state — read-only after finalize(), shared by every context.
   TensorDesc input{};
   std::int64_t input_margin = 0;
   std::vector<LayerInfo> infos;
   std::vector<Stage> stages;
-  std::vector<PackedTensor> acts;     // pre-allocated activation buffers
-  std::vector<PackedMatrix> fc_bits;  // pre-allocated fc bit rows
-  std::vector<float> scores;          // final output
-  Tensor last_conv_dot;               // float buffer if the last stage is a conv
-  Tensor f_in_padded;                 // padded float input (full-precision first conv)
-  Tensor f_dots;                      // its convolution outputs
-  std::vector<float> f_cols;          // its im2col scratch
-  std::vector<double> profile_ms;
+  BufferPlan plan;
   std::int64_t weight_bytes = 0;
 
-  explicit Impl(NetworkConfig c) : cfg(c), pool(c.num_threads) {
+  // Default context backing the batch-1 infer() convenience API.  This is
+  // the only mutable member after finalize(), and only infer() touches it.
+  std::unique_ptr<InferenceContext> default_ctx;
+  std::vector<double> no_profile;  // empty result pre-finalize
+
+  explicit Impl(NetworkConfig c) : cfg(c) {
     if (c.num_threads < 1) throw std::invalid_argument("NetworkConfig: num_threads >= 1");
   }
 };
+
+/// Everything one inference stream mutates: pool + all planned buffers,
+/// replicated per image up to max_batch, plus the pointer arrays the batched
+/// kernels take (pre-sized so steady-state inference never allocates).
+struct InferenceContext::Impl {
+  const BinaryNetwork::Impl* net;  // identity: contexts are net-specific
+  std::int64_t max_batch;
+  runtime::ThreadPool pool;
+
+  std::vector<std::vector<PackedTensor>> acts;  // [buffer][image]
+  std::vector<PackedMatrix> fc_bits;            // max_batch rows each
+  std::vector<Tensor> last_conv_dot;            // [image]
+  std::vector<PackedTensor> last_pool_out;      // [image]
+  Tensor f_in_padded;                           // shared: the float first
+  Tensor f_dots;                                // layer runs per image
+  std::vector<float> f_cols;
+  std::vector<float> scores;                    // max_batch * scores_size
+
+  std::vector<const PackedTensor*> in_ptrs;
+  std::vector<PackedTensor*> out_ptrs;
+  std::vector<Tensor*> dot_ptrs;
+
+  std::vector<double> profile_ms;
+
+  Impl(const BinaryNetwork::Impl* n, std::int64_t mb, int threads)
+      : net(n), max_batch(mb), pool(threads) {
+    const BufferPlan& plan = n->plan;
+    const std::size_t b = static_cast<std::size_t>(mb);
+    acts.reserve(plan.acts.size());
+    for (const PlannedDims& d : plan.acts) {
+      std::vector<PackedTensor>& per_image = acts.emplace_back();
+      per_image.reserve(b);
+      for (std::int64_t i = 0; i < mb; ++i) per_image.emplace_back(d.h, d.w, d.c);
+    }
+    fc_bits.reserve(plan.fc_cols.size());
+    for (const std::int64_t cols : plan.fc_cols) fc_bits.emplace_back(mb, cols);
+    if (plan.need_last_conv_dot) {
+      last_conv_dot.reserve(b);
+      for (std::int64_t i = 0; i < mb; ++i) {
+        last_conv_dot.push_back(Tensor::hwc(plan.last_conv_dot.h, plan.last_conv_dot.w,
+                                            plan.last_conv_dot.c));
+      }
+    }
+    if (plan.need_last_pool_out) {
+      last_pool_out.reserve(b);
+      for (std::int64_t i = 0; i < mb; ++i) {
+        last_pool_out.emplace_back(plan.last_pool_out.h, plan.last_pool_out.w,
+                                   plan.last_pool_out.c);
+      }
+    }
+    if (plan.need_float_first) {
+      f_in_padded = Tensor::hwc(plan.f_in_padded.h, plan.f_in_padded.w, plan.f_in_padded.c);
+      f_dots = Tensor::hwc(plan.f_dots.h, plan.f_dots.w, plan.f_dots.c);
+    }
+    scores.resize(static_cast<std::size_t>(mb * plan.scores_size));
+    in_ptrs.resize(b);
+    out_ptrs.resize(b);
+    dot_ptrs.resize(b);
+  }
+};
+
+InferenceContext::InferenceContext(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+InferenceContext::InferenceContext(InferenceContext&&) noexcept = default;
+InferenceContext& InferenceContext::operator=(InferenceContext&&) noexcept = default;
+InferenceContext::~InferenceContext() = default;
+std::int64_t InferenceContext::max_batch() const noexcept { return impl_->max_batch; }
+int InferenceContext::num_threads() const noexcept { return impl_->pool.num_threads(); }
+const std::vector<double>& InferenceContext::last_profile_ms() const {
+  return impl_->profile_ms;
+}
 
 BinaryNetwork::BinaryNetwork(NetworkConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
 BinaryNetwork::BinaryNetwork(BinaryNetwork&&) noexcept = default;
@@ -291,8 +378,9 @@ void BinaryNetwork::finalize(TensorDesc input) {
   };
   im.input_margin = consumer_margin(0);
 
-  // Pass 3: lower layers to stages, pack weights, allocate buffers.
-  // acts[i] holds the packed input of stage i (for conv/pool stages).
+  // Pass 3: lower layers to stages, pack weights, record the buffer plan.
+  // plan.acts[i] holds the packed input of stage i (for conv/pool stages);
+  // contexts allocate one copy per batch slot.
   TensorDesc flow = input;
   for (std::size_t i = 0; i < n_layers; ++i) {
     PendingLayer& l = im.pending[i];
@@ -311,15 +399,15 @@ void BinaryNetwork::finalize(TensorDesc input) {
           s.float_weights_t = baseline::flatten_filters_transposed(l.conv_weights);
           im.weight_bytes +=
               static_cast<std::int64_t>(s.float_weights_t.size()) * 4;
-          // Pre-allocate the padded float input and the dot buffer.
-          im.f_in_padded = Tensor::hwc(flow.h + 2 * l.pad, flow.w + 2 * l.pad, flow.c);
-          im.f_dots = Tensor::hwc(info.out.h, info.out.w, info.out.c);
+          im.plan.need_float_first = true;
+          im.plan.f_in_padded = {flow.h + 2 * l.pad, flow.w + 2 * l.pad, flow.c};
+          im.plan.f_dots = {info.out.h, info.out.w, info.out.c};
         } else {
           s.filters =
               l.prepacked ? std::move(l.conv_packed) : bitpack::pack_filters(l.conv_weights);
           im.weight_bytes += s.filters.num_filters() * s.filters.words_per_filter() * 8;
-          s.conv_bin = kernels::conv_binarize_kernel(info.isa);
-          s.conv_dot = kernels::conv_dot_kernel(info.isa);
+          s.conv_bin = kernels::conv_binarize_batch_kernel(info.isa);
+          s.conv_dot = kernels::conv_dot_batch_kernel(info.isa);
         }
         l.conv_weights = FilterBank();  // drop the float weights
         break;
@@ -334,8 +422,8 @@ void BinaryNetwork::finalize(TensorDesc input) {
                            : bitpack::pack_transpose_fc_weights(l.fc_weights.data(), l.fc_n,
                                                                 l.fc_k);
         im.weight_bytes += s.fc_weights.rows() * s.fc_weights.words_per_row() * 8;
-        s.fc_dot = kernels::bgemm_kernel(info.isa);
-        s.fc_bin = kernels::bgemm_binarize_kernel(info.isa);
+        s.fc_dot = kernels::bgemm_rows_kernel(info.isa);
+        s.fc_bin = kernels::bgemm_binarize_rows_kernel(info.isa);
         l.fc_weights.clear();
         l.fc_weights.shrink_to_fit();
         break;
@@ -344,156 +432,238 @@ void BinaryNetwork::finalize(TensorDesc input) {
 
     // Buffer routing.
     if (l.kind == LayerKind::kConv || l.kind == LayerKind::kPool) {
-      if (static_cast<std::size_t>(im.acts.size()) == i && i == 0) {
-        im.acts.emplace_back(flow.h + 2 * im.input_margin, flow.w + 2 * im.input_margin, flow.c);
+      if (im.plan.acts.size() == i && i == 0) {
+        im.plan.acts.push_back(
+            {flow.h + 2 * im.input_margin, flow.w + 2 * im.input_margin, flow.c});
       }
       s.in_act = static_cast<int>(i);
       const TensorDesc& out = info.out;
       s.out_margin = consumer_margin(i + 1);
       if (s.is_last && l.kind == LayerKind::kConv) {
         // Final conv: raw dot products into a float tensor.
-        im.last_conv_dot = Tensor::hwc(out.h, out.w, out.c);
+        im.plan.need_last_conv_dot = true;
+        im.plan.last_conv_dot = {out.h, out.w, out.c};
+      } else if (s.is_last && l.kind == LayerKind::kPool) {
+        // Rare but supported: network ends in a pool; emits decoded signs.
+        im.plan.need_last_pool_out = true;
+        im.plan.last_pool_out = {out.h, out.w, out.c};
       } else {
-        im.acts.emplace_back(out.h + 2 * s.out_margin, out.w + 2 * s.out_margin, out.c);
-        s.out_act = static_cast<int>(im.acts.size()) - 1;
+        im.plan.acts.push_back({out.h + 2 * s.out_margin, out.w + 2 * s.out_margin, out.c});
+        s.out_act = static_cast<int>(im.plan.acts.size()) - 1;
       }
     } else {  // fc
       if (i == 0 || im.pending[i - 1].kind != LayerKind::kFc) {
         // First fc in the chain: its packed input row comes from flattening
         // (or, if the network starts with fc, from packing the input).
         s.flatten_input = true;
-        im.fc_bits.emplace_back(1, l.fc_n);
-        s.in_fc = static_cast<int>(im.fc_bits.size()) - 1;
+        im.plan.fc_cols.push_back(l.fc_n);
+        s.in_fc = static_cast<int>(im.plan.fc_cols.size()) - 1;
       } else {
-        s.in_fc = static_cast<int>(im.fc_bits.size()) - 1;
+        s.in_fc = static_cast<int>(im.plan.fc_cols.size()) - 1;
       }
       if (!s.is_last) {
-        im.fc_bits.emplace_back(1, l.fc_k);
-        s.out_fc = static_cast<int>(im.fc_bits.size()) - 1;
+        im.plan.fc_cols.push_back(l.fc_k);
+        s.out_fc = static_cast<int>(im.plan.fc_cols.size()) - 1;
       }
     }
     flow = info.out;
     im.stages.push_back(std::move(s));
   }
-  im.scores.resize(static_cast<std::size_t>(flow.num_elements()));
+  im.plan.scores_size = flow.num_elements();
   im.pending.clear();
   im.pending.shrink_to_fit();
   im.finalized = true;
+  // The default context backs the legacy batch-1 infer(); creating it here
+  // preserves the "zero allocation per inference" property of that API.
+  im.default_ctx = std::make_unique<InferenceContext>(make_context(1));
 }
 
-std::span<const float> BinaryNetwork::infer(const Tensor& input_hwc) {
-  Impl& im = *impl_;
+InferenceContext BinaryNetwork::make_context(std::int64_t max_batch) const {
+  return make_context(max_batch, impl_->cfg.num_threads);
+}
+
+InferenceContext BinaryNetwork::make_context(std::int64_t max_batch, int num_threads) const {
+  const Impl& im = *impl_;
+  if (!im.finalized) throw std::logic_error("BinaryNetwork: make_context before finalize");
+  if (max_batch < 1) throw std::invalid_argument("make_context: max_batch must be >= 1");
+  if (num_threads < 1) throw std::invalid_argument("make_context: num_threads must be >= 1");
+  return InferenceContext(
+      std::make_unique<InferenceContext::Impl>(&im, max_batch, num_threads));
+}
+
+std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const> inputs,
+                                                  InferenceContext& ctx) const {
+  const Impl& im = *impl_;
+  InferenceContext::Impl& cx = *ctx.impl_;
   if (!im.finalized) throw std::logic_error("BinaryNetwork: infer before finalize");
-  if (input_hwc.height() != im.input.h || input_hwc.width() != im.input.w ||
-      input_hwc.channels() != im.input.c) {
-    throw std::invalid_argument("infer: input extents do not match finalized network");
+  if (cx.net != &im) {
+    throw std::invalid_argument("infer_batch: context belongs to a different network");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(inputs.size());
+  if (n < 1 || n > cx.max_batch) {
+    throw std::invalid_argument("infer_batch: batch of " + std::to_string(n) +
+                                " exceeds context max_batch " + std::to_string(cx.max_batch));
+  }
+  for (std::int64_t b = 0; b < n; ++b) {
+    const Tensor& t = *inputs[static_cast<std::size_t>(b)];
+    if (t.height() != im.input.h || t.width() != im.input.w || t.channels() != im.input.c) {
+      throw std::invalid_argument("infer_batch: input " + std::to_string(b) +
+                                  " extents do not match finalized network");
+    }
   }
   const bool profile = im.cfg.profile;
-  im.profile_ms.clear();
+  cx.profile_ms.clear();
   runtime::Timer timer;
 
-  // Input stage: binarize + pack into the first buffer's interior — unless
-  // the first layer is the full-precision conv, which consumes floats.
+  // Input stage: binarize + pack each image into its batch slot of the
+  // first buffer's interior — unless the first layer is the full-precision
+  // conv (consumes floats, handled per image in the stage loop) or the
+  // network starts fully connected (pack straight into the fc bit rows).
   const bool starts_with_fc = im.stages.front().kind == LayerKind::kFc;
   const bool starts_full_precision = im.stages.front().full_precision;
   if (starts_full_precision) {
-    // Copy the image into the interior of the pre-allocated padded buffer
-    // (margins stay zero: standard zero-padding for a float convolution).
-    const std::int64_t row_bytes = input_hwc.width() * input_hwc.channels() *
-                                   static_cast<std::int64_t>(sizeof(float));
-    for (std::int64_t h = 0; h < input_hwc.height(); ++h) {
-      std::memcpy(im.f_in_padded.data() +
-                      im.f_in_padded.index(h + im.input_margin, im.input_margin, 0),
-                  input_hwc.data() + input_hwc.index(h, 0, 0),
-                  static_cast<std::size_t>(row_bytes));
-    }
+    // Nothing to pack: the per-image copy into f_in_padded happens in the
+    // stage loop right before each image's float convolution.
   } else if (!starts_with_fc) {
-    bitpack::pack_activations_into_interior(input_hwc, im.acts[0], im.input_margin, im.pool);
+    for (std::int64_t b = 0; b < n; ++b) {
+      bitpack::pack_activations_into_interior(*inputs[static_cast<std::size_t>(b)],
+                                              cx.acts[0][static_cast<std::size_t>(b)],
+                                              im.input_margin, cx.pool);
+    }
   } else {
-    // Network starts fully connected: pack the flattened input row.
-    PackedMatrix& row = im.fc_bits[static_cast<std::size_t>(im.stages.front().in_fc)];
-    PackedMatrix packed = bitpack::pack_rows(input_hwc.data(), 1, input_hwc.num_elements());
-    std::copy(packed.words(), packed.words() + packed.num_words(), row.words());
+    PackedMatrix& rows = cx.fc_bits[static_cast<std::size_t>(im.stages.front().in_fc)];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const Tensor& t = *inputs[static_cast<std::size_t>(b)];
+      bitpack::pack_row_into(t.data(), t.num_elements(), rows, b);
+    }
   }
   if (profile) {
-    im.profile_ms.push_back(timer.elapsed_ms());
+    cx.profile_ms.push_back(timer.elapsed_ms());
     timer.reset();
   }
 
+  const std::int64_t out_size = im.plan.scores_size;
   for (std::size_t i = 0; i < im.stages.size(); ++i) {
-    Stage& s = im.stages[i];
+    const Stage& s = im.stages[i];
     const float* th = s.thresholds.empty() ? nullptr : s.thresholds.data();
     switch (s.kind) {
       case LayerKind::kConv: {
         if (s.full_precision) {
-          baseline::float_conv_im2col(im.f_in_padded, s.float_weights_t, s.float_k,
-                                      s.conv_spec, im.pool, im.f_dots, im.f_cols);
-          if (s.is_last) {
-            std::copy(im.f_dots.data(), im.f_dots.data() + im.f_dots.num_elements(),
-                      im.scores.data());
-          } else {
-            bitpack::pack_thresholded_into_interior(
-                im.f_dots, th, im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+          // The float first layer shares one scratch set; images run
+          // serially through it (C=3 im2col+sgemm is a tiny slice of total
+          // compute, so the batch win comes from the binary layers).
+          for (std::int64_t b = 0; b < n; ++b) {
+            const Tensor& img = *inputs[static_cast<std::size_t>(b)];
+            const std::int64_t margin = im.input_margin;
+            const std::int64_t row_bytes =
+                img.width() * img.channels() * static_cast<std::int64_t>(sizeof(float));
+            for (std::int64_t h = 0; h < img.height(); ++h) {
+              std::memcpy(cx.f_in_padded.data() + cx.f_in_padded.index(h + margin, margin, 0),
+                          img.data() + img.index(h, 0, 0), static_cast<std::size_t>(row_bytes));
+            }
+            baseline::float_conv_im2col(cx.f_in_padded, s.float_weights_t, s.float_k,
+                                        s.conv_spec, cx.pool, cx.f_dots, cx.f_cols);
+            if (s.is_last) {
+              std::copy(cx.f_dots.data(), cx.f_dots.data() + cx.f_dots.num_elements(),
+                        cx.scores.data() + b * out_size);
+            } else {
+              bitpack::pack_thresholded_into_interior(
+                  cx.f_dots, th, cx.acts[static_cast<std::size_t>(s.out_act)][
+                                     static_cast<std::size_t>(b)],
+                  s.out_margin);
+            }
           }
           break;
         }
-        const PackedTensor& in = im.acts[static_cast<std::size_t>(s.in_act)];
+        std::vector<PackedTensor>& in = cx.acts[static_cast<std::size_t>(s.in_act)];
+        for (std::int64_t b = 0; b < n; ++b) {
+          cx.in_ptrs[static_cast<std::size_t>(b)] = &in[static_cast<std::size_t>(b)];
+        }
         if (s.is_last) {
-          s.conv_dot(in, s.filters, s.conv_spec, im.pool, im.last_conv_dot);
-          std::copy(im.last_conv_dot.data(),
-                    im.last_conv_dot.data() + im.last_conv_dot.num_elements(),
-                    im.scores.data());
+          for (std::int64_t b = 0; b < n; ++b) {
+            cx.dot_ptrs[static_cast<std::size_t>(b)] =
+                &cx.last_conv_dot[static_cast<std::size_t>(b)];
+          }
+          s.conv_dot(cx.in_ptrs.data(), n, s.filters, s.conv_spec, cx.pool, cx.dot_ptrs.data());
+          for (std::int64_t b = 0; b < n; ++b) {
+            const Tensor& dots = cx.last_conv_dot[static_cast<std::size_t>(b)];
+            std::copy(dots.data(), dots.data() + dots.num_elements(),
+                      cx.scores.data() + b * out_size);
+          }
         } else {
-          s.conv_bin(in, s.filters, s.conv_spec, th, im.pool,
-                     im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+          std::vector<PackedTensor>& out = cx.acts[static_cast<std::size_t>(s.out_act)];
+          for (std::int64_t b = 0; b < n; ++b) {
+            cx.out_ptrs[static_cast<std::size_t>(b)] = &out[static_cast<std::size_t>(b)];
+          }
+          s.conv_bin(cx.in_ptrs.data(), n, s.filters, s.conv_spec, th, cx.pool,
+                     cx.out_ptrs.data(), s.out_margin);
         }
         break;
       }
       case LayerKind::kPool: {
-        const PackedTensor& in = im.acts[static_cast<std::size_t>(s.in_act)];
+        std::vector<PackedTensor>& in = cx.acts[static_cast<std::size_t>(s.in_act)];
         if (s.is_last) {
-          // Rare but supported: network ends in a pool; emit decoded signs.
-          PackedTensor out(im.infos[i].out.h, im.infos[i].out.w, im.infos[i].out.c);
-          kernels::binary_maxpool(in, s.pool_spec, s.isa, im.pool, out, 0);
-          const Tensor signs = bitpack::unpack_to_signs(out);
-          std::copy(signs.data(), signs.data() + signs.num_elements(), im.scores.data());
+          for (std::int64_t b = 0; b < n; ++b) {
+            PackedTensor& out = cx.last_pool_out[static_cast<std::size_t>(b)];
+            kernels::binary_maxpool(in[static_cast<std::size_t>(b)], s.pool_spec, s.isa,
+                                    cx.pool, out, 0);
+            const Tensor signs = bitpack::unpack_to_signs(out);
+            std::copy(signs.data(), signs.data() + signs.num_elements(),
+                      cx.scores.data() + b * out_size);
+          }
         } else {
-          kernels::binary_maxpool(in, s.pool_spec, s.isa, im.pool,
-                                  im.acts[static_cast<std::size_t>(s.out_act)], s.out_margin);
+          std::vector<PackedTensor>& out = cx.acts[static_cast<std::size_t>(s.out_act)];
+          for (std::int64_t b = 0; b < n; ++b) {
+            kernels::binary_maxpool(in[static_cast<std::size_t>(b)], s.pool_spec, s.isa,
+                                    cx.pool, out[static_cast<std::size_t>(b)], s.out_margin);
+          }
         }
         break;
       }
       case LayerKind::kFc: {
-        PackedMatrix& in = im.fc_bits[static_cast<std::size_t>(s.in_fc)];
+        PackedMatrix& in = cx.fc_bits[static_cast<std::size_t>(s.in_fc)];
         if (s.flatten_input && !starts_with_fc) {
-          // The producing conv/pool stage wrote a margin-0 buffer; flatten it.
-          bitpack::flatten_packed(im.acts.back(), in);
+          // The producing conv/pool stage wrote margin-0 buffers; flatten
+          // each image into its own row of the batch matrix.
+          std::vector<PackedTensor>& prev = cx.acts.back();
+          for (std::int64_t b = 0; b < n; ++b) {
+            bitpack::flatten_packed_row(prev[static_cast<std::size_t>(b)], in, b);
+          }
         }
         if (s.is_last) {
-          s.fc_dot(in, s.fc_weights, im.pool, im.scores.data());
+          s.fc_dot(in, n, s.fc_weights, cx.pool, cx.scores.data());
         } else {
-          s.fc_bin(in, s.fc_weights, th, im.pool,
-                   im.fc_bits[static_cast<std::size_t>(s.out_fc)]);
+          s.fc_bin(in, n, s.fc_weights, th, cx.pool,
+                   cx.fc_bits[static_cast<std::size_t>(s.out_fc)]);
         }
         break;
       }
     }
     if (profile) {
-      im.profile_ms.push_back(timer.elapsed_ms());
+      cx.profile_ms.push_back(timer.elapsed_ms());
       timer.reset();
     }
   }
-  return im.scores;
+  return {cx.scores.data(), static_cast<std::size_t>(n * out_size)};
+}
+
+std::span<const float> BinaryNetwork::infer(const Tensor& input_hwc) {
+  Impl& im = *impl_;
+  if (!im.finalized) throw std::logic_error("BinaryNetwork: infer before finalize");
+  const Tensor* input = &input_hwc;
+  return infer_batch({&input, 1}, *im.default_ctx);
 }
 
 bool BinaryNetwork::finalized() const noexcept { return impl_->finalized; }
 const std::vector<LayerInfo>& BinaryNetwork::layers() const { return impl_->infos; }
 TensorDesc BinaryNetwork::input_desc() const { return impl_->input; }
 std::int64_t BinaryNetwork::output_size() const {
-  return static_cast<std::int64_t>(impl_->scores.size());
+  return impl_->finalized ? impl_->plan.scores_size : 0;
 }
 int BinaryNetwork::num_threads() const noexcept { return impl_->cfg.num_threads; }
 std::int64_t BinaryNetwork::packed_weight_bytes() const { return impl_->weight_bytes; }
-const std::vector<double>& BinaryNetwork::last_profile_ms() const { return impl_->profile_ms; }
+const std::vector<double>& BinaryNetwork::last_profile_ms() const {
+  return impl_->default_ctx ? impl_->default_ctx->last_profile_ms() : impl_->no_profile;
+}
 
 }  // namespace bitflow::graph

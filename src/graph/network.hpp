@@ -7,13 +7,27 @@
 //   * kernel selection per operator from the channel-multiple rules and the
 //     detected hardware (components 2-3, Fig. 6);
 //   * binarization + bit-packing of all weights, once and for all;
-//   * pre-allocation of every activation buffer, with each buffer sized to
-//     carry the *consumer's* padding margin so that padding costs nothing at
+//   * a memory plan sizing every activation buffer, with each buffer carrying
+//     the *consumer's* padding margin so that padding costs nothing at
 //     inference time (Fig. 5) — the static-graph memory planner.
 //
-// `infer()` then runs batch-1 inference with zero allocation: pack the
-// input, run the fused conv+binarize / OR-pool / bgemm chain, return the
-// float scores of the last layer.
+// Thread-safety / replicated serving (the contract the serve::Engine relies
+// on): after finalize() the network itself is immutable — stages, packed
+// weights, layer metadata and the memory plan are only ever read.  All
+// mutable per-inference state (thread pool, activation buffers, fc bit rows,
+// score buffer, profile log) lives in an InferenceContext created by
+// `make_context()`.  Any number of threads may call `infer_batch()`
+// concurrently on the same finalized network as long as each call uses a
+// different context; a single context must not be used by two calls at once.
+// The convenience `infer()` uses one internal default context and is
+// therefore NOT safe to call concurrently — replicated workers must go
+// through make_context() + infer_batch().
+//
+// `infer_batch()` runs N <= max_batch images in one pass with zero
+// allocation at steady state: the batch axis is fused with the spatial
+// output range inside the kernels (one n*H*W parallel_for per conv, one
+// n*K bgemm per fc), so a micro-batch costs one fork/join per layer
+// instead of N.  Output b is bit-identical to a batch-1 run of input b.
 #pragma once
 
 #include <cstdint>
@@ -70,8 +84,36 @@ struct NetworkConfig {
   std::optional<simd::IsaLevel> max_isa;
 };
 
-/// Sequential binary network (BitFlow targets inference latency: batch = 1,
-/// linear chains — exactly the workloads of the paper's evaluation).
+class BinaryNetwork;
+
+/// All mutable per-inference state of one inference stream: a thread pool
+/// plus every scratch buffer the network's memory plan calls for, sized for
+/// up to `max_batch` images.  Contexts are created by
+/// BinaryNetwork::make_context(), are move-only, and must not outlive the
+/// network they were made from.  One context serves one infer_batch() call
+/// at a time; replicated workers each own their own context.
+class InferenceContext {
+ public:
+  InferenceContext(InferenceContext&&) noexcept;
+  InferenceContext& operator=(InferenceContext&&) noexcept;
+  ~InferenceContext();
+
+  [[nodiscard]] std::int64_t max_batch() const noexcept;
+  [[nodiscard]] int num_threads() const noexcept;
+  /// Per-layer wall-clock of the most recent infer_batch() through this
+  /// context (profile mode only; one extra leading entry is the input pack).
+  [[nodiscard]] const std::vector<double>& last_profile_ms() const;
+
+ private:
+  friend class BinaryNetwork;
+  struct Impl;
+  explicit InferenceContext(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Sequential binary network (BitFlow targets inference latency: linear
+/// chains, micro-batches of a few images — exactly the serving workloads of
+/// the paper's evaluation).
 class BinaryNetwork {
  public:
   explicit BinaryNetwork(NetworkConfig cfg = {});
@@ -120,14 +162,32 @@ class BinaryNetwork {
 
   /// Runs shape inference, kernel selection, weight packing and memory
   /// planning for input extents `input`.  Must be called exactly once,
-  /// after which the layer list is frozen.
+  /// after which the network is immutable (see the thread-safety contract
+  /// at the top of this header).
   void finalize(TensorDesc input);
 
   // --- inference -------------------------------------------------------------
 
-  /// Batch-1 inference.  `input_hwc` must match the finalized input extents.
-  /// The returned span (the last layer's float outputs) stays valid until
-  /// the next call.
+  /// Allocates an inference context able to run micro-batches of up to
+  /// `max_batch` images.  The overload with `num_threads` sizes the
+  /// context's own thread pool (default: the network's configured count) —
+  /// replicated engine workers typically use a small per-worker pool.
+  /// Only valid after finalize(); const and safe to call concurrently.
+  [[nodiscard]] InferenceContext make_context(std::int64_t max_batch) const;
+  [[nodiscard]] InferenceContext make_context(std::int64_t max_batch, int num_threads) const;
+
+  /// Batch-N inference: runs inputs[0..n) (all matching the finalized input
+  /// extents) through the chain using `ctx`'s buffers and pool.  Returns the
+  /// concatenated float scores, laid out [image 0 scores | image 1 scores |
+  /// ...], valid until the context's next use.  Bit-exact with n separate
+  /// batch-1 runs.  Const: any number of concurrent calls are safe as long
+  /// as every call uses a distinct context.
+  std::span<const float> infer_batch(std::span<const Tensor* const> inputs,
+                                     InferenceContext& ctx) const;
+
+  /// Batch-1 convenience API over an internal default context (created at
+  /// finalize).  NOT safe to call concurrently — see the header contract.
+  /// The returned span stays valid until the next call.
   std::span<const float> infer(const Tensor& input_hwc);
 
   // --- introspection -----------------------------------------------------------
@@ -141,9 +201,12 @@ class BinaryNetwork {
   [[nodiscard]] std::int64_t packed_weight_bytes() const;
   /// Per-layer wall-clock of the most recent infer() (profile mode only;
   /// index matches layers(); one extra leading entry is the input pack).
+  /// Reads the default context — for infer_batch() use
+  /// InferenceContext::last_profile_ms().
   [[nodiscard]] const std::vector<double>& last_profile_ms() const;
 
  private:
+  friend class InferenceContext;  // its Impl allocates from the buffer plan
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

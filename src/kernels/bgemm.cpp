@@ -11,7 +11,11 @@ namespace detail {
 #define BITFLOW_DECLARE_BGEMM(SUFFIX)                                                         \
   void bgemm_##SUFFIX(const PackedMatrix&, const PackedMatrix&, runtime::ThreadPool&, float*); \
   void bgemm_binarize_##SUFFIX(const PackedMatrix&, const PackedMatrix&, const float*,         \
-                               runtime::ThreadPool&, PackedMatrix&);
+                               runtime::ThreadPool&, PackedMatrix&);                           \
+  void bgemm_rows_##SUFFIX(const PackedMatrix&, std::int64_t, const PackedMatrix&,             \
+                           runtime::ThreadPool&, float*);                                      \
+  void bgemm_binarize_rows_##SUFFIX(const PackedMatrix&, std::int64_t, const PackedMatrix&,    \
+                                    const float*, runtime::ThreadPool&, PackedMatrix&);
 BITFLOW_DECLARE_BGEMM(u64)
 BITFLOW_DECLARE_BGEMM(sse)
 BITFLOW_DECLARE_BGEMM(avx2)
@@ -48,6 +52,37 @@ BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
       return use_vpopcntdq ? &detail::bgemm_binarize_avx512vp : &detail::bgemm_binarize_avx512;
   }
   throw std::invalid_argument("bgemm_binarize_kernel: bad ISA level");
+}
+
+BgemmRowsFn bgemm_rows_kernel(simd::IsaLevel isa) {
+  return bgemm_rows_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa) {
+  return bgemm_binarize_rows_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmRowsFn bgemm_rows_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_rows_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_rows_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_rows_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::bgemm_rows_avx512vp : &detail::bgemm_rows_avx512;
+  }
+  throw std::invalid_argument("bgemm_rows_kernel: bad ISA level");
+}
+
+BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_binarize_rows_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_binarize_rows_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_binarize_rows_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::bgemm_binarize_rows_avx512vp
+                           : &detail::bgemm_binarize_rows_avx512;
+  }
+  throw std::invalid_argument("bgemm_binarize_rows_kernel: bad ISA level");
 }
 
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y) {

@@ -32,6 +32,19 @@ using BgemmBinarizeFn = void (*)(const PackedMatrix& a, const PackedMatrix& w,
                                  const float* thresholds, runtime::ThreadPool& pool,
                                  PackedMatrix& out);
 
+/// Row-limited raw-dot bgemm: computes only rows [0, m_rows) of A.  The
+/// serving path keeps a max_batch-row activation matrix and fills the first
+/// n rows per micro-batch; M and K are fused into one parallel_for so a
+/// batch costs one fork/join.  Bit-identical to BgemmFn on the same rows.
+using BgemmRowsFn = void (*)(const PackedMatrix& a, std::int64_t m_rows, const PackedMatrix& w,
+                             runtime::ThreadPool& pool, float* y);
+
+/// Row-limited fused bgemm + binarize; rows [m_rows, out.rows()) of `out`
+/// are left untouched.
+using BgemmBinarizeRowsFn = void (*)(const PackedMatrix& a, std::int64_t m_rows,
+                                     const PackedMatrix& w, const float* thresholds,
+                                     runtime::ThreadPool& pool, PackedMatrix& out);
+
 /// Returns the raw-dot bgemm compiled for `isa` (hardware support is the
 /// caller's responsibility, as with conv_dot_kernel).
 [[nodiscard]] BgemmFn bgemm_kernel(simd::IsaLevel isa);
@@ -44,6 +57,13 @@ using BgemmBinarizeFn = void (*)(const PackedMatrix& a, const PackedMatrix& w,
 /// the ISA-parity harness); ignored at narrower levels.
 [[nodiscard]] BgemmFn bgemm_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
 [[nodiscard]] BgemmBinarizeFn bgemm_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+
+/// Row-limited counterparts of the kernel getters.
+[[nodiscard]] BgemmRowsFn bgemm_rows_kernel(simd::IsaLevel isa);
+[[nodiscard]] BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa);
+[[nodiscard]] BgemmRowsFn bgemm_rows_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+[[nodiscard]] BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa,
+                                                             bool use_vpopcntdq);
 
 /// Dispatching wrappers (widest hardware ISA).
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y);

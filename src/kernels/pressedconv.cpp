@@ -2,6 +2,7 @@
 #include "kernels/pressedconv.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/check.hpp"
 #include "simd/cpu_features.hpp"
@@ -14,7 +15,13 @@ namespace detail {
   void conv_dot_##SUFFIX(const PackedTensor&, const PackedFilterBank&, const ConvSpec&,          \
                          runtime::ThreadPool&, Tensor&);                                         \
   void conv_binarize_##SUFFIX(const PackedTensor&, const PackedFilterBank&, const ConvSpec&,     \
-                              const float*, runtime::ThreadPool&, PackedTensor&, std::int64_t);
+                              const float*, runtime::ThreadPool&, PackedTensor&, std::int64_t);  \
+  void conv_dot_batch_##SUFFIX(const PackedTensor* const*, std::int64_t,                         \
+                               const PackedFilterBank&, const ConvSpec&, runtime::ThreadPool&,   \
+                               Tensor* const*);                                                  \
+  void conv_binarize_batch_##SUFFIX(const PackedTensor* const*, std::int64_t,                    \
+                                    const PackedFilterBank&, const ConvSpec&, const float*,      \
+                                    runtime::ThreadPool&, PackedTensor* const*, std::int64_t);
 BITFLOW_DECLARE_PRESSEDCONV(u64)
 BITFLOW_DECLARE_PRESSEDCONV(sse)
 BITFLOW_DECLARE_PRESSEDCONV(avx2)
@@ -53,6 +60,37 @@ ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
   throw std::invalid_argument("conv_binarize_kernel: bad ISA level");
 }
 
+ConvDotBatchFn conv_dot_batch_kernel(simd::IsaLevel isa) {
+  return conv_dot_batch_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa) {
+  return conv_binarize_batch_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvDotBatchFn conv_dot_batch_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_dot_batch_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_dot_batch_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_dot_batch_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::conv_dot_batch_avx512vp : &detail::conv_dot_batch_avx512;
+  }
+  throw std::invalid_argument("conv_dot_batch_kernel: bad ISA level");
+}
+
+ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_binarize_batch_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_binarize_batch_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_binarize_batch_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::conv_binarize_batch_avx512vp
+                           : &detail::conv_binarize_batch_avx512;
+  }
+  throw std::invalid_argument("conv_binarize_batch_kernel: bad ISA level");
+}
+
 void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
                      const ConvSpec& spec) {
   spec.validate();
@@ -66,6 +104,20 @@ void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
   if (spec.stride < 1) throw std::invalid_argument("PressedConv: stride must be >= 1");
   (void)spec.out_h(in.height());  // throws if the kernel does not fit
   (void)spec.out_w(in.width());
+}
+
+void check_conv_batch_args(const PackedTensor* const* in, std::int64_t n,
+                           const PackedFilterBank& filters, const ConvSpec& spec) {
+  BF_CHECK(in != nullptr, "PressedConv batch: null input array");
+  if (n < 1) throw std::invalid_argument("PressedConv batch: n must be >= 1");
+  check_conv_args(*in[0], filters, spec);
+  for (std::int64_t b = 1; b < n; ++b) {
+    if (in[b]->height() != in[0]->height() || in[b]->width() != in[0]->width() ||
+        in[b]->channels() != in[0]->channels()) {
+      throw std::invalid_argument("PressedConv batch: image " + std::to_string(b) +
+                                  " extents differ from image 0");
+    }
+  }
 }
 
 void pressed_conv_dot(const PackedTensor& in, const PackedFilterBank& filters,

@@ -46,12 +46,36 @@ using ConvBinarizeFn = void (*)(const PackedTensor& in, const PackedFilterBank& 
                                 runtime::ThreadPool& pool, PackedTensor& out,
                                 std::int64_t margin);
 
+/// Batch-N raw-dot PressedConv: `in` and `out` are arrays of `n` tensor
+/// pointers with identical extents; the batch axis is fused with the spatial
+/// output range into one n*out_h*out_w parallel_for, so N requests cost one
+/// fork/join and deep layers with small H*W still fill the pool.  Output b
+/// is bit-identical to a single-image run over in[b] (the single-image entry
+/// points are the n = 1 case of the same loop).
+using ConvDotBatchFn = void (*)(const PackedTensor* const* in, std::int64_t n,
+                                const PackedFilterBank& filters, const ConvSpec& spec,
+                                runtime::ThreadPool& pool, Tensor* const* out);
+
+/// Batch-N fused PressedConv + binarize; see ConvBinarizeFn for the margin
+/// contract, applied to each of the `n` outputs.
+using ConvBinarizeBatchFn = void (*)(const PackedTensor* const* in, std::int64_t n,
+                                     const PackedFilterBank& filters, const ConvSpec& spec,
+                                     const float* thresholds, runtime::ThreadPool& pool,
+                                     PackedTensor* const* out, std::int64_t margin);
+
 /// Returns the raw-dot kernel compiled for `isa`.  The caller must have
 /// verified hardware support (simd::cpu_features().supports(isa)).
 [[nodiscard]] ConvDotFn conv_dot_kernel(simd::IsaLevel isa);
 
 /// Returns the fused binarize kernel compiled for `isa`.
 [[nodiscard]] ConvBinarizeFn conv_binarize_kernel(simd::IsaLevel isa);
+
+/// Batch-N counterparts of the kernel getters.
+[[nodiscard]] ConvDotBatchFn conv_dot_batch_kernel(simd::IsaLevel isa);
+[[nodiscard]] ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa);
+[[nodiscard]] ConvDotBatchFn conv_dot_batch_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+[[nodiscard]] ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa,
+                                                             bool use_vpopcntdq);
 
 /// Variant-pinned overloads: at kAvx512, `use_vpopcntdq` selects between the
 /// byte-LUT TU and the native-VPOPCNTDQ TU instead of deferring to CPUID (the
@@ -74,5 +98,10 @@ void pressed_conv_binarize(const PackedTensor& in, const PackedFilterBank& filte
 /// std::invalid_argument on mismatch.  Exposed for reuse by baselines.
 void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,
                      const ConvSpec& spec);
+
+/// Batch variant: additionally requires n >= 1 and every image to share
+/// image 0's extents (the fused range divides uniformly by out_h*out_w).
+void check_conv_batch_args(const PackedTensor* const* in, std::int64_t n,
+                           const PackedFilterBank& filters, const ConvSpec& spec);
 
 }  // namespace bitflow::kernels

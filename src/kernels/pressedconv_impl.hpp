@@ -6,12 +6,21 @@
 // into the spatial loops with no function-call overhead.
 //
 // Loop structure (paper Alg. 1):
-//   multi-core  : fused y*x output range, static blocks      (parallel_for)
+//   multi-core  : fused b*y*x output range, static blocks     (parallel_for)
 //   per pixel   : filters k, 2-way unrolled to share the input window loads
 //   per filter  : kernel rows i — the kw * words_per_pixel packed words of
 //                 one window row are contiguous in both operands (NHWC
 //                 channel packing), one xor+popcount run each
 //   vector      : inside the run, the policy's ISA
+//
+// Batch-N: every entry point is implemented over a batch of N images (the
+// batch axis is fused with the spatial output range into one n*out_h*out_w
+// parallel_for, so deep layers with small H*W still expose enough grains to
+// fill the pool, and N requests cost one fork/join instead of N).  Each
+// image has its own input/output tensor; a pixel's value depends only on
+// its own image's words, so batch-N output b is bit-identical to a batch-1
+// run of image b — the single-image entry points are the n = 1 case of the
+// same code path.
 #pragma once
 
 #include <algorithm>
@@ -30,29 +39,31 @@ namespace bitflow::kernels::impl {
 /// filter costs exactly nine xor+popcnt — no word-run loop, no pointer
 /// arithmetic in the hot loop.  This is the "loop unrolling" of the paper's
 /// gemm-level optimizations applied where it pays the most.
-inline void conv_dot_3x3_w1(const PackedTensor& in, const PackedFilterBank& filters,
-                            const ConvSpec& spec, runtime::ThreadPool& pool, Tensor& out) {
-  const std::int64_t out_h = spec.out_h(in.height());
-  const std::int64_t out_w = spec.out_w(in.width());
+inline void conv_dot_3x3_w1_batch(const PackedTensor* const* in, std::int64_t n,
+                                  const PackedFilterBank& filters, const ConvSpec& spec,
+                                  runtime::ThreadPool& pool, Tensor* const* out) {
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
   const std::int64_t bits = filters.bits_per_filter();
   const std::int64_t num_k = filters.num_filters();
-  const std::int64_t in_w = in.width();
+  const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
-  const std::uint64_t* in_words = in.words();
   const std::uint64_t* f_words = filters.words();
-  float* out_data = out.data();
 
-  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
-      const std::int64_t y = idx / out_w;
-      const std::int64_t x = idx % out_w;
-      const std::uint64_t* w0 = in_words + (y * stride) * in_w + (x * stride);
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* w0 = in[img]->words() + (y * stride) * in_w + (x * stride);
       const std::uint64_t* w1 = w0 + in_w;
       const std::uint64_t* w2 = w1 + in_w;
       const std::uint64_t a0 = w0[0], a1 = w0[1], a2 = w0[2];
       const std::uint64_t a3 = w1[0], a4 = w1[1], a5 = w1[2];
       const std::uint64_t a6 = w2[0], a7 = w2[1], a8 = w2[2];
-      float* out_px = out_data + idx * num_k;
+      float* out_px = out[img]->data() + pix * num_k;
       const std::uint64_t* f = f_words;
       for (std::int64_t k = 0; k < num_k; ++k, f += 9) {
         std::int64_t pops = __builtin_popcountll(a0 ^ f[0]);
@@ -71,31 +82,34 @@ inline void conv_dot_3x3_w1(const PackedTensor& in, const PackedFilterBank& filt
 }
 
 template <typename Ops>
-void conv_dot_impl(const PackedTensor& in, const PackedFilterBank& filters, const ConvSpec& spec,
-                   runtime::ThreadPool& pool, Tensor& out) {
-  if (in.words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
-    conv_dot_3x3_w1(in, filters, spec, pool, out);
+void conv_dot_batch_impl(const PackedTensor* const* in, std::int64_t n,
+                         const PackedFilterBank& filters, const ConvSpec& spec,
+                         runtime::ThreadPool& pool, Tensor* const* out) {
+  if (in[0]->words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
+    conv_dot_3x3_w1_batch(in, n, filters, spec, pool, out);
     return;
   }
-  const std::int64_t out_h = spec.out_h(in.height());
-  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
   const std::int64_t kh = filters.kernel_h();
   const std::int64_t kw = filters.kernel_w();
-  const std::int64_t pc = in.words_per_pixel();
+  const std::int64_t pc = in[0]->words_per_pixel();
   const std::int64_t row_words = kw * pc;
   const std::int64_t bits = filters.bits_per_filter();
   const std::int64_t num_k = filters.num_filters();
-  const std::int64_t in_w = in.width();
+  const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
-  const std::uint64_t* in_words = in.words();
-  float* out_data = out.data();
 
-  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
-      const std::int64_t y = idx / out_w;
-      const std::int64_t x = idx % out_w;
-      const std::uint64_t* window = in_words + ((y * stride) * in_w + (x * stride)) * pc;
-      float* out_px = out_data + idx * num_k;
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* window =
+          in[img]->words() + ((y * stride) * in_w + (x * stride)) * pc;
+      float* out_px = out[img]->data() + pix * num_k;
       std::int64_t k = 0;
       // 2-way filter unroll: both filters consume the same window row, so
       // its words are loaded from L1 once per pair.
@@ -123,31 +137,41 @@ void conv_dot_impl(const PackedTensor& in, const PackedFilterBank& filters, cons
   });
 }
 
-/// Fused binarize counterpart of conv_dot_3x3_w1.
-inline void conv_binarize_3x3_w1(const PackedTensor& in, const PackedFilterBank& filters,
-                                 const ConvSpec& spec, const float* thresholds,
-                                 runtime::ThreadPool& pool, PackedTensor& out,
-                                 std::int64_t margin) {
-  const std::int64_t out_h = spec.out_h(in.height());
-  const std::int64_t out_w = spec.out_w(in.width());
+template <typename Ops>
+void conv_dot_impl(const PackedTensor& in, const PackedFilterBank& filters, const ConvSpec& spec,
+                   runtime::ThreadPool& pool, Tensor& out) {
+  const PackedTensor* in_ptr = &in;
+  Tensor* out_ptr = &out;
+  conv_dot_batch_impl<Ops>(&in_ptr, 1, filters, spec, pool, &out_ptr);
+}
+
+/// Fused binarize counterpart of conv_dot_3x3_w1_batch.
+inline void conv_binarize_3x3_w1_batch(const PackedTensor* const* in, std::int64_t n,
+                                       const PackedFilterBank& filters, const ConvSpec& spec,
+                                       const float* thresholds, runtime::ThreadPool& pool,
+                                       PackedTensor* const* out, std::int64_t margin) {
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
   const std::int64_t bits = filters.bits_per_filter();
   const std::int64_t num_k = filters.num_filters();
-  const std::int64_t in_w = in.width();
+  const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
-  const std::uint64_t* in_words = in.words();
   const std::uint64_t* f_words = filters.words();
 
-  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
-      const std::int64_t y = idx / out_w;
-      const std::int64_t x = idx % out_w;
-      const std::uint64_t* w0 = in_words + (y * stride) * in_w + (x * stride);
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* w0 = in[img]->words() + (y * stride) * in_w + (x * stride);
       const std::uint64_t* w1 = w0 + in_w;
       const std::uint64_t* w2 = w1 + in_w;
       const std::uint64_t a0 = w0[0], a1 = w0[1], a2 = w0[2];
       const std::uint64_t a3 = w1[0], a4 = w1[1], a5 = w1[2];
       const std::uint64_t a6 = w2[0], a7 = w2[1], a8 = w2[2];
-      std::uint64_t* out_px = out.pixel(y + margin, x + margin);
+      std::uint64_t* out_px = out[img]->pixel(y + margin, x + margin);
       const std::uint64_t* f = f_words;
       std::int64_t k = 0;
       std::int64_t word_idx = 0;
@@ -175,31 +199,35 @@ inline void conv_binarize_3x3_w1(const PackedTensor& in, const PackedFilterBank&
 }
 
 template <typename Ops>
-void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
-                        const ConvSpec& spec, const float* thresholds, runtime::ThreadPool& pool,
-                        PackedTensor& out, std::int64_t margin) {
-  if (in.words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
-    conv_binarize_3x3_w1(in, filters, spec, thresholds, pool, out, margin);
+void conv_binarize_batch_impl(const PackedTensor* const* in, std::int64_t n,
+                              const PackedFilterBank& filters, const ConvSpec& spec,
+                              const float* thresholds, runtime::ThreadPool& pool,
+                              PackedTensor* const* out, std::int64_t margin) {
+  if (in[0]->words_per_pixel() == 1 && filters.kernel_h() == 3 && filters.kernel_w() == 3) {
+    conv_binarize_3x3_w1_batch(in, n, filters, spec, thresholds, pool, out, margin);
     return;
   }
-  const std::int64_t out_h = spec.out_h(in.height());
-  const std::int64_t out_w = spec.out_w(in.width());
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
   const std::int64_t kh = filters.kernel_h();
   const std::int64_t kw = filters.kernel_w();
-  const std::int64_t pc = in.words_per_pixel();
+  const std::int64_t pc = in[0]->words_per_pixel();
   const std::int64_t row_words = kw * pc;
   const std::int64_t bits = filters.bits_per_filter();
   const std::int64_t num_k = filters.num_filters();
-  const std::int64_t in_w = in.width();
+  const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
-  const std::uint64_t* in_words = in.words();
 
-  pool.parallel_for(out_h * out_w, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
-      const std::int64_t y = idx / out_w;
-      const std::int64_t x = idx % out_w;
-      const std::uint64_t* window = in_words + ((y * stride) * in_w + (x * stride)) * pc;
-      std::uint64_t* out_px = out.pixel(y + margin, x + margin);
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* window =
+          in[img]->words() + ((y * stride) * in_w + (x * stride)) * pc;
+      std::uint64_t* out_px = out[img]->pixel(y + margin, x + margin);
       std::int64_t k = 0;
       std::int64_t word_idx = 0;
       while (k < num_k) {
@@ -221,10 +249,19 @@ void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
   });
 }
 
+template <typename Ops>
+void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
+                        const ConvSpec& spec, const float* thresholds, runtime::ThreadPool& pool,
+                        PackedTensor& out, std::int64_t margin) {
+  const PackedTensor* in_ptr = &in;
+  PackedTensor* out_ptr = &out;
+  conv_binarize_batch_impl<Ops>(&in_ptr, 1, filters, spec, thresholds, pool, &out_ptr, margin);
+}
+
 }  // namespace bitflow::kernels::impl
 
-/// Stamps out the two kernel entry points for one ISA policy.  Used by each
-/// per-ISA TU after defining `Ops`.
+/// Stamps out the kernel entry points (single-image and batched) for one ISA
+/// policy.  Used by each per-ISA TU after defining `Ops`.
 #define BITFLOW_INSTANTIATE_PRESSEDCONV(SUFFIX, OPS)                                            \
   namespace bitflow::kernels::detail {                                                          \
   void conv_dot_##SUFFIX(const PackedTensor& in, const PackedFilterBank& filters,               \
@@ -236,5 +273,16 @@ void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
                               runtime::ThreadPool& pool, PackedTensor& out,                     \
                               std::int64_t margin) {                                            \
     impl::conv_binarize_impl<OPS>(in, filters, spec, thresholds, pool, out, margin);            \
+  }                                                                                             \
+  void conv_dot_batch_##SUFFIX(const PackedTensor* const* in, std::int64_t n,                   \
+                               const PackedFilterBank& filters, const ConvSpec& spec,           \
+                               runtime::ThreadPool& pool, Tensor* const* out) {                 \
+    impl::conv_dot_batch_impl<OPS>(in, n, filters, spec, pool, out);                            \
+  }                                                                                             \
+  void conv_binarize_batch_##SUFFIX(const PackedTensor* const* in, std::int64_t n,              \
+                                    const PackedFilterBank& filters, const ConvSpec& spec,      \
+                                    const float* thresholds, runtime::ThreadPool& pool,         \
+                                    PackedTensor* const* out, std::int64_t margin) {            \
+    impl::conv_binarize_batch_impl<OPS>(in, n, filters, spec, thresholds, pool, out, margin);   \
   }                                                                                             \
   }  // namespace bitflow::kernels::detail

@@ -1,0 +1,46 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bitflow::serve {
+
+Batcher::Batcher(RequestQueue& queue, BatcherConfig cfg) : queue_(queue), cfg_(cfg) {
+  if (cfg.max_batch < 1) throw std::invalid_argument("Batcher: max_batch must be >= 1");
+  if (cfg.batch_timeout.count() < 0) {
+    throw std::invalid_argument("Batcher: batch_timeout must be >= 0");
+  }
+}
+
+bool Batcher::next_batch(std::vector<Request>& batch, std::vector<Request>& expired) {
+  batch.clear();
+  expired.clear();
+
+  auto classify = [&](Request&& r) {
+    if (r.deadline <= std::chrono::steady_clock::now()) {
+      expired.push_back(std::move(r));
+    } else {
+      batch.push_back(std::move(r));
+    }
+  };
+
+  // Anchor: wait (indefinitely) for the first request of the window.
+  std::optional<Request> first = queue_.pop();
+  if (!first.has_value()) return false;  // closed and drained
+  const auto window_end = std::chrono::steady_clock::now() + cfg_.batch_timeout;
+  classify(*std::move(first));
+
+  // Coalesce: expired requests do not consume batch slots, so keep pulling
+  // until max_batch *live* requests or the window closes.
+  while (static_cast<std::int64_t>(batch.size()) < cfg_.max_batch) {
+    std::optional<Request> r = queue_.pop_until(window_end);
+    if (!r.has_value()) {
+      if (queue_.closed() && queue_.size() == 0) break;  // drain fast on shutdown
+      break;  // window elapsed
+    }
+    classify(*std::move(r));
+  }
+  return true;
+}
+
+}  // namespace bitflow::serve

@@ -1,0 +1,46 @@
+// Micro-batching scheduler: coalesces queued requests into batches for the
+// fused batch-N inference path.
+//
+// Policy: block for the first request (no busy-wait when idle), then keep
+// coalescing until either `max_batch` requests are in hand or
+// `batch_timeout` has elapsed since the first pop.  The timeout bounds how
+// long an early request waits for company, trading a little latency at low
+// load for the per-layer fork/join amortization batch-N buys at high load —
+// under saturation the window never expires because the queue always has a
+// next request ready.
+//
+// Deadline handling: a request whose queue-wait deadline has already passed
+// when the batcher picks it up is separated into `expired` instead of
+// wasting a batch slot; the engine fails it with kDeadlineExceeded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace bitflow::serve {
+
+struct BatcherConfig {
+  std::int64_t max_batch = 8;
+  std::chrono::microseconds batch_timeout{2000};
+};
+
+class Batcher {
+ public:
+  Batcher(RequestQueue& queue, BatcherConfig cfg);
+
+  /// Collects the next micro-batch.  On return, `batch` holds 0..max_batch
+  /// live requests and `expired` the requests whose deadline lapsed in
+  /// queue (both cleared first).  Returns false when the queue is closed
+  /// and fully drained — the worker's signal to exit.  A true return with
+  /// an empty `batch` is possible when every popped request had expired.
+  [[nodiscard]] bool next_batch(std::vector<Request>& batch, std::vector<Request>& expired);
+
+ private:
+  RequestQueue& queue_;
+  BatcherConfig cfg_;
+};
+
+}  // namespace bitflow::serve

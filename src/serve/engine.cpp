@@ -1,0 +1,300 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/failpoint.hpp"
+#include "serve/batcher.hpp"
+#include "serve/error_map.hpp"
+#include "serve/request_queue.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace bitflow::serve {
+
+using core::ErrorCode;
+using core::Status;
+
+namespace {
+
+/// Log-bucketed latency histogram: bucket i counts samples whose
+/// microsecond value has bit width i, i.e. us in [2^(i-1), 2^i).  Quantiles
+/// report the upper bucket bound — coarse but allocation-free and
+/// mergeable, which is what a per-engine counter needs.
+constexpr std::size_t kLatBuckets = 40;  // 2^39 us ≈ 6.4 days
+
+std::size_t bucket_for_us(std::uint64_t us) {
+  return std::min<std::size_t>(std::bit_width(us), kLatBuckets - 1);
+}
+
+double bucket_upper_ms(std::size_t bucket) {
+  return static_cast<double>(std::uint64_t{1} << bucket) / 1000.0;
+}
+
+double quantile_ms(const std::array<std::uint64_t, kLatBuckets>& hist, std::uint64_t total,
+                   double q) {
+  if (total == 0) return 0.0;
+  const std::uint64_t want = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kLatBuckets; ++i) {
+    cum += hist[i];
+    if (cum >= want) return bucket_upper_ms(i);
+  }
+  return bucket_upper_ms(kLatBuckets - 1);
+}
+
+}  // namespace
+
+struct Engine::Impl {
+  EngineConfig cfg;
+  graph::BinaryNetwork net;
+  RequestQueue queue;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stopping{false};
+  std::once_flag shutdown_once;
+
+  // Counters: monotonically increasing, relaxed — they order nothing.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> batches{0};
+
+  // Histograms share one mutex; they are touched once per batch / request
+  // completion, far off the kernel hot path.
+  mutable std::mutex hist_mu;
+  std::vector<std::uint64_t> batch_hist;  // size max_batch + 1
+  std::array<std::uint64_t, kLatBuckets> lat_hist{};
+  std::uint64_t lat_count = 0;
+
+  Impl(EngineConfig c, graph::BinaryNetwork n)
+      : cfg(c),
+        net(std::move(n)),
+        queue(c.queue_capacity),
+        batch_hist(static_cast<std::size_t>(c.max_batch) + 1, 0) {}
+
+  void resolve_ok(Request& r, const float* scores, std::int64_t count) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - r.enqueue_time).count());
+    // Count before fulfilling the promise: a caller that has observed its
+    // result must find the request reflected in stats().
+    completed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(hist_mu);
+      lat_hist[bucket_for_us(us)] += 1;
+      lat_count += 1;
+    }
+    r.promise.set_value(std::vector<float>(scores, scores + count));
+  }
+
+  void resolve_error(Request& r, Status st) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(std::move(st));
+  }
+
+  void resolve_expired(Request& r) {
+    expired.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(Status{
+        ErrorCode::kDeadlineExceeded,
+        "request expired after waiting in queue beyond its deadline"});
+  }
+
+  /// Worker thread body: replicated context + batcher loop.  Exits when the
+  /// queue is closed and drained; every popped request's promise resolves.
+  void worker_main() {
+    graph::InferenceContext ctx = net.make_context(cfg.max_batch, cfg.net.num_threads);
+    Batcher batcher(queue, BatcherConfig{cfg.max_batch, cfg.batch_timeout});
+    const std::int64_t out_size = net.output_size();
+    std::vector<Request> batch, lapsed;
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(static_cast<std::size_t>(cfg.max_batch));
+
+    while (batcher.next_batch(batch, lapsed)) {
+      for (Request& r : lapsed) resolve_expired(r);
+      if (batch.empty()) continue;
+
+      const std::int64_t n = static_cast<std::int64_t>(batch.size());
+      inputs.clear();
+      for (const Request& r : batch) inputs.push_back(&r.input);
+      batches.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(hist_mu);
+        batch_hist[static_cast<std::size_t>(n)] += 1;
+      }
+
+      try {
+        BF_FAILPOINT("serve.infer");
+        const std::span<const float> scores = net.infer_batch(inputs, ctx);
+        for (std::int64_t b = 0; b < n; ++b) {
+          resolve_ok(batch[static_cast<std::size_t>(b)], scores.data() + b * out_size,
+                     out_size);
+        }
+      } catch (...) {
+        // Exception firewall: the batch is poisoned, but which member is at
+        // fault?  Rerun each alone so only the faulty request fails and the
+        // rest still get scores; the worker keeps serving either way.
+        for (Request& r : batch) {
+          try {
+            BF_FAILPOINT("serve.infer");
+            const Tensor* one = &r.input;
+            const std::span<const float> scores = net.infer_batch({&one, 1}, ctx);
+            resolve_ok(r, scores.data(), out_size);
+          } catch (...) {
+            resolve_error(r, map_infer_error());
+          }
+        }
+      }
+    }
+  }
+};
+
+Engine::Engine(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+Engine::~Engine() {
+  if (impl_) shutdown();
+}
+
+core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
+  if (cfg.workers < 1) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: workers must be >= 1"};
+  }
+  if (cfg.max_batch < 1) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: max_batch must be >= 1"};
+  }
+  if (cfg.queue_capacity < 1) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: queue_capacity must be >= 1"};
+  }
+  if (cfg.net.num_threads < 1) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: net.num_threads must be >= 1"};
+  }
+  if (cfg.net.max_isa.has_value() && !simd::cpu_features().supports(*cfg.net.max_isa)) {
+    return Status{ErrorCode::kUnsupportedIsa,
+                  "requested max_isa " + std::string(simd::isa_name(*cfg.net.max_isa)) +
+                      " is not executable on this CPU"};
+  }
+  try {
+    graph::BinaryNetwork net = model.instantiate(cfg.net);
+    auto impl = std::make_unique<Impl>(cfg, std::move(net));
+    // Contexts are created inside each worker thread (first thing it does),
+    // so their allocation cost is paid off the caller's critical path.
+    impl->threads.reserve(static_cast<std::size_t>(cfg.workers));
+    Impl* ip = impl.get();  // Impl address is stable across Engine moves
+    for (int w = 0; w < cfg.workers; ++w) {
+      impl->threads.emplace_back([ip] { ip->worker_main(); });
+    }
+    return Engine(std::move(impl));
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+core::Result<Engine> Engine::open(const std::string& path, EngineConfig cfg) {
+  try {
+    const io::Model model = io::Model::load(path);
+    return create(model, cfg);
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+std::future<core::Result<std::vector<float>>> Engine::submit(Tensor input) {
+  return submit(std::move(input), impl_->cfg.default_deadline);
+}
+
+std::future<core::Result<std::vector<float>>> Engine::submit(
+    Tensor input, std::chrono::milliseconds deadline) {
+  Impl& im = *impl_;
+  Request r;
+  r.input = std::move(input);
+  std::future<core::Result<std::vector<float>>> fut = r.promise.get_future();
+
+  // Validate before admission: a shape mismatch is the caller's fault and
+  // must not consume queue capacity.
+  const graph::TensorDesc want = im.net.input_desc();
+  if (r.input.height() != want.h || r.input.width() != want.w ||
+      r.input.channels() != want.c) {
+    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(Status{
+        ErrorCode::kBadInput,
+        "submit: input is " + std::to_string(r.input.height()) + "x" +
+            std::to_string(r.input.width()) + "x" + std::to_string(r.input.channels()) +
+            ", network wants " + std::to_string(want.h) + "x" + std::to_string(want.w) + "x" +
+            std::to_string(want.c)});
+    return fut;
+  }
+
+  // Admission-control failpoint: an injected fault here models the queue
+  // refusing the request (kResourceExhausted via the serve.queue_admit
+  // mapping), exercising callers' rejection handling.
+  try {
+    BF_FAILPOINT("serve.queue_admit");
+  } catch (...) {
+    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(map_infer_error());
+    return fut;
+  }
+
+  r.enqueue_time = std::chrono::steady_clock::now();
+  if (deadline.count() > 0) r.deadline = r.enqueue_time + deadline;
+
+  if (!im.queue.try_push(r)) {
+    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_value(Status{
+        ErrorCode::kResourceExhausted,
+        im.queue.closed()
+            ? std::string("submit: engine is shut down")
+            : "submit: queue full (capacity " + std::to_string(im.queue.capacity()) + ")"});
+    return fut;
+  }
+  im.accepted.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+core::Result<std::vector<float>> Engine::infer(Tensor input) {
+  return submit(std::move(input)).get();
+}
+
+void Engine::shutdown() {
+  Impl& im = *impl_;
+  std::call_once(im.shutdown_once, [&im] {
+    im.stopping.store(true, std::memory_order_relaxed);
+    im.queue.close();
+    for (std::thread& t : im.threads) {
+      if (t.joinable()) t.join();
+    }
+  });
+}
+
+EngineStats Engine::stats() const {
+  const Impl& im = *impl_;
+  EngineStats s;
+  s.accepted = im.accepted.load(std::memory_order_relaxed);
+  s.rejected = im.rejected.load(std::memory_order_relaxed);
+  s.expired = im.expired.load(std::memory_order_relaxed);
+  s.completed = im.completed.load(std::memory_order_relaxed);
+  s.failed = im.failed.load(std::memory_order_relaxed);
+  s.batches = im.batches.load(std::memory_order_relaxed);
+  s.queue_depth = im.queue.size();
+  std::lock_guard<std::mutex> lock(im.hist_mu);
+  s.batch_size_hist = im.batch_hist;
+  s.latency_p50_ms = quantile_ms(im.lat_hist, im.lat_count, 0.50);
+  s.latency_p99_ms = quantile_ms(im.lat_hist, im.lat_count, 0.99);
+  return s;
+}
+
+graph::TensorDesc Engine::input_desc() const { return impl_->net.input_desc(); }
+std::int64_t Engine::output_size() const { return impl_->net.output_size(); }
+const std::vector<graph::LayerInfo>& Engine::layers() const { return impl_->net.layers(); }
+int Engine::workers() const noexcept { return impl_->cfg.workers; }
+std::int64_t Engine::max_batch() const noexcept { return impl_->cfg.max_batch; }
+
+}  // namespace bitflow::serve

@@ -1,0 +1,131 @@
+// serve::Engine — the concurrent serving layer: bounded admission queue,
+// micro-batching scheduler, and a pool of worker threads each owning a
+// replicated inference context.
+//
+//   callers ── submit() ──► RequestQueue ──► Batcher ──► worker 0 (ctx 0)
+//                 (bounded, admission       (coalesce ≤ ├─► worker 1 (ctx 1)
+//                  control, deadline)        max_batch)  └─► ...
+//
+// Concurrency model: the network is finalized once and immutable; each
+// worker owns a private graph::InferenceContext (buffers + thread pool), so
+// workers never alias mutable state (see the contract in graph/network.hpp).
+// Batches run through the fused batch-N kernels — N requests cost one
+// fork/join per layer and are bit-exact with N separate batch-1 runs.
+//
+// Error contract (the exception firewall of serve/session.hpp, extended):
+//   * admission: a full queue (or armed serve.queue_admit failpoint) fails
+//     the request with kResourceExhausted — callers never block or throw;
+//   * deadline: a request whose queue wait exceeds its deadline fails with
+//     kDeadlineExceeded.  The deadline covers queue time only; once a batch
+//     starts, it runs to completion (no mid-inference preemption);
+//   * poisoned batch: if a batch throws, the worker reruns each member
+//     individually so only the faulty request fails; the worker and engine
+//     keep serving;
+//   * shutdown: the queue closes, workers drain every admitted request
+//     (every future resolves — no broken_promise), then exit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "graph/network.hpp"
+#include "io/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::serve {
+
+/// Configuration of one serving engine.
+struct EngineConfig {
+  /// Network execution config; net.num_threads is the *per-worker* pool
+  /// size (each replicated context gets its own pool of this many threads).
+  graph::NetworkConfig net{};
+  /// Number of worker threads, each with a replicated inference context.
+  int workers = 1;
+  /// Largest micro-batch a worker runs in one fused pass.
+  std::int64_t max_batch = 8;
+  /// How long a worker waits for a batch to fill after its first request.
+  std::chrono::microseconds batch_timeout{2000};
+  /// Admission-queue capacity; submissions beyond it are rejected.
+  std::size_t queue_capacity = 64;
+  /// Default per-request queue-wait budget; zero = no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Counter snapshot for benchmarking and monitoring.  All request counters
+/// are cumulative since create(); accepted = completed + failed + expired +
+/// the requests currently in flight.
+struct EngineStats {
+  std::uint64_t accepted = 0;   ///< admitted into the queue
+  std::uint64_t rejected = 0;   ///< refused at admission (backpressure/fault)
+  std::uint64_t expired = 0;    ///< deadline lapsed while queued
+  std::uint64_t completed = 0;  ///< finished with OK scores
+  std::uint64_t failed = 0;     ///< finished with a non-OK Status
+  std::size_t queue_depth = 0;  ///< requests queued at snapshot time
+  std::uint64_t batches = 0;    ///< micro-batches executed
+  /// batch_size_hist[n] = number of micro-batches that ran with n requests
+  /// (index 0 unused; size max_batch + 1).
+  std::vector<std::uint64_t> batch_size_hist;
+  /// End-to-end (enqueue -> scores ready) latency quantiles over completed
+  /// requests, from a log-bucketed histogram: upper bucket bounds, ms.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  /// Mean batch size over executed batches (the fusion the engine achieved).
+  [[nodiscard]] double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(completed + failed) /
+                                    static_cast<double>(batches);
+  }
+};
+
+/// A running serving engine.  Move-only; all public methods are thread-safe
+/// (submit/infer may be called from any number of caller threads).
+class Engine {
+ public:
+  /// Builds the network from an in-memory model and starts the workers.
+  [[nodiscard]] static core::Result<Engine> create(const io::Model& model,
+                                                   EngineConfig cfg = {});
+  /// Same, loading a .bflow file first.
+  [[nodiscard]] static core::Result<Engine> open(const std::string& path,
+                                                 EngineConfig cfg = {});
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();  ///< shuts down: drains admitted requests, joins workers
+
+  /// Submits one request with the config's default deadline.  Never throws
+  /// and never blocks on inference: the future resolves to the scores or a
+  /// Status (kResourceExhausted on rejection, kDeadlineExceeded on expiry,
+  /// the mapped error on a worker fault).
+  [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(Tensor input);
+  /// Same with an explicit queue-wait deadline (<= 0 disables it).
+  [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(
+      Tensor input, std::chrono::milliseconds deadline);
+
+  /// Blocking convenience: submit + wait.
+  [[nodiscard]] core::Result<std::vector<float>> infer(Tensor input);
+
+  /// Stops admission, drains queued requests, joins the workers.
+  /// Idempotent; called by the destructor.  submit() after shutdown is
+  /// rejected with kResourceExhausted.
+  void shutdown();
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] graph::TensorDesc input_desc() const;
+  [[nodiscard]] std::int64_t output_size() const;
+  [[nodiscard]] const std::vector<graph::LayerInfo>& layers() const;
+  [[nodiscard]] int workers() const noexcept;
+  [[nodiscard]] std::int64_t max_batch() const noexcept;
+
+ private:
+  struct Impl;
+  explicit Engine(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitflow::serve

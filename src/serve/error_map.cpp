@@ -1,0 +1,60 @@
+#include "serve/error_map.hpp"
+
+#include <new>
+#include <stdexcept>
+
+#include "core/failpoint.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bitflow::serve {
+
+using core::ErrorCode;
+using core::Status;
+
+ErrorCode code_for_failpoint(std::string_view point) {
+  if (point.starts_with("io.")) return ErrorCode::kInvalidModel;
+  if (point.starts_with("alloc.")) return ErrorCode::kResourceExhausted;
+  if (point.starts_with("runtime.")) return ErrorCode::kWorkerFailure;
+  // serve.queue_admit models admission rejection, not an internal bug.
+  if (point == "serve.queue_admit") return ErrorCode::kResourceExhausted;
+  return ErrorCode::kInternal;
+}
+
+Status map_open_error() {
+  try {
+    throw;
+  } catch (const failpoint::FaultInjected& e) {
+    return {code_for_failpoint(e.point()), e.what()};
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::kResourceExhausted, "allocation failed while loading the model"};
+  } catch (const runtime::WorkerFailure& e) {
+    return {ErrorCode::kWorkerFailure, e.what()};
+  } catch (const std::exception& e) {
+    // Loader errors are runtime_error; graph validation rejects a
+    // malformed layer chain with invalid_argument/logic_error.  Either
+    // way the model, not the caller's request, is at fault.
+    return {ErrorCode::kInvalidModel, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, "unknown exception while loading the model"};
+  }
+}
+
+Status map_infer_error() {
+  try {
+    throw;
+  } catch (const failpoint::FaultInjected& e) {
+    return {code_for_failpoint(e.point()), e.what()};
+  } catch (const runtime::WorkerFailure& e) {
+    return {ErrorCode::kWorkerFailure, e.what()};
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::kResourceExhausted, "allocation failed during inference"};
+  } catch (const std::invalid_argument& e) {
+    return {ErrorCode::kBadInput, e.what()};
+  } catch (const std::exception& e) {
+    return {ErrorCode::kInternal, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, "unknown exception during inference"};
+  }
+}
+
+}  // namespace bitflow::serve

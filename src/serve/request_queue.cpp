@@ -1,0 +1,68 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bitflow::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+}
+
+bool RequestQueue::try_push(Request& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(r));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return std::nullopt;  // closed and drained
+  Request r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+std::optional<Request> RequestQueue::pop_until(std::chrono::steady_clock::time_point tp) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!ready_.wait_until(lock, tp, [this] { return closed_ || !q_.empty(); })) {
+    return std::nullopt;  // timeout
+  }
+  if (q_.empty()) return std::nullopt;  // closed and drained
+  Request r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+std::optional<Request> RequestQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return std::nullopt;
+  Request r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+}  // namespace bitflow::serve

@@ -1,0 +1,73 @@
+// Bounded MPMC request queue: the admission-control stage of serve::Engine.
+//
+// Producers are caller threads in Engine::submit(); consumers are the
+// engine's worker threads (through serve::Batcher).  The queue enforces
+// backpressure by capacity — try_push() refuses instead of blocking, so an
+// overloaded engine rejects with kResourceExhausted rather than building an
+// unbounded latency backlog.  close() starts shutdown: no new requests are
+// admitted, but pops keep draining whatever is queued so every accepted
+// request's promise resolves before the workers exit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/status.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bitflow::serve {
+
+/// One queued inference request.  The promise is the single point of
+/// resolution: exactly one of {scores, Status} is set, by whichever stage
+/// finishes the request (admission rejection, in-queue expiry, or a worker).
+struct Request {
+  Tensor input;
+  std::promise<core::Result<std::vector<float>>> promise;
+  std::chrono::steady_clock::time_point enqueue_time{};
+  /// Absolute queue-wait deadline; time_point::max() = no deadline.  The
+  /// deadline covers time *in queue* only — once a worker starts the batch,
+  /// the request runs to completion (no mid-inference preemption).
+  std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
+};
+
+/// Bounded multi-producer/multi-consumer FIFO of Requests.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admits `r` unless the queue is full or closed; returns whether the
+  /// request was admitted (on false the caller still owns `r`).
+  [[nodiscard]] bool try_push(Request& r);
+
+  /// Blocks until a request is available and pops it, or returns nullopt
+  /// once the queue is closed *and* drained.
+  [[nodiscard]] std::optional<Request> pop();
+
+  /// Like pop(), but gives up at `tp`; nullopt on timeout or closed+empty.
+  [[nodiscard]] std::optional<Request> pop_until(std::chrono::steady_clock::time_point tp);
+
+  /// Non-blocking pop; nullopt when nothing is immediately available.
+  [[nodiscard]] std::optional<Request> try_pop();
+
+  /// Stops admission and wakes every blocked consumer.  Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace bitflow::serve

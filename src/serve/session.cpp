@@ -7,65 +7,13 @@
 #include <utility>
 
 #include "core/failpoint.hpp"
+#include "serve/error_map.hpp"
 #include "simd/cpu_features.hpp"
 
 namespace bitflow::serve {
 
-namespace {
-
 using core::ErrorCode;
 using core::Status;
-
-/// Classifies an injected fault by the subsystem prefix of its failpoint
-/// name, so the fault matrix sees the same code a real fault of that
-/// subsystem would produce.
-ErrorCode code_for_failpoint(std::string_view point) {
-  if (point.starts_with("io.")) return ErrorCode::kInvalidModel;
-  if (point.starts_with("alloc.")) return ErrorCode::kResourceExhausted;
-  if (point.starts_with("runtime.")) return ErrorCode::kWorkerFailure;
-  return ErrorCode::kInternal;
-}
-
-/// Exception → Status mapping for the model-building phase.
-Status map_open_error() {
-  try {
-    throw;
-  } catch (const failpoint::FaultInjected& e) {
-    return {code_for_failpoint(e.point()), e.what()};
-  } catch (const std::bad_alloc&) {
-    return {ErrorCode::kResourceExhausted, "allocation failed while loading the model"};
-  } catch (const runtime::WorkerFailure& e) {
-    return {ErrorCode::kWorkerFailure, e.what()};
-  } catch (const std::exception& e) {
-    // Loader errors are runtime_error; graph validation rejects a
-    // malformed layer chain with invalid_argument/logic_error.  Either
-    // way the model, not the caller's request, is at fault.
-    return {ErrorCode::kInvalidModel, e.what()};
-  } catch (...) {
-    return {ErrorCode::kInternal, "unknown exception while loading the model"};
-  }
-}
-
-/// Exception → Status mapping for the inference phase.
-Status map_infer_error() {
-  try {
-    throw;
-  } catch (const failpoint::FaultInjected& e) {
-    return {code_for_failpoint(e.point()), e.what()};
-  } catch (const runtime::WorkerFailure& e) {
-    return {ErrorCode::kWorkerFailure, e.what()};
-  } catch (const std::bad_alloc&) {
-    return {ErrorCode::kResourceExhausted, "allocation failed during inference"};
-  } catch (const std::invalid_argument& e) {
-    return {ErrorCode::kBadInput, e.what()};
-  } catch (const std::exception& e) {
-    return {ErrorCode::kInternal, e.what()};
-  } catch (...) {
-    return {ErrorCode::kInternal, "unknown exception during inference"};
-  }
-}
-
-}  // namespace
 
 struct InferenceSession::Impl {
   SessionConfig cfg;

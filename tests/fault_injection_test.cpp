@@ -10,6 +10,8 @@
 //      following un-faulted request succeeds bit-exactly.
 // Also unit-tests the failpoint framework itself (triggers, spec parsing,
 // env activation) and the deadline watchdog.
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <vector>
@@ -67,7 +69,12 @@ class FaultMatrixTest : public ::testing::Test {
  protected:
   void SetUp() override {
     failpoint::disarm_all();
-    path_ = (std::filesystem::temp_directory_path() / "bitflow_fault_matrix.bflow").string();
+    // Per-process file name: ctest runs each test in its own process, and a
+    // shared path races (one process's TearDown unlinks the model another
+    // is about to open) under `ctest -j`.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("bitflow_fault_matrix." + std::to_string(::getpid()) + ".bflow"))
+                .string();
     make_model().save(path_);
     input_ = Tensor::hwc(8, 8, 8);
     fill_uniform(input_, 5);

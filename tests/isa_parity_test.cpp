@@ -10,6 +10,7 @@
 // on exotic hardware is reproducible from the log alone.
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,177 @@ TEST(IsaParity, BgemmBinarizeAllVariants) {
             << ", shape " << describe(s);
       }
     }
+  }
+}
+
+// --- batch-N PressedConv ---------------------------------------------------
+
+TEST(IsaParity, PressedConvDotBatchMatchesSingleImageAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 6000;
+  for (const ConvShape& s : conv_shapes()) {
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(filters, seed++);
+
+    for (std::int64_t n : {1, 4}) {
+      std::vector<PackedTensor> in;
+      std::vector<const PackedTensor*> in_ptrs;
+      for (std::int64_t b = 0; b < n; ++b) {
+        in.emplace_back(s.h, s.w, s.c);
+        fill_random_bits(in.back(), seed++);
+      }
+      for (const PackedTensor& t : in) in_ptrs.push_back(&t);
+
+      for (const IsaVariant& v : variants) {
+        std::vector<Tensor> out;
+        std::vector<Tensor*> out_ptrs;
+        for (std::int64_t b = 0; b < n; ++b) out.push_back(Tensor::hwc(oh, ow, s.k));
+        for (Tensor& t : out) out_ptrs.push_back(&t);
+        kernels::conv_dot_batch_kernel(v.isa, v.use_vpopcntdq)(in_ptrs.data(), n, filters,
+                                                               spec, pool, out_ptrs.data());
+        // Reference: n independent single-image runs of the same variant.
+        for (std::int64_t b = 0; b < n; ++b) {
+          Tensor ref = Tensor::hwc(oh, ow, s.k);
+          kernels::conv_dot_kernel(v.isa, v.use_vpopcntdq)(in[static_cast<std::size_t>(b)],
+                                                           filters, spec, pool, ref);
+          ASSERT_EQ(max_abs_diff(out[static_cast<std::size_t>(b)], ref), 0.0f)
+              << "kernel conv_dot_batch[" << v.name << "] image " << b << "/" << n
+              << " diverges from its single-image run, shape " << describe(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaParity, PressedConvBinarizeBatchMatchesSingleImageAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 7000;
+  for (const ConvShape& s : conv_shapes()) {
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(filters, seed++);
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed++);
+    std::uniform_real_distribution<float> tdist(-3.0f, 3.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    const std::int64_t n = 3;
+    std::vector<PackedTensor> in;
+    std::vector<const PackedTensor*> in_ptrs;
+    for (std::int64_t b = 0; b < n; ++b) {
+      in.emplace_back(s.h, s.w, s.c);
+      fill_random_bits(in.back(), seed++);
+    }
+    for (const PackedTensor& t : in) in_ptrs.push_back(&t);
+
+    for (const IsaVariant& v : variants) {
+      std::vector<PackedTensor> out;
+      std::vector<PackedTensor*> out_ptrs;
+      for (std::int64_t b = 0; b < n; ++b) {
+        out.emplace_back(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+      }
+      for (PackedTensor& t : out) out_ptrs.push_back(&t);
+      kernels::conv_binarize_batch_kernel(v.isa, v.use_vpopcntdq)(
+          in_ptrs.data(), n, filters, spec, thresholds.data(), pool, out_ptrs.data(),
+          s.margin);
+      for (std::int64_t b = 0; b < n; ++b) {
+        PackedTensor ref(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+        kernels::conv_binarize_kernel(v.isa, v.use_vpopcntdq)(
+            in[static_cast<std::size_t>(b)], filters, spec, thresholds.data(), pool, ref,
+            s.margin);
+        for (std::int64_t i = 0; i < ref.num_words(); ++i) {
+          ASSERT_EQ(out[static_cast<std::size_t>(b)].words()[i], ref.words()[i])
+              << "kernel conv_binarize_batch[" << v.name << "] image " << b
+              << " diverges from its single-image run at word " << i << ", shape "
+              << describe(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaParity, ConvBatchArgChecks) {
+  PackedTensor a(4, 4, 8), b(4, 4, 8), wrong(5, 4, 8);
+  PackedFilterBank filters(2, 3, 3, 8);
+  const ConvSpec spec{3, 3, 1};
+  const PackedTensor* ok[] = {&a, &b};
+  EXPECT_NO_THROW(kernels::check_conv_batch_args(ok, 2, filters, spec));
+  EXPECT_THROW(kernels::check_conv_batch_args(ok, 0, filters, spec), std::invalid_argument);
+  const PackedTensor* mixed[] = {&a, &wrong};
+  EXPECT_THROW(kernels::check_conv_batch_args(mixed, 2, filters, spec),
+               std::invalid_argument);
+}
+
+// --- row-limited bgemm -----------------------------------------------------
+
+TEST(IsaParity, BgemmRowsMatchesFullAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 8000;
+  for (const GemmShape& s : gemm_shapes()) {
+    // A carries max_batch rows; only the first m_rows are computed — the
+    // serving path's "fill n of max_batch rows" usage.
+    const std::int64_t rows = s.m + 3;
+    PackedMatrix a(rows, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+
+    std::vector<float> full(static_cast<std::size_t>(rows * s.k));
+    kernels::bgemm_kernel(IsaLevel::kU64, false)(a, w, pool, full.data());
+
+    for (const IsaVariant& v : variants) {
+      std::vector<float> y(static_cast<std::size_t>(s.m * s.k), -777.0f);
+      kernels::bgemm_rows_kernel(v.isa, v.use_vpopcntdq)(a, s.m, w, pool, y.data());
+      for (std::int64_t i = 0; i < s.m * s.k; ++i) {
+        ASSERT_EQ(y[static_cast<std::size_t>(i)], full[static_cast<std::size_t>(i)])
+            << "kernel bgemm_rows[" << v.name << "] diverges from full bgemm at element "
+            << i << ", shape " << describe(s) << " m_rows=" << s.m;
+      }
+    }
+  }
+}
+
+TEST(IsaParity, BgemmBinarizeRowsMatchesFullAndLeavesTailUntouched) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 9000;
+  for (const GemmShape& s : gemm_shapes()) {
+    const std::int64_t rows = s.m + 2;
+    PackedMatrix a(rows, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed++);
+    std::uniform_real_distribution<float> tdist(-5.0f, 5.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    PackedMatrix full(rows, s.k);
+    kernels::bgemm_binarize_kernel(IsaLevel::kU64, false)(a, w, thresholds.data(), pool, full);
+
+    for (const IsaVariant& v : variants) {
+      PackedMatrix out(rows, s.k);
+      fill_random_bits(out, seed);  // same fill per variant: sentinel for rows >= m_rows
+      PackedMatrix sentinel(rows, s.k);
+      fill_random_bits(sentinel, seed);
+      kernels::bgemm_binarize_rows_kernel(v.isa, v.use_vpopcntdq)(a, s.m, w,
+                                                                  thresholds.data(), pool, out);
+      const std::int64_t words_per_row = out.num_words() / rows;
+      for (std::int64_t m = 0; m < rows; ++m) {
+        const PackedMatrix& want = m < s.m ? full : sentinel;
+        for (std::int64_t i = m * words_per_row; i < (m + 1) * words_per_row; ++i) {
+          ASSERT_EQ(out.words()[i], want.words()[i])
+              << "kernel bgemm_binarize_rows[" << v.name << "] row " << m
+              << (m < s.m ? " diverges from full bgemm_binarize" : " was not left untouched")
+              << " at word " << i << ", shape " << describe(s) << " m_rows=" << s.m;
+        }
+      }
+    }
+    ++seed;
   }
 }
 

@@ -3,6 +3,8 @@
 // composition of the standalone kernels.
 #include <cstdint>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "graph/network.hpp"
 #include "kernels/padding.hpp"
 #include "models/vgg.hpp"
+#include "simd/parity.hpp"
 #include "tensor/util.hpp"
 
 namespace bitflow::graph {
@@ -244,6 +247,148 @@ TEST(BinaryNetwork, WeightBytesReflect32xCompression) {
   EXPECT_EQ(net.packed_weight_bytes(), 16 * 3 * 3 * 64 / 8);
   // Float storage would be 16*3*3*64*4 bytes: exactly 32x larger.
   EXPECT_EQ(16 * 3 * 3 * 64 * 4 / net.packed_weight_bytes(), 32);
+}
+
+// --- batch-N inference ------------------------------------------------------
+
+/// Runs `net.infer_batch` over `n` distinct inputs and asserts every image's
+/// score slice is bit-identical to a batch-1 `infer()` of that image alone.
+void expect_batch_matches_batch1(BinaryNetwork& net, InferenceContext& ctx, std::int64_t n,
+                                 std::uint64_t seed_base) {
+  const TensorDesc in = net.input_desc();
+  const std::int64_t out_size = net.output_size();
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> ptrs;
+  for (std::int64_t b = 0; b < n; ++b) {
+    Tensor t = Tensor::hwc(in.h, in.w, in.c);
+    fill_uniform(t, seed_base + static_cast<std::uint64_t>(b));
+    inputs.push_back(std::move(t));
+  }
+  for (const Tensor& t : inputs) ptrs.push_back(&t);
+
+  const auto batch = net.infer_batch(ptrs, ctx);
+  ASSERT_EQ(batch.size(), static_cast<std::size_t>(n * out_size));
+  // infer() reuses the default context, not `ctx`, so copy first anyway —
+  // the span contract says it is only valid until the context's next use.
+  const std::vector<float> scores(batch.begin(), batch.end());
+  for (std::int64_t b = 0; b < n; ++b) {
+    const auto single = net.infer(inputs[static_cast<std::size_t>(b)]);
+    ASSERT_EQ(single.size(), static_cast<std::size_t>(out_size));
+    for (std::int64_t i = 0; i < out_size; ++i) {
+      ASSERT_EQ(scores[static_cast<std::size_t>(b * out_size + i)],
+                single[static_cast<std::size_t>(i)])
+          << "batch image " << b << " diverges from its batch-1 run at score " << i
+          << " (n=" << n << ")";
+    }
+  }
+}
+
+TEST(BinaryNetwork, BatchInferenceBitExactAcrossIsaLevels) {
+  // The acceptance sweep: N in {1, 2, 7, 16} on every ISA level the host
+  // can execute (the kernel-variant axis incl. both AVX-512 popcount
+  // lowerings is covered in isa_parity_test).
+  for (simd::IsaLevel isa : simd::supported_isa_levels()) {
+    NetworkConfig cfg;
+    cfg.num_threads = 3;
+    cfg.max_isa = isa;
+    BinaryNetwork net = make_small_net(cfg);
+    InferenceContext ctx = net.make_context(16);
+    for (std::int64_t n : {1, 2, 7, 16}) {
+      expect_batch_matches_batch1(net, ctx, n, 500 + static_cast<std::uint64_t>(n) * 31);
+    }
+  }
+}
+
+TEST(BinaryNetwork, BatchInferenceThreadCountInvariance) {
+  // A context's pool size must not change results — same invariance the
+  // single-image path guarantees, now over the fused n*H*W ranges.
+  BinaryNetwork net = make_small_net({});
+  std::vector<float> ref;
+  for (int threads : {1, 2, 5}) {
+    InferenceContext ctx = net.make_context(7, threads);
+    std::vector<Tensor> inputs;
+    std::vector<const Tensor*> ptrs;
+    for (int b = 0; b < 7; ++b) {
+      Tensor t = Tensor::hwc(16, 16, 16);
+      fill_uniform(t, 900 + static_cast<std::uint64_t>(b));
+      inputs.push_back(std::move(t));
+    }
+    for (const Tensor& t : inputs) ptrs.push_back(&t);
+    const auto s = net.infer_batch(ptrs, ctx);
+    if (ref.empty()) {
+      ref.assign(s.begin(), s.end());
+    } else {
+      ASSERT_EQ(std::vector<float>(s.begin(), s.end()), ref) << threads << " threads";
+    }
+  }
+}
+
+TEST(BinaryNetwork, BatchInferenceFcOnlyNetwork) {
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_fc("f1", models::random_fc_weights(64, 32, 1), 64, 32);
+  net.add_fc("f2", models::random_fc_weights(32, 8, 2), 32, 8);
+  net.finalize(TensorDesc{1, 1, 64});
+  InferenceContext ctx = net.make_context(5);
+  expect_batch_matches_batch1(net, ctx, 5, 77);
+}
+
+TEST(BinaryNetwork, BatchInferenceFloatFirstLayerNetwork) {
+  // The full-precision first layer runs serially per image but shares the
+  // context's float scratch; batch results must still match batch-1.
+  BinaryNetwork net{NetworkConfig{}};
+  std::vector<float> th(16, 0.25f);
+  net.add_conv_float("c0", models::random_filters(16, 3, 3, 3, 21), 1, 1, th);
+  net.add_conv("c1", random_filters(32, 16, 22), 1, 1);
+  net.add_fc("f1", models::random_fc_weights(8 * 8 * 32, 10, 23), 8 * 8 * 32, 10);
+  net.finalize(TensorDesc{8, 8, 3});
+  InferenceContext ctx = net.make_context(4);
+  expect_batch_matches_batch1(net, ctx, 4, 555);
+}
+
+TEST(BinaryNetwork, BatchInferenceConvEndingNetworkEmitsDots) {
+  BinaryNetwork net{NetworkConfig{}};
+  net.add_conv("c1", random_filters(8, 16, 31), 1, 0);
+  net.finalize(TensorDesc{6, 6, 16});
+  InferenceContext ctx = net.make_context(3);
+  expect_batch_matches_batch1(net, ctx, 3, 4040);
+}
+
+TEST(BinaryNetwork, ContextAndBatchArgumentValidation) {
+  BinaryNetwork unfinalized{NetworkConfig{}};
+  unfinalized.add_conv("c", random_filters(8, 16, 1), 1, 0);
+  EXPECT_THROW((void)unfinalized.make_context(1), std::logic_error);
+
+  BinaryNetwork net = make_small_net({});
+  BinaryNetwork other = make_small_net({});
+  EXPECT_THROW((void)net.make_context(0), std::invalid_argument);
+  EXPECT_THROW((void)net.make_context(2, 0), std::invalid_argument);
+
+  InferenceContext ctx = net.make_context(2);
+  EXPECT_EQ(ctx.max_batch(), 2);
+  Tensor in = Tensor::hwc(16, 16, 16);
+  fill_uniform(in, 1);
+  const Tensor* one = &in;
+
+  // Context from a different (identically built) network is rejected.
+  EXPECT_THROW((void)other.infer_batch({&one, 1}, ctx), std::invalid_argument);
+  // Batch larger than the context's capacity.
+  const Tensor* three[] = {&in, &in, &in};
+  EXPECT_THROW((void)net.infer_batch({three, 3}, ctx), std::invalid_argument);
+  // Empty batch.
+  EXPECT_THROW((void)net.infer_batch({&one, 0}, ctx), std::invalid_argument);
+  // Wrong extents, and the offending index is named.
+  Tensor bad = Tensor::hwc(8, 8, 16);
+  const Tensor* mixed[] = {&in, &bad};
+  try {
+    (void)net.infer_batch({mixed, 2}, ctx);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("input 1"), std::string::npos) << e.what();
+  }
+
+  // The context stays usable after a rejected call.
+  const auto s = net.infer_batch({&one, 1}, ctx);
+  EXPECT_EQ(s.size(), 10u);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -126,6 +128,62 @@ TEST(ScalingSimulator, RejectsBadArgs) {
   EXPECT_THROW(ScalingSimulator({}, 0.0), std::invalid_argument);
   ScalingSimulator sim(std::vector<double>(4, 1.0));
   EXPECT_THROW((void)sim.predict_seconds(0), std::invalid_argument);
+}
+
+TEST(ScalingSimulator, PredictionIsBoundedForArbitraryCostMixes) {
+  // For any cost mix and any p, the static-partition makespan obeys the
+  // classic bounds: never beats the largest single chunk or perfect linear
+  // division, never exceeds the serial time.  (Monotonicity in p is NOT
+  // guaranteed for heterogeneous costs — shifting block boundaries can make
+  // p+1 threads worse than p, which is exactly what the simulator must
+  // reproduce about the real partition.)
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> cost(0.01, 1.0);
+  std::vector<double> costs(37);
+  for (auto& c : costs) c = cost(rng);
+  const double largest = *std::max_element(costs.begin(), costs.end());
+  ScalingSimulator sim(costs, 0.0);
+  EXPECT_DOUBLE_EQ(sim.predict_seconds(1), sim.serial_seconds());
+  for (int p = 2; p <= 64; ++p) {
+    const double t = sim.predict_seconds(p);
+    EXPECT_GE(t, largest - 1e-15) << "beat the dominant chunk at p=" << p;
+    EXPECT_GE(t, sim.serial_seconds() / p - 1e-15) << "super-linear at p=" << p;
+    EXPECT_LE(t, sim.serial_seconds() + 1e-15) << "slower than serial with no overhead, p=" << p;
+  }
+}
+
+TEST(ScalingSimulator, UniformCostsAreMonotoneInThreadCount) {
+  // For uniform chunks the static partition only evens out as p grows, so
+  // predicted time is non-increasing (until overhead, which is zero here).
+  ScalingSimulator sim(std::vector<double>(37, 0.5), 0.0);
+  double prev = sim.predict_seconds(1);
+  for (int p = 2; p <= 64; ++p) {
+    const double t = sim.predict_seconds(p);
+    EXPECT_LE(t, prev + 1e-15) << p << " threads slower than " << p - 1;
+    prev = t;
+  }
+}
+
+TEST(ScalingSimulator, SingleChunkNeverScales) {
+  ScalingSimulator sim(std::vector<double>(1, 2.0), 0.0);
+  for (int p : {1, 2, 8, 64}) EXPECT_DOUBLE_EQ(sim.predict_speedup(p), 1.0);
+  // With overhead, extra threads on one chunk are strictly counterproductive.
+  ScalingSimulator costly(std::vector<double>(1, 2.0), 1e-3);
+  EXPECT_LT(costly.predict_speedup(8), 1.0);
+  EXPECT_DOUBLE_EQ(costly.predict_speedup(1), 1.0);  // p=1 incurs zero overhead
+}
+
+TEST(ScalingSimulator, OverheadGrowsMonotonicallyPastSaturation) {
+  // Once per-block work is negligible next to the log2(p) fork/join term,
+  // predicted time must rise monotonically with p (Fig. 9's flat-then-worse
+  // tail), not oscillate.
+  ScalingSimulator sim(std::vector<double>(8, 1e-7), /*fork_join_base=*/1e-4);
+  double prev = sim.predict_seconds(8);  // >= chunk count: work term is fixed
+  for (int p = 16; p <= 256; p *= 2) {
+    const double t = sim.predict_seconds(p);
+    EXPECT_GT(t, prev) << "p=" << p;
+    prev = t;
+  }
 }
 
 TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {

@@ -1,3 +1,6 @@
+#include <cstdint>
+#include <iterator>
+
 #include <gtest/gtest.h>
 
 #include "core/bitflow.hpp"
@@ -68,6 +71,39 @@ TEST(Scheduler, SelectedIsaIsAlwaysSupported) {
   for (std::int64_t c : {1, 3, 32, 64, 128, 192, 256, 512, 4096, 25088}) {
     EXPECT_TRUE(real.supports(select_isa(c, real, SchedulerPolicy::kPaperRules))) << c;
     EXPECT_TRUE(real.supports(select_isa(c, real, SchedulerPolicy::kWidest))) << c;
+  }
+}
+
+TEST(Scheduler, SelectionNeverWidensAsHardwareNarrows) {
+  // Ordering property behind the rule table: removing a hardware capability
+  // can only keep or narrow the selection, never widen it.  Swept over every
+  // tail class a channel count can fall into.
+  const CpuFeatures tiers[] = {
+      all_features(),
+      [] { CpuFeatures f = all_features(); f.avx512f = f.avx512bw = false; return f; }(),
+      [] { CpuFeatures f = all_features(); f.avx512f = f.avx512bw = f.avx2 = false; return f; }(),
+      CpuFeatures{},  // nothing: scalar only
+  };
+  for (std::int64_t c : {1, 3, 63, 64, 65, 128, 192, 256, 300, 512, 1024, 25088}) {
+    for (auto policy : {SchedulerPolicy::kPaperRules, SchedulerPolicy::kWidest}) {
+      IsaLevel prev = select_isa(c, tiers[0], policy);
+      for (std::size_t t = 1; t < std::size(tiers); ++t) {
+        const IsaLevel cur = select_isa(c, tiers[t], policy);
+        EXPECT_LE(static_cast<int>(cur), static_cast<int>(prev))
+            << "C=" << c << " widened from tier " << t - 1 << " to " << t;
+        EXPECT_TRUE(tiers[t].supports(cur)) << "C=" << c << " tier " << t;
+        prev = cur;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, WidestPolicyIsAtLeastAsWideAsPaperRules) {
+  const CpuFeatures f = all_features();
+  for (std::int64_t c : {1, 7, 64, 100, 128, 256, 511, 512, 4096}) {
+    EXPECT_GE(static_cast<int>(select_isa(c, f, SchedulerPolicy::kWidest)),
+              static_cast<int>(select_isa(c, f, SchedulerPolicy::kPaperRules)))
+        << "C=" << c;
   }
 }
 
