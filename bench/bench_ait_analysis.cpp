@@ -43,5 +43,27 @@ int main() {
     std::printf("%-9s %14.3f %16.3f %9.1fx\n", spec.name.c_str(), tu * 1e3, tb * 1e3, tu / tb);
   }
   print_rule(56);
+
+  std::printf("\nregister-tiled vs filter-major PressedConv (single core, widest host ISA):\n");
+  std::printf("the interleaved weight layout amortizes one activation-word load over T\n"
+              "filters and keeps T popcount accumulators in registers (finalize-time repack).\n");
+  std::printf("%-22s %4s %14s %12s %10s\n", "layer", "T", "untiled(GOPS)", "tiled(GOPS)",
+              "speedup");
+  print_rule(68);
+  const simd::IsaLevel widest = simd::cpu_features().best_isa();
+  struct TiledLayer {
+    const char* name;
+    std::int64_t h, c, k;
+  } tiled_layers[] = {
+      {"18x18x256 K=256 3x3", 18, 256, 256},  // the BENCH_pressedconv.json workload
+      {"30x30x128 K=128 3x3", 30, 128, 128},
+      {"16x16x512 K=512 3x3", 16, 512, 512},
+  };
+  for (const TiledLayer& l : tiled_layers) {
+    const TiledConvResult r = measure_tiled_conv(widest, l.h, l.h, l.c, l.k, 3);
+    std::printf("%-22s %4lld %14.1f %12.1f %9.2fx\n", l.name, static_cast<long long>(r.tile),
+                r.untiled_gops(), r.tiled_gops(), r.speedup());
+  }
+  print_rule(68);
   return 0;
 }

@@ -1,15 +1,24 @@
 // google-benchmark microbenchmarks of the gemm-level primitives: per-ISA
-// xor+popcount word runs (the Eq. 1 inner loop) and the binarize+pack
-// transforms — the raw numbers behind every figure.
+// xor+popcount word runs (the Eq. 1 inner loop), the binarize+pack
+// transforms, and the register-tiled vs filter-major PressedConv kernels —
+// the raw numbers behind every figure.
+//
+// After the google-benchmark run, main() prints one machine-readable
+// `BENCH {...}` JSON line per supported ISA level for the headline tiling
+// workload (3x3, C = K = 256, 16x16 output); CI's perf-smoke job and the
+// committed BENCH_pressedconv.json baseline both come from these lines.
 #include <cstdint>
+#include <cstdio>
 #include <random>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "bitpack/packer.hpp"
 #include "simd/bitops.hpp"
 #include "simd/cpu_features.hpp"
+#include "simd/parity.hpp"
 #include "tensor/util.hpp"
 
 namespace {
@@ -80,6 +89,43 @@ void BM_PackActivationsAvx2(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * t.num_elements());
 }
 
+// Register-tiled vs filter-major PressedConv, single image, single core:
+// range(0) is the ISA level, range(1) selects the layout (0 = filter-major,
+// 1 = interleaved).  Same bits either way — only the weight layout differs.
+void BM_PressedConvDot(benchmark::State& state) {
+  const auto isa = static_cast<simd::IsaLevel>(state.range(0));
+  const bool tiled = state.range(1) != 0;
+  if (!simd::cpu_features().supports(isa)) {
+    state.SkipWithError("ISA not available");
+    return;
+  }
+  constexpr std::int64_t kC = 256, kK = 256, kKernel = 3, kIn = 18;
+  std::mt19937_64 rng(71);
+  PackedTensor in(kIn, kIn, kC);
+  for (std::int64_t i = 0; i < in.num_words(); ++i) in.words()[i] = rng();
+  PackedFilterBank filters(kK, kKernel, kKernel, kC);
+  for (std::int64_t i = 0; i < kK * filters.words_per_filter(); ++i) filters.words()[i] = rng();
+  const TiledFilterBank bank = bitpack::tile_filters(filters, kernels::weight_tile_width(isa));
+  const kernels::ConvSpec spec{kKernel, kKernel, 1};
+  Tensor out = Tensor::hwc(kIn - kKernel + 1, kIn - kKernel + 1, kK);
+  runtime::ThreadPool pool(1);
+  const PackedTensor* ins[] = {&in};
+  Tensor* outs[] = {&out};
+  const auto untiled_fn = kernels::conv_dot_batch_kernel(isa);
+  const auto tiled_fn = kernels::conv_dot_tiled_batch_kernel(isa);
+  for (auto _ : state) {
+    if (tiled) {
+      tiled_fn(ins, 1, bank, spec, pool, outs);
+    } else {
+      untiled_fn(ins, 1, filters, spec, pool, outs);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  const std::int64_t ops = 2 * out.height() * out.width() * kK * kKernel * kKernel * kC;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * ops);
+  state.SetLabel(std::string(simd::isa_name(isa)) + (tiled ? "/tiled" : "/filter-major"));
+}
+
 void IsaByLength(benchmark::internal::Benchmark* b) {
   for (int isa = 0; isa < 4; ++isa) {
     for (std::int64_t n : {8, 24, 72, 392, 4608}) {  // typical conv/fc run lengths
@@ -88,11 +134,48 @@ void IsaByLength(benchmark::internal::Benchmark* b) {
   }
 }
 
+void IsaByLayout(benchmark::internal::Benchmark* b) {
+  for (int isa = 0; isa < 4; ++isa) {
+    b->Args({isa, 0});
+    b->Args({isa, 1});
+  }
+}
+
 BENCHMARK(BM_XorPopcount)->Apply(IsaByLength);
 BENCHMARK(BM_OrAccumulate)->Apply(IsaByLength);
 BENCHMARK(BM_PackActivationsScalar)->Args({56, 128})->Args({14, 512});
 BENCHMARK(BM_PackActivationsAvx2)->Args({56, 128})->Args({14, 512});
+BENCHMARK(BM_PressedConvDot)->Apply(IsaByLayout);
+
+// One `BENCH {...}` line per supported ISA level for the headline tiling
+// workload — the machine-readable feed for CI's perf-smoke assertion and
+// for regenerating BENCH_pressedconv.json.
+void emit_tiling_bench_json() {
+  constexpr std::int64_t kC = 256, kK = 256, kKernel = 3, kIn = 18;
+  for (simd::IsaLevel isa : simd::supported_isa_levels()) {
+    const bench::TiledConvResult r = bench::measure_tiled_conv(isa, kIn, kIn, kC, kK, kKernel);
+    std::printf(
+        "BENCH {\"bench\":\"pressedconv_tiled\",\"isa\":\"%s\",\"tile\":%lld,"
+        "\"kh\":%lld,\"kw\":%lld,\"c\":%lld,\"k\":%lld,\"out_h\":%lld,\"out_w\":%lld,"
+        "\"untiled_ms\":%.4f,\"tiled_ms\":%.4f,\"untiled_gops\":%.2f,\"tiled_gops\":%.2f,"
+        "\"speedup\":%.3f}\n",
+        std::string(simd::isa_name(isa)).c_str(), static_cast<long long>(r.tile),
+        static_cast<long long>(kKernel), static_cast<long long>(kKernel),
+        static_cast<long long>(kC), static_cast<long long>(kK),
+        static_cast<long long>(kIn - kKernel + 1), static_cast<long long>(kIn - kKernel + 1),
+        r.untiled_seconds * 1e3, r.tiled_seconds * 1e3, r.untiled_gops(), r.tiled_gops(),
+        r.speedup());
+  }
+  std::fflush(stdout);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_tiling_bench_json();
+  return 0;
+}

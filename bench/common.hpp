@@ -24,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include <random>
+
 #include "baseline/float_ops.hpp"
 #include "baseline/unopt_binary.hpp"
 #include "bitpack/packer.hpp"
+#include "kernels/pressedconv.hpp"
 #include "models/vgg.hpp"
 #include "ops/operators.hpp"
 #include "runtime/scaling_sim.hpp"
@@ -184,6 +187,51 @@ inline double simulate_threads(double serial_seconds, std::int64_t grain, int p)
       std::vector<double>(static_cast<std::size_t>(grain), serial_seconds / static_cast<double>(grain)),
       kForkJoinBaseSeconds);
   return sim.predict_seconds(p);
+}
+
+/// Single-core tiled-vs-untiled PressedConv measurement (the register-tiling
+/// rows of bench_micro and bench_ait_analysis, and the source of the
+/// BENCH_pressedconv.json baseline).  Both kernels consume the same packed
+/// input and the same filter bits; only the weight layout differs.
+struct TiledConvResult {
+  simd::IsaLevel isa = simd::IsaLevel::kU64;
+  std::int64_t tile = 0;
+  double untiled_seconds = 0.0;
+  double tiled_seconds = 0.0;
+  double giga_ops = 0.0;  ///< 2*out_h*out_w*K*kh*kw*C in units of 1e9
+  [[nodiscard]] double untiled_gops() const { return giga_ops / untiled_seconds; }
+  [[nodiscard]] double tiled_gops() const { return giga_ops / tiled_seconds; }
+  [[nodiscard]] double speedup() const { return untiled_seconds / tiled_seconds; }
+};
+
+inline TiledConvResult measure_tiled_conv(simd::IsaLevel isa, std::int64_t h, std::int64_t w,
+                                          std::int64_t c, std::int64_t k, std::int64_t kernel,
+                                          std::uint64_t seed = 71) {
+  std::mt19937_64 rng(seed);
+  PackedTensor in(h, w, c);
+  for (std::int64_t i = 0; i < in.num_words(); ++i) in.words()[i] = rng();
+  PackedFilterBank filters(k, kernel, kernel, c);
+  for (std::int64_t i = 0; i < k * filters.words_per_filter(); ++i) filters.words()[i] = rng();
+  const TiledFilterBank tiled = bitpack::tile_filters(filters, kernels::weight_tile_width(isa));
+  const kernels::ConvSpec spec{kernel, kernel, 1};
+  const std::int64_t oh = h - kernel + 1;
+  const std::int64_t ow = w - kernel + 1;
+  Tensor out = Tensor::hwc(oh, ow, k);
+  runtime::ThreadPool pool(1);
+  const PackedTensor* ins[] = {&in};
+  Tensor* outs[] = {&out};
+  const auto untiled_fn = kernels::conv_dot_batch_kernel(isa);
+  const auto tiled_fn = kernels::conv_dot_tiled_batch_kernel(isa);
+  TiledConvResult r;
+  r.isa = isa;
+  r.tile = tiled.tile();
+  r.untiled_seconds = runtime::measure_best_seconds(
+      [&] { untiled_fn(ins, 1, filters, spec, pool, outs); }, 5, 0.2);
+  r.tiled_seconds = runtime::measure_best_seconds(
+      [&] { tiled_fn(ins, 1, tiled, spec, pool, outs); }, 5, 0.2);
+  r.giga_ops = 2.0 * static_cast<double>(oh * ow * k) * static_cast<double>(kernel * kernel * c) /
+               1e9;
+  return r;
 }
 
 inline void print_rule(int width = 96) {

@@ -271,6 +271,45 @@ PackedFilterBank pack_filters(const FilterBank& filters) {
   return out;
 }
 
+namespace {
+
+/// Core T-way interleave shared by filters and FC weights: permutes `rows`
+/// equal-length word rows into TiledBitMatrix order (full tiles word-major,
+/// remainder rows as-is).
+TiledBitMatrix tile_rows(const std::uint64_t* src, std::int64_t rows, std::int64_t row_words,
+                         std::int64_t tile) {
+  BF_CHECK(tile >= 1, "tile_rows: tile width ", tile);
+  TiledBitMatrix out(rows, row_words, tile);
+  const std::int64_t tiled_rows = out.tiled_rows();
+  for (std::int64_t t = 0; t < out.full_tiles(); ++t) {
+    std::uint64_t* block = out.tile_block(t);
+    for (std::int64_t l = 0; l < tile; ++l) {
+      const std::uint64_t* row = src + (t * tile + l) * row_words;
+      for (std::int64_t w = 0; w < row_words; ++w) {
+        block[w * tile + l] = row[w];
+      }
+    }
+  }
+  for (std::int64_t r = tiled_rows; r < rows; ++r) {
+    const std::uint64_t* row = src + r * row_words;
+    std::uint64_t* dst_row = out.remainder_row(r - tiled_rows);
+    for (std::int64_t w = 0; w < row_words; ++w) dst_row[w] = row[w];
+  }
+  return out;
+}
+
+}  // namespace
+
+TiledFilterBank tile_filters(const PackedFilterBank& filters, std::int64_t tile) {
+  return TiledFilterBank(tile_rows(filters.words(), filters.num_filters(),
+                                   filters.words_per_filter(), tile),
+                         filters.kernel_h(), filters.kernel_w(), filters.channels());
+}
+
+TiledBitMatrix tile_fc_weights(const PackedMatrix& w, std::int64_t tile) {
+  return tile_rows(w.words(), w.rows(), w.words_per_row(), tile);
+}
+
 PackedMatrix pack_transpose_fc_weights(const float* b, std::int64_t n, std::int64_t k) {
   BF_CHECK(b != nullptr, "pack_transpose_fc_weights: null weight matrix");
   BF_CHECK(n >= 1 && k >= 1, "pack_transpose_fc_weights: extents n=", n, " k=", k);

@@ -80,6 +80,17 @@ void pack_row_into(const float* x, std::int64_t count, PackedMatrix& out, std::i
 /// at network initialization).
 PackedFilterBank pack_filters(const FilterBank& filters);
 
+/// Re-lays a packed filter bank into the T-way interleaved register-tile
+/// layout (finalize-time, daBNN-style): full tiles [K/T][fh*fw*PC][T], then
+/// the K%T remainder filters filter-major.  A pure permutation of the bank's
+/// words — same total storage, bit-exact contents.
+TiledFilterBank tile_filters(const PackedFilterBank& filters, std::int64_t tile);
+
+/// Same interleave for an FC weight matrix (rows = output neurons): the
+/// tiled bgemm reads one contiguous line of T neuron words per activation
+/// word instead of T strided rows.
+TiledBitMatrix tile_fc_weights(const PackedMatrix& w, std::int64_t tile);
+
 // --- fully connected weights ------------------------------------------------
 
 /// Fused binarize + bit-pack + implicit transpose (Table III): input is the

@@ -43,11 +43,19 @@ struct Stage {
   simd::IsaLevel isa = simd::IsaLevel::kU64;
   bool is_last = false;  ///< last stage emits float scores, not bits
 
+  // Register-tiled layers hold only the interleaved weights + tiled kernels;
+  // filter-major layers only the untiled set (finalize never keeps both —
+  // the interleave is a permutation, so weight bytes are unchanged).
+  bool tiled = false;
+
   // conv
   kernels::ConvSpec conv_spec;
   PackedFilterBank filters;
   kernels::ConvBinarizeBatchFn conv_bin = nullptr;
   kernels::ConvDotBatchFn conv_dot = nullptr;
+  TiledFilterBank filters_tiled;
+  kernels::ConvBinarizeTiledBatchFn conv_bin_tiled = nullptr;
+  kernels::ConvDotTiledBatchFn conv_dot_tiled = nullptr;
   // first-layer full-precision conv
   bool full_precision = false;
   std::vector<float> float_weights_t;  // (kh*kw*C) x K, im2col layout
@@ -60,6 +68,9 @@ struct Stage {
   PackedMatrix fc_weights;  // k x n bits (pre-transposed at finalize)
   kernels::BgemmRowsFn fc_dot = nullptr;
   kernels::BgemmBinarizeRowsFn fc_bin = nullptr;
+  TiledBitMatrix fc_tiled;
+  kernels::BgemmRowsTiledFn fc_dot_tiled = nullptr;
+  kernels::BgemmBinarizeRowsTiledFn fc_bin_tiled = nullptr;
 
   std::vector<float> thresholds;  // empty = sign at zero
 
@@ -384,7 +395,7 @@ void BinaryNetwork::finalize(TensorDesc input) {
   TensorDesc flow = input;
   for (std::size_t i = 0; i < n_layers; ++i) {
     PendingLayer& l = im.pending[i];
-    const LayerInfo& info = im.infos[i];
+    LayerInfo& info = im.infos[i];
     Stage s;
     s.kind = l.kind;
     s.isa = info.isa;
@@ -403,11 +414,23 @@ void BinaryNetwork::finalize(TensorDesc input) {
           im.plan.f_in_padded = {flow.h + 2 * l.pad, flow.w + 2 * l.pad, flow.c};
           im.plan.f_dots = {info.out.h, info.out.w, info.out.c};
         } else {
-          s.filters =
+          PackedFilterBank bank =
               l.prepacked ? std::move(l.conv_packed) : bitpack::pack_filters(l.conv_weights);
-          im.weight_bytes += s.filters.num_filters() * s.filters.words_per_filter() * 8;
-          s.conv_bin = kernels::conv_binarize_batch_kernel(info.isa);
-          s.conv_dot = kernels::conv_dot_batch_kernel(info.isa);
+          im.weight_bytes += bank.num_filters() * bank.words_per_filter() * 8;
+          const std::int64_t tile = kernels::weight_tile_width(info.isa);
+          if (im.cfg.tile_weights && bank.num_filters() >= tile) {
+            // Re-lay into the interleaved register-tile layout and drop the
+            // filter-major bank (same word count, permuted order).
+            s.filters_tiled = bitpack::tile_filters(bank, tile);
+            s.tiled = true;
+            s.conv_bin_tiled = kernels::conv_binarize_tiled_batch_kernel(info.isa);
+            s.conv_dot_tiled = kernels::conv_dot_tiled_batch_kernel(info.isa);
+            info.layout = kernels::WeightLayout::kInterleaved;
+          } else {
+            s.filters = std::move(bank);
+            s.conv_bin = kernels::conv_binarize_batch_kernel(info.isa);
+            s.conv_dot = kernels::conv_dot_batch_kernel(info.isa);
+          }
         }
         l.conv_weights = FilterBank();  // drop the float weights
         break;
@@ -417,13 +440,23 @@ void BinaryNetwork::finalize(TensorDesc input) {
         break;
       }
       case LayerKind::kFc: {
-        s.fc_weights = l.prepacked
-                           ? std::move(l.fc_packed)
-                           : bitpack::pack_transpose_fc_weights(l.fc_weights.data(), l.fc_n,
-                                                                l.fc_k);
-        im.weight_bytes += s.fc_weights.rows() * s.fc_weights.words_per_row() * 8;
-        s.fc_dot = kernels::bgemm_rows_kernel(info.isa);
-        s.fc_bin = kernels::bgemm_binarize_rows_kernel(info.isa);
+        PackedMatrix w = l.prepacked
+                             ? std::move(l.fc_packed)
+                             : bitpack::pack_transpose_fc_weights(l.fc_weights.data(), l.fc_n,
+                                                                  l.fc_k);
+        im.weight_bytes += w.rows() * w.words_per_row() * 8;
+        const std::int64_t tile = kernels::weight_tile_width(info.isa);
+        if (im.cfg.tile_weights && w.rows() >= tile) {
+          s.fc_tiled = bitpack::tile_fc_weights(w, tile);
+          s.tiled = true;
+          s.fc_dot_tiled = kernels::bgemm_rows_tiled_kernel(info.isa);
+          s.fc_bin_tiled = kernels::bgemm_binarize_rows_tiled_kernel(info.isa);
+          info.layout = kernels::WeightLayout::kInterleaved;
+        } else {
+          s.fc_weights = std::move(w);
+          s.fc_dot = kernels::bgemm_rows_kernel(info.isa);
+          s.fc_bin = kernels::bgemm_binarize_rows_kernel(info.isa);
+        }
         l.fc_weights.clear();
         l.fc_weights.shrink_to_fit();
         break;
@@ -584,7 +617,13 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
             cx.dot_ptrs[static_cast<std::size_t>(b)] =
                 &cx.last_conv_dot[static_cast<std::size_t>(b)];
           }
-          s.conv_dot(cx.in_ptrs.data(), n, s.filters, s.conv_spec, cx.pool, cx.dot_ptrs.data());
+          if (s.tiled) {
+            s.conv_dot_tiled(cx.in_ptrs.data(), n, s.filters_tiled, s.conv_spec, cx.pool,
+                             cx.dot_ptrs.data());
+          } else {
+            s.conv_dot(cx.in_ptrs.data(), n, s.filters, s.conv_spec, cx.pool,
+                       cx.dot_ptrs.data());
+          }
           for (std::int64_t b = 0; b < n; ++b) {
             const Tensor& dots = cx.last_conv_dot[static_cast<std::size_t>(b)];
             std::copy(dots.data(), dots.data() + dots.num_elements(),
@@ -595,8 +634,13 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
           for (std::int64_t b = 0; b < n; ++b) {
             cx.out_ptrs[static_cast<std::size_t>(b)] = &out[static_cast<std::size_t>(b)];
           }
-          s.conv_bin(cx.in_ptrs.data(), n, s.filters, s.conv_spec, th, cx.pool,
-                     cx.out_ptrs.data(), s.out_margin);
+          if (s.tiled) {
+            s.conv_bin_tiled(cx.in_ptrs.data(), n, s.filters_tiled, s.conv_spec, th, cx.pool,
+                             cx.out_ptrs.data(), s.out_margin);
+          } else {
+            s.conv_bin(cx.in_ptrs.data(), n, s.filters, s.conv_spec, th, cx.pool,
+                       cx.out_ptrs.data(), s.out_margin);
+          }
         }
         break;
       }
@@ -631,7 +675,14 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
           }
         }
         if (s.is_last) {
-          s.fc_dot(in, n, s.fc_weights, cx.pool, cx.scores.data());
+          if (s.tiled) {
+            s.fc_dot_tiled(in, n, s.fc_tiled, cx.pool, cx.scores.data());
+          } else {
+            s.fc_dot(in, n, s.fc_weights, cx.pool, cx.scores.data());
+          }
+        } else if (s.tiled) {
+          s.fc_bin_tiled(in, n, s.fc_tiled, th, cx.pool,
+                         cx.fc_bits[static_cast<std::size_t>(s.out_fc)]);
         } else {
           s.fc_bin(in, n, s.fc_weights, th, cx.pool,
                    cx.fc_bits[static_cast<std::size_t>(s.out_fc)]);

@@ -72,6 +72,10 @@ struct LayerInfo {
   simd::IsaLevel isa = simd::IsaLevel::kU64;
   std::string isa_reason;
   bool full_precision = false;  ///< first-layer float conv (see add_conv_float)
+  /// Weight layout finalize() chose for this layer (conv/fc only):
+  /// kInterleaved when the register-tiled kernels run it, kFilterMajor when
+  /// it fell back (tiling disabled, K < tile width, or no weights at all).
+  kernels::WeightLayout layout = kernels::WeightLayout::kFilterMajor;
 };
 
 /// Network-wide execution configuration.
@@ -82,6 +86,11 @@ struct NetworkConfig {
   /// Caps the scheduler's kernel choice (e.g. kAvx2 to model an i7-7700HQ
   /// on wider hardware).  The cap must itself be hardware-supported.
   std::optional<simd::IsaLevel> max_isa;
+  /// Re-lay conv filters and FC weights into the T-way interleaved layout at
+  /// finalize() and run the register-tiled kernels (bit-exact with the
+  /// filter-major path; same weight bytes).  Layers with fewer outputs than
+  /// the tile width keep the filter-major layout either way.
+  bool tile_weights = true;
 };
 
 class BinaryNetwork;

@@ -15,7 +15,12 @@ namespace detail {
   void bgemm_rows_##SUFFIX(const PackedMatrix&, std::int64_t, const PackedMatrix&,             \
                            runtime::ThreadPool&, float*);                                      \
   void bgemm_binarize_rows_##SUFFIX(const PackedMatrix&, std::int64_t, const PackedMatrix&,    \
-                                    const float*, runtime::ThreadPool&, PackedMatrix&);
+                                    const float*, runtime::ThreadPool&, PackedMatrix&);        \
+  void bgemm_rows_tiled_##SUFFIX(const PackedMatrix&, std::int64_t, const TiledBitMatrix&,     \
+                                 runtime::ThreadPool&, float*);                                \
+  void bgemm_binarize_rows_tiled_##SUFFIX(const PackedMatrix&, std::int64_t,                   \
+                                          const TiledBitMatrix&, const float*,                 \
+                                          runtime::ThreadPool&, PackedMatrix&);
 BITFLOW_DECLARE_BGEMM(u64)
 BITFLOW_DECLARE_BGEMM(sse)
 BITFLOW_DECLARE_BGEMM(avx2)
@@ -83,6 +88,39 @@ BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa, bool use_vpop
                            : &detail::bgemm_binarize_rows_avx512;
   }
   throw std::invalid_argument("bgemm_binarize_rows_kernel: bad ISA level");
+}
+
+BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa) {
+  return bgemm_rows_tiled_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa) {
+  return bgemm_binarize_rows_tiled_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_rows_tiled_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_rows_tiled_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_rows_tiled_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::bgemm_rows_tiled_avx512vp
+                           : &detail::bgemm_rows_tiled_avx512;
+  }
+  throw std::invalid_argument("bgemm_rows_tiled_kernel: bad ISA level");
+}
+
+BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa,
+                                                          bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::bgemm_binarize_rows_tiled_u64;
+    case simd::IsaLevel::kSse: return &detail::bgemm_binarize_rows_tiled_sse;
+    case simd::IsaLevel::kAvx2: return &detail::bgemm_binarize_rows_tiled_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::bgemm_binarize_rows_tiled_avx512vp
+                           : &detail::bgemm_binarize_rows_tiled_avx512;
+  }
+  throw std::invalid_argument("bgemm_binarize_rows_tiled_kernel: bad ISA level");
 }
 
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y) {

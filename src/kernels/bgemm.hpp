@@ -45,6 +45,20 @@ using BgemmBinarizeRowsFn = void (*)(const PackedMatrix& a, std::int64_t m_rows,
                                      const PackedMatrix& w, const float* thresholds,
                                      runtime::ThreadPool& pool, PackedMatrix& out);
 
+/// Row-limited raw-dot bgemm over the interleaved weight layout: W is the
+/// K x N weight matrix re-laid by bitpack::tile_fc_weights with
+/// tile = weight_tile_width(isa), so each activation word feeds T contiguous
+/// neuron words instead of T strided rows.  Bit-exact with BgemmRowsFn;
+/// throws std::invalid_argument if W's tile width does not match the kernel.
+/// The filter-major overloads above remain for ad-hoc callers.
+using BgemmRowsTiledFn = void (*)(const PackedMatrix& a, std::int64_t m_rows,
+                                  const TiledBitMatrix& w, runtime::ThreadPool& pool, float* y);
+
+/// Row-limited fused bgemm + binarize over the interleaved weight layout.
+using BgemmBinarizeRowsTiledFn = void (*)(const PackedMatrix& a, std::int64_t m_rows,
+                                          const TiledBitMatrix& w, const float* thresholds,
+                                          runtime::ThreadPool& pool, PackedMatrix& out);
+
 /// Returns the raw-dot bgemm compiled for `isa` (hardware support is the
 /// caller's responsibility, as with conv_dot_kernel).
 [[nodiscard]] BgemmFn bgemm_kernel(simd::IsaLevel isa);
@@ -64,6 +78,14 @@ using BgemmBinarizeRowsFn = void (*)(const PackedMatrix& a, std::int64_t m_rows,
 [[nodiscard]] BgemmRowsFn bgemm_rows_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
 [[nodiscard]] BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa,
                                                              bool use_vpopcntdq);
+
+/// Register-tiled kernel getters (interleaved weight layout, tile =
+/// weight_tile_width(isa)).
+[[nodiscard]] BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa);
+[[nodiscard]] BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa);
+[[nodiscard]] BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
+[[nodiscard]] BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa,
+                                                                        bool use_vpopcntdq);
 
 /// Dispatching wrappers (widest hardware ISA).
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y);

@@ -110,6 +110,124 @@ void bgemm_binarize_impl(const PackedMatrix& a, const PackedMatrix& w, const flo
   bgemm_binarize_rows_impl<Ops>(a, a.rows(), w, thresholds, pool, out);
 }
 
+// --- register-tiled variants over the interleaved weight layout --------------
+//
+// The untiled kernels' 4-way K blocking reads four strided weight rows per
+// activation word; after the finalize-time interleave (bitpack::
+// tile_fc_weights) the T = Ops::Tile::kWidth matching weight words are one
+// contiguous line, and the T neuron counters stay in registers across the
+// whole activation row.  Remainder neurons (K % T) stayed row-major in the
+// tiled matrix and take the word-run path.
+
+template <typename Ops>
+void bgemm_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows, const TiledBitMatrix& w,
+                           runtime::ThreadPool& pool, float* y) {
+  using Tile = typename Ops::Tile;
+  constexpr std::int64_t kT = Tile::kWidth;
+  if (w.tile() != kT) {
+    throw std::invalid_argument("bgemm tiled: matrix tile width does not match kernel");
+  }
+  if (w.row_words() != a.words_per_row()) throw std::invalid_argument("bgemm tiled: N mismatch");
+  if (m_rows < 0 || m_rows > a.rows()) {
+    throw std::invalid_argument("bgemm tiled: m_rows out of range");
+  }
+  const std::int64_t k_rows = w.rows();
+  const std::int64_t n_words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  const std::int64_t full_tiles = w.full_tiles();
+  const std::int64_t tiled_rows = w.tiled_rows();
+  // One grain per (row of A, filter tile or remainder neuron) — the fused
+  // range keeps small layers saturated at M > 1, like the untiled kernel.
+  const std::int64_t groups = full_tiles + w.remainder_rows();
+  pool.parallel_for(m_rows * groups, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t m = idx / groups;
+      const std::int64_t g = idx - m * groups;
+      const std::uint64_t* xa = a.row(m);
+      float* ym = y + m * k_rows;
+      if (g < full_tiles) {
+        Tile acc{};
+        const std::uint64_t* f = w.tile_block(g);
+        for (std::int64_t wi = 0; wi < n_words; ++wi, f += kT) {
+          acc.accumulate(xa[wi], f);
+        }
+        std::uint64_t pops[kT];
+        acc.reduce(pops);
+        float* yk = ym + g * kT;
+        for (std::int64_t l = 0; l < kT; ++l) {
+          yk[l] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops[l]));
+        }
+      } else {
+        const std::int64_t rr = g - full_tiles;
+        const std::uint64_t p = Ops::xor_popcount(xa, w.remainder_row(rr), n_words);
+        ym[tiled_rows + rr] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p));
+      }
+    }
+  });
+}
+
+template <typename Ops>
+void bgemm_binarize_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows,
+                                    const TiledBitMatrix& w, const float* thresholds,
+                                    runtime::ThreadPool& pool, PackedMatrix& out) {
+  using Tile = typename Ops::Tile;
+  constexpr std::int64_t kT = Tile::kWidth;
+  static_assert(64 % Tile::kWidth == 0, "neuron tiles must not straddle output words");
+  if (w.tile() != kT) {
+    throw std::invalid_argument("bgemm_binarize tiled: matrix tile width does not match kernel");
+  }
+  if (w.row_words() != a.words_per_row()) {
+    throw std::invalid_argument("bgemm_binarize tiled: N mismatch");
+  }
+  if (out.rows() != a.rows() || out.cols() != w.rows()) {
+    throw std::invalid_argument("bgemm_binarize tiled: output mis-shaped");
+  }
+  if (m_rows < 0 || m_rows > a.rows()) {
+    throw std::invalid_argument("bgemm_binarize tiled: m_rows out of range");
+  }
+  const std::int64_t k_rows = w.rows();
+  const std::int64_t n_words = a.words_per_row();
+  const std::int64_t bits = a.cols();
+  const std::int64_t tiled_rows = w.tiled_rows();
+  const std::int64_t out_words = out.words_per_row();
+  pool.parallel_for(m_rows * out_words, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t m = idx / out_words;
+      const std::int64_t wi = idx - m * out_words;
+      const std::uint64_t* xa = a.row(m);
+      const std::int64_t k0 = wi * 64;
+      const std::int64_t block = std::min<std::int64_t>(64, k_rows - k0);
+      std::uint64_t packed = 0;
+      std::int64_t b = 0;
+      // k0 is a multiple of 64, hence of kT, so tiles align to this word's
+      // bit positions; kT divides 64, so no tile straddles the word.
+      for (; b < block && k0 + b < tiled_rows; b += kT) {
+        Tile acc{};
+        const std::uint64_t* f = w.tile_block((k0 + b) / kT);
+        for (std::int64_t nw = 0; nw < n_words; ++nw, f += kT) {
+          acc.accumulate(xa[nw], f);
+        }
+        std::uint64_t pops[kT];
+        acc.reduce(pops);
+        for (std::int64_t l = 0; l < kT; ++l) {
+          const std::int64_t k = k0 + b + l;
+          const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops[l]));
+          const float th = thresholds != nullptr ? thresholds[k] : 0.0f;
+          packed |= static_cast<std::uint64_t>(dot >= th) << (b + l);
+        }
+      }
+      for (; b < block; ++b) {
+        const std::uint64_t p =
+            Ops::xor_popcount(xa, w.remainder_row(k0 + b - tiled_rows), n_words);
+        const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(p));
+        const float th = thresholds != nullptr ? thresholds[k0 + b] : 0.0f;
+        packed |= static_cast<std::uint64_t>(dot >= th) << b;
+      }
+      out.row(m)[wi] = packed;
+    }
+  });
+}
+
 }  // namespace bitflow::kernels::impl
 
 /// Stamps out the bgemm entry points (full and row-limited) for one ISA
@@ -133,5 +251,15 @@ void bgemm_binarize_impl(const PackedMatrix& a, const PackedMatrix& w, const flo
                                     const PackedMatrix& w, const float* thresholds,             \
                                     runtime::ThreadPool& pool, PackedMatrix& out) {             \
     impl::bgemm_binarize_rows_impl<OPS>(a, m_rows, w, thresholds, pool, out);                   \
+  }                                                                                             \
+  void bgemm_rows_tiled_##SUFFIX(const PackedMatrix& a, std::int64_t m_rows,                    \
+                                 const TiledBitMatrix& w, runtime::ThreadPool& pool,            \
+                                 float* y) {                                                    \
+    impl::bgemm_rows_tiled_impl<OPS>(a, m_rows, w, pool, y);                                    \
+  }                                                                                             \
+  void bgemm_binarize_rows_tiled_##SUFFIX(const PackedMatrix& a, std::int64_t m_rows,           \
+                                          const TiledBitMatrix& w, const float* thresholds,     \
+                                          runtime::ThreadPool& pool, PackedMatrix& out) {       \
+    impl::bgemm_binarize_rows_tiled_impl<OPS>(a, m_rows, w, thresholds, pool, out);             \
   }                                                                                             \
   }  // namespace bitflow::kernels::detail

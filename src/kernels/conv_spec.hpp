@@ -11,8 +11,37 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "simd/isa.hpp"
 
 namespace bitflow::kernels {
+
+/// How a layer's weight words are laid out in memory after finalize().
+enum class WeightLayout : std::uint8_t {
+  /// One filter's (or FC row's) words are contiguous: [K][fh*fw*PC].
+  kFilterMajor = 0,
+  /// T-way register-tile interleave: full tiles [K/T][fh*fw*PC][T] followed
+  /// by the K%T remainder rows in filter-major order (TiledBitMatrix).
+  kInterleaved = 1,
+};
+
+[[nodiscard]] constexpr const char* weight_layout_name(WeightLayout layout) noexcept {
+  switch (layout) {
+    case WeightLayout::kFilterMajor:
+      return "filter_major";
+    case WeightLayout::kInterleaved:
+      return "interleaved";
+  }
+  return "unknown";
+}
+
+/// Register-tile width T for the interleaved layout on a given ISA: how many
+/// filters one TileAcc tracks at once.  4 on scalar/SSE (four independent
+/// 64-bit popcnt chains), 8 on AVX2/AVX-512 (qword lanes of one or two
+/// vector accumulators).  T always divides 64, so filter tiles never
+/// straddle a 64-bit output word in the fused-binarize kernels.
+[[nodiscard]] constexpr std::int64_t weight_tile_width(simd::IsaLevel isa) noexcept {
+  return isa >= simd::IsaLevel::kAvx2 ? 8 : 4;
+}
 
 /// Geometry of one convolution: filter extents and stride.  Output extents
 /// follow from the (already padded) input extents.

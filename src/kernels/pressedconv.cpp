@@ -21,7 +21,14 @@ namespace detail {
                                Tensor* const*);                                                  \
   void conv_binarize_batch_##SUFFIX(const PackedTensor* const*, std::int64_t,                    \
                                     const PackedFilterBank&, const ConvSpec&, const float*,      \
-                                    runtime::ThreadPool&, PackedTensor* const*, std::int64_t);
+                                    runtime::ThreadPool&, PackedTensor* const*, std::int64_t);   \
+  void conv_dot_tiled_batch_##SUFFIX(const PackedTensor* const*, std::int64_t,                   \
+                                     const TiledFilterBank&, const ConvSpec&,                    \
+                                     runtime::ThreadPool&, Tensor* const*);                      \
+  void conv_binarize_tiled_batch_##SUFFIX(const PackedTensor* const*, std::int64_t,              \
+                                          const TiledFilterBank&, const ConvSpec&, const float*, \
+                                          runtime::ThreadPool&, PackedTensor* const*,            \
+                                          std::int64_t);
 BITFLOW_DECLARE_PRESSEDCONV(u64)
 BITFLOW_DECLARE_PRESSEDCONV(sse)
 BITFLOW_DECLARE_PRESSEDCONV(avx2)
@@ -89,6 +96,39 @@ ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa, bool use_vpop
                            : &detail::conv_binarize_batch_avx512;
   }
   throw std::invalid_argument("conv_binarize_batch_kernel: bad ISA level");
+}
+
+ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa) {
+  return conv_dot_tiled_batch_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa) {
+  return conv_binarize_tiled_batch_kernel(isa, simd::cpu_features().avx512vpopcntdq);
+}
+
+ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa, bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_dot_tiled_batch_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_dot_tiled_batch_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_dot_tiled_batch_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::conv_dot_tiled_batch_avx512vp
+                           : &detail::conv_dot_tiled_batch_avx512;
+  }
+  throw std::invalid_argument("conv_dot_tiled_batch_kernel: bad ISA level");
+}
+
+ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa,
+                                                          bool use_vpopcntdq) {
+  switch (isa) {
+    case simd::IsaLevel::kU64: return &detail::conv_binarize_tiled_batch_u64;
+    case simd::IsaLevel::kSse: return &detail::conv_binarize_tiled_batch_sse;
+    case simd::IsaLevel::kAvx2: return &detail::conv_binarize_tiled_batch_avx2;
+    case simd::IsaLevel::kAvx512:
+      return use_vpopcntdq ? &detail::conv_binarize_tiled_batch_avx512vp
+                           : &detail::conv_binarize_tiled_batch_avx512;
+  }
+  throw std::invalid_argument("conv_binarize_tiled_batch_kernel: bad ISA level");
 }
 
 void check_conv_args(const PackedTensor& in, const PackedFilterBank& filters,

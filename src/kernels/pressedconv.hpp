@@ -63,6 +63,22 @@ using ConvBinarizeBatchFn = void (*)(const PackedTensor* const* in, std::int64_t
                                      const float* thresholds, runtime::ThreadPool& pool,
                                      PackedTensor* const* out, std::int64_t margin);
 
+/// Batch-N raw-dot PressedConv over the interleaved weight layout: same
+/// contract as ConvDotBatchFn, but the filters are a register-tile bank
+/// produced by bitpack::tile_filters with tile = weight_tile_width(isa).
+/// Bit-exact with the filter-major kernels; throws std::invalid_argument if
+/// the bank's tile width does not match the kernel's.
+using ConvDotTiledBatchFn = void (*)(const PackedTensor* const* in, std::int64_t n,
+                                     const TiledFilterBank& filters, const ConvSpec& spec,
+                                     runtime::ThreadPool& pool, Tensor* const* out);
+
+/// Batch-N fused PressedConv + binarize over the interleaved weight layout;
+/// see ConvBinarizeBatchFn for the margin contract.
+using ConvBinarizeTiledBatchFn = void (*)(const PackedTensor* const* in, std::int64_t n,
+                                          const TiledFilterBank& filters, const ConvSpec& spec,
+                                          const float* thresholds, runtime::ThreadPool& pool,
+                                          PackedTensor* const* out, std::int64_t margin);
+
 /// Returns the raw-dot kernel compiled for `isa`.  The caller must have
 /// verified hardware support (simd::cpu_features().supports(isa)).
 [[nodiscard]] ConvDotFn conv_dot_kernel(simd::IsaLevel isa);
@@ -76,6 +92,16 @@ using ConvBinarizeBatchFn = void (*)(const PackedTensor* const* in, std::int64_t
 [[nodiscard]] ConvDotBatchFn conv_dot_batch_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
 [[nodiscard]] ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa,
                                                              bool use_vpopcntdq);
+
+/// Register-tiled kernel getters (interleaved weight layout).  The bank must
+/// have been tiled with weight_tile_width(isa); single-image callers pass
+/// n = 1 — the batch entry points are the only tiled entry points.
+[[nodiscard]] ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa);
+[[nodiscard]] ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa);
+[[nodiscard]] ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa,
+                                                              bool use_vpopcntdq);
+[[nodiscard]] ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa,
+                                                                        bool use_vpopcntdq);
 
 /// Variant-pinned overloads: at kAvx512, `use_vpopcntdq` selects between the
 /// byte-LUT TU and the native-VPOPCNTDQ TU instead of deferring to CPUID (the

@@ -3,9 +3,11 @@
 #include "kernels/bgemm_impl.hpp"
 #include "kernels/pressedconv_impl.hpp"
 #include "simd/bitops_inline.hpp"
+#include "simd/bitops_tile.hpp"
 
 namespace {
 struct OpsAvx512Lut {
+  using Tile = bitflow::simd::inl::TileAcc8Avx512;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_avx512(a, b, n);

@@ -4,9 +4,13 @@
 #include "kernels/bgemm_impl.hpp"
 #include "kernels/pressedconv_impl.hpp"
 #include "simd/bitops_inline.hpp"
+#include "simd/bitops_tile.hpp"
 
 namespace {
 struct OpsAvx512Vp {
+  // TileAcc8Avx512's popcount_epi64_512 lowers to native VPOPCNTDQ in this
+  // TU's -m flags — same struct, different instruction selection.
+  using Tile = bitflow::simd::inl::TileAcc8Avx512;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_avx512(a, b, n);

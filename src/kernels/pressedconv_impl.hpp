@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 
 #include "kernels/conv_spec.hpp"
 #include "runtime/thread_pool.hpp"
@@ -258,6 +259,157 @@ void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
   conv_binarize_batch_impl<Ops>(&in_ptr, 1, filters, spec, thresholds, pool, &out_ptr, margin);
 }
 
+// --- register-tiled variants over the interleaved weight layout --------------
+//
+// Activation-stationary dataflow (YFlows): the filter loop is tiled by
+// T = Ops::Tile::kWidth, and inside a tile the roles invert — each packed
+// activation word is loaded once, broadcast, and XOR+popcounted against the T
+// matching filter words, which the finalize-time interleave
+// (bitpack::tile_filters) made contiguous.  T per-filter counters live in
+// registers across the whole kh*kw*pc word walk and spill exactly once per
+// tile.  The K % T remainder filters were left filter-major by the repack and
+// take the word-run path of the untiled kernel.
+
+template <typename Ops>
+void conv_dot_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
+                               const TiledFilterBank& filters, const ConvSpec& spec,
+                               runtime::ThreadPool& pool, Tensor* const* out) {
+  using Tile = typename Ops::Tile;
+  constexpr std::int64_t kT = Tile::kWidth;
+  if (filters.tile() != kT) {
+    throw std::invalid_argument("PressedConv tiled: bank tile width does not match kernel");
+  }
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
+  const std::int64_t kh = filters.kernel_h();
+  const std::int64_t pc = in[0]->words_per_pixel();
+  const std::int64_t row_words = filters.kernel_w() * pc;
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in[0]->width();
+  const std::int64_t stride = spec.stride;
+  const TiledBitMatrix& bank = filters.rows();
+  const std::int64_t full_tiles = bank.full_tiles();
+
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* window =
+          in[img]->words() + ((y * stride) * in_w + (x * stride)) * pc;
+      float* out_px = out[img]->data() + pix * num_k;
+      for (std::int64_t t = 0; t < full_tiles; ++t) {
+        Tile acc{};
+        // The interleaved block walks word-major over the whole filter, so
+        // `f` just advances by kT per activation word across kernel rows.
+        const std::uint64_t* f = bank.tile_block(t);
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::uint64_t* row = window + i * in_w * pc;
+          for (std::int64_t w = 0; w < row_words; ++w, f += kT) {
+            acc.accumulate(row[w], f);
+          }
+        }
+        std::uint64_t pops[kT];
+        acc.reduce(pops);
+        float* out_t = out_px + t * kT;
+        for (std::int64_t l = 0; l < kT; ++l) {
+          out_t[l] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops[l]));
+        }
+      }
+      for (std::int64_t k = full_tiles * kT; k < num_k; ++k) {
+        const std::uint64_t* f0 = bank.remainder_row(k - full_tiles * kT);
+        std::uint64_t pops = 0;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          pops += Ops::xor_popcount(window + i * in_w * pc, f0 + i * row_words, row_words);
+        }
+        out_px[k] = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops));
+      }
+    }
+  });
+}
+
+template <typename Ops>
+void conv_binarize_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
+                                    const TiledFilterBank& filters, const ConvSpec& spec,
+                                    const float* thresholds, runtime::ThreadPool& pool,
+                                    PackedTensor* const* out, std::int64_t margin) {
+  using Tile = typename Ops::Tile;
+  constexpr std::int64_t kT = Tile::kWidth;
+  static_assert(64 % Tile::kWidth == 0, "filter tiles must not straddle output words");
+  if (filters.tile() != kT) {
+    throw std::invalid_argument("PressedConv tiled: bank tile width does not match kernel");
+  }
+  const std::int64_t out_h = spec.out_h(in[0]->height());
+  const std::int64_t out_w = spec.out_w(in[0]->width());
+  const std::int64_t pixels = out_h * out_w;
+  const std::int64_t kh = filters.kernel_h();
+  const std::int64_t pc = in[0]->words_per_pixel();
+  const std::int64_t row_words = filters.kernel_w() * pc;
+  const std::int64_t bits = filters.bits_per_filter();
+  const std::int64_t num_k = filters.num_filters();
+  const std::int64_t in_w = in[0]->width();
+  const std::int64_t stride = spec.stride;
+  const TiledBitMatrix& bank = filters.rows();
+  const std::int64_t full_tiles = bank.full_tiles();
+
+  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+    for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
+      const std::int64_t img = idx / pixels;
+      const std::int64_t pix = idx - img * pixels;
+      const std::int64_t y = pix / out_w;
+      const std::int64_t x = pix % out_w;
+      const std::uint64_t* window =
+          in[img]->words() + ((y * stride) * in_w + (x * stride)) * pc;
+      std::uint64_t* out_px = out[img]->pixel(y + margin, x + margin);
+      std::uint64_t packed = 0;
+      std::int64_t bit = 0, word_idx = 0, k = 0;
+      for (std::int64_t t = 0; t < full_tiles; ++t) {
+        Tile acc{};
+        const std::uint64_t* f = bank.tile_block(t);
+        for (std::int64_t i = 0; i < kh; ++i) {
+          const std::uint64_t* row = window + i * in_w * pc;
+          for (std::int64_t w = 0; w < row_words; ++w, f += kT) {
+            acc.accumulate(row[w], f);
+          }
+        }
+        std::uint64_t pops[kT];
+        acc.reduce(pops);
+        // kT divides 64, so a tile's bits never split across output words
+        // and `bit` can only hit 64 between tiles.
+        for (std::int64_t l = 0; l < kT; ++l, ++k) {
+          const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops[l]));
+          const float th = thresholds != nullptr ? thresholds[k] : 0.0f;
+          packed |= static_cast<std::uint64_t>(dot >= th) << bit;
+          if (++bit == 64) {
+            out_px[word_idx++] = packed;
+            packed = 0;
+            bit = 0;
+          }
+        }
+      }
+      for (; k < num_k; ++k) {
+        const std::uint64_t* f0 = bank.remainder_row(k - full_tiles * kT);
+        std::uint64_t pops = 0;
+        for (std::int64_t i = 0; i < kh; ++i) {
+          pops += Ops::xor_popcount(window + i * in_w * pc, f0 + i * row_words, row_words);
+        }
+        const float dot = static_cast<float>(bits - 2 * static_cast<std::int64_t>(pops));
+        const float th = thresholds != nullptr ? thresholds[k] : 0.0f;
+        packed |= static_cast<std::uint64_t>(dot >= th) << bit;
+        if (++bit == 64) {
+          out_px[word_idx++] = packed;
+          packed = 0;
+          bit = 0;
+        }
+      }
+      if (bit > 0) out_px[word_idx] = packed;
+    }
+  });
+}
+
 }  // namespace bitflow::kernels::impl
 
 /// Stamps out the kernel entry points (single-image and batched) for one ISA
@@ -284,5 +436,17 @@ void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
                                     const float* thresholds, runtime::ThreadPool& pool,         \
                                     PackedTensor* const* out, std::int64_t margin) {            \
     impl::conv_binarize_batch_impl<OPS>(in, n, filters, spec, thresholds, pool, out, margin);   \
+  }                                                                                             \
+  void conv_dot_tiled_batch_##SUFFIX(const PackedTensor* const* in, std::int64_t n,             \
+                                     const TiledFilterBank& filters, const ConvSpec& spec,      \
+                                     runtime::ThreadPool& pool, Tensor* const* out) {           \
+    impl::conv_dot_tiled_batch_impl<OPS>(in, n, filters, spec, pool, out);                      \
+  }                                                                                             \
+  void conv_binarize_tiled_batch_##SUFFIX(                                                      \
+      const PackedTensor* const* in, std::int64_t n, const TiledFilterBank& filters,            \
+      const ConvSpec& spec, const float* thresholds, runtime::ThreadPool& pool,                 \
+      PackedTensor* const* out, std::int64_t margin) {                                          \
+    impl::conv_binarize_tiled_batch_impl<OPS>(in, n, filters, spec, thresholds, pool, out,      \
+                                              margin);                                          \
   }                                                                                             \
   }  // namespace bitflow::kernels::detail

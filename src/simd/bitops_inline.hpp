@@ -22,19 +22,21 @@ namespace bitflow::simd::inl {
 
 inline std::uint64_t xor_popcount_u64(const std::uint64_t* a, const std::uint64_t* b,
                                       std::int64_t n) {
-  std::uint64_t total = 0;
+  // 4 independent 64-bit accumulator lanes: the unrolled popcnts feed
+  // separate registers instead of one serial chain, and the horizontal
+  // reduction happens once per run rather than once per word.
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
   std::int64_t i = 0;
-  // 4-way unroll: breaks the popcnt output dependency and exposes ILP.
   for (; i + 4 <= n; i += 4) {
-    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 0] ^ b[i + 0]));
-    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 1] ^ b[i + 1]));
-    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 2] ^ b[i + 2]));
-    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 3] ^ b[i + 3]));
+    t0 += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 0] ^ b[i + 0]));
+    t1 += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 1] ^ b[i + 1]));
+    t2 += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 2] ^ b[i + 2]));
+    t3 += static_cast<std::uint64_t>(__builtin_popcountll(a[i + 3] ^ b[i + 3]));
   }
   for (; i < n; ++i) {
-    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] ^ b[i]));
+    t0 += static_cast<std::uint64_t>(__builtin_popcountll(a[i] ^ b[i]));
   }
-  return total;
+  return (t0 + t1) + (t2 + t3);
 }
 
 inline void or_accumulate_u64(std::uint64_t* dst, const std::uint64_t* src, std::int64_t n) {

@@ -1,0 +1,105 @@
+// Register-tiled xor+popcount accumulators for the interleaved weight
+// layout (YFlows-style activation-stationary dataflow, daBNN-style
+// finalize-time weight re-layout).
+//
+// A TileAcc holds kWidth per-filter popcount counters that live in registers
+// for the whole filter-block word loop: accumulate(a, f) broadcasts one
+// activation word against kWidth *contiguous* filter words (one interleaved
+// tile row, at most one cache line) and adds the kWidth xor+popcounts into
+// the counters; reduce() spills them exactly once per filter block.  This is
+// the dual of bitops_inline.hpp's word-run primitives: there the activation
+// run streams against one filter, here one activation word fans out across a
+// tile of filters.
+//
+// Like bitops_inline.hpp, this is a SIMD implementation header: the bodies
+// lower to whatever ISA the including translation unit enables, so only the
+// per-ISA kernel TUs may include it (enforced by tools/check_isa_hygiene.py).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__SSE4_2__) || defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "simd/bitops_inline.hpp"
+
+namespace bitflow::simd::inl {
+
+/// 4-filter tile in four independent scalar 64-bit lanes (u64 and SSE
+/// kernels: hardware popcnt has no vector form below AVX-512VPOPCNTDQ, so
+/// four parallel dependency chains are the widest profitable tile).
+struct TileAcc4Scalar {
+  static constexpr std::int64_t kWidth = 4;
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    c0 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[0]));
+    c1 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[1]));
+    c2 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[2]));
+    c3 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[3]));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    out[0] = c0;
+    out[1] = c1;
+    out[2] = c2;
+    out[3] = c3;
+  }
+};
+
+#ifdef __AVX2__
+
+/// 8-filter tile in two 256-bit qword accumulators: one broadcast activation
+/// word is XORed against 8 contiguous filter words, per-byte LUT popcounts
+/// fold to qwords via vpsadbw, and the adds stay vertical — no horizontal
+/// reduction until the filter block ends.
+struct TileAcc8Avx2 {
+  static constexpr std::int64_t kWidth = 8;
+  __m256i lo = _mm256_setzero_si256();
+  __m256i hi = _mm256_setzero_si256();
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    const __m256i va = _mm256_set1_epi64x(static_cast<long long>(a));
+    const __m256i f0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f));
+    const __m256i f1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f + 4));
+    lo = _mm256_add_epi64(
+        lo, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f0)),
+                            _mm256_setzero_si256()));
+    hi = _mm256_add_epi64(
+        hi, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f1)),
+                            _mm256_setzero_si256()));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), hi);
+  }
+};
+
+#endif  // __AVX2__
+
+#ifdef __AVX512BW__
+
+/// 8-filter tile in one 512-bit qword accumulator: the 8 interleaved filter
+/// words of a tile row are exactly one aligned cache line, so accumulate()
+/// is broadcast + load + xor + popcount_epi64 + add — popcount_epi64_512
+/// picks native VPOPCNTDQ or the byte-LUT lowering by the TU's -m flags.
+struct TileAcc8Avx512 {
+  static constexpr std::int64_t kWidth = 8;
+  __m512i acc = _mm512_setzero_si512();
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    const __m512i va = _mm512_set1_epi64(static_cast<long long>(a));
+    const __m512i vf = _mm512_loadu_si512(f);
+    acc = _mm512_add_epi64(acc, popcount_epi64_512(_mm512_xor_si512(va, vf)));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    _mm512_storeu_si512(out, acc);
+  }
+};
+
+#endif  // __AVX512BW__
+
+}  // namespace bitflow::simd::inl

@@ -179,6 +179,128 @@ class PackedFilterBank {
   AlignedBuffer buffer_;
 };
 
+/// T-way interleaved bank of equal-length packed bit rows — the finalize-time
+/// weight re-layout behind the register-tiled kernels (daBNN-style).
+///
+/// The first `rows / tile` rows are grouped into tiles of `tile` rows each;
+/// inside a tile the words are interleaved word-major:
+///   tile t, word position w, lane l  ->  words()[ (t*row_words + w)*tile + l ]
+/// so the kernel loads one activation word and finds the matching word of
+/// all `tile` rows in `tile` *contiguous* words (exactly one cache line at
+/// tile = 8).  The trailing `rows % tile` rows do not fill a tile and stay
+/// row-major after the tiled region (the K-remainder fallback path):
+///   remainder row r, word w  ->  words()[ full_tiles*row_words*tile + r*row_words + w ]
+/// Total storage is exactly rows * row_words words — a permutation of the
+/// source layout, never a copy plus padding.
+class TiledBitMatrix {
+ public:
+  TiledBitMatrix() = default;
+
+  TiledBitMatrix(std::int64_t rows, std::int64_t row_words, std::int64_t tile)
+      : rows_(rows),
+        row_words_(row_words),
+        tile_(tile),
+        buffer_(static_cast<std::size_t>(rows * row_words) * sizeof(std::uint64_t)) {
+    BF_CHECK(rows >= 0 && row_words >= 0 && tile >= 1, "TiledBitMatrix extents ", rows, "x",
+             row_words, " tile ", tile);
+  }
+
+  [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int64_t row_words() const noexcept { return row_words_; }
+  /// Rows interleaved per tile (the register-tile width T of the kernels).
+  [[nodiscard]] std::int64_t tile() const noexcept { return tile_; }
+  [[nodiscard]] std::int64_t full_tiles() const noexcept { return rows_ / tile_; }
+  [[nodiscard]] std::int64_t remainder_rows() const noexcept { return rows_ % tile_; }
+  /// First row index held row-major instead of interleaved.
+  [[nodiscard]] std::int64_t tiled_rows() const noexcept { return full_tiles() * tile_; }
+  [[nodiscard]] std::int64_t num_words() const noexcept { return rows_ * row_words_; }
+
+  [[nodiscard]] std::uint64_t* words() noexcept {
+    return reinterpret_cast<std::uint64_t*>(buffer_.data());
+  }
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return reinterpret_cast<const std::uint64_t*>(buffer_.data());
+  }
+
+  /// Pointer to tile `t`'s interleaved block: row_words * tile consecutive
+  /// words, word-major ([w][lane]).
+  [[nodiscard]] const std::uint64_t* tile_block(std::int64_t t) const noexcept {
+    BF_DCHECK(t >= 0 && t < full_tiles(), "tile ", t, " outside ", full_tiles());
+    return words() + t * row_words_ * tile_;
+  }
+  [[nodiscard]] std::uint64_t* tile_block(std::int64_t t) noexcept {
+    BF_DCHECK(t >= 0 && t < full_tiles(), "tile ", t, " outside ", full_tiles());
+    return words() + t * row_words_ * tile_;
+  }
+
+  /// Pointer to remainder row `r` (r in [0, remainder_rows())), row-major.
+  [[nodiscard]] const std::uint64_t* remainder_row(std::int64_t r) const noexcept {
+    BF_DCHECK(r >= 0 && r < remainder_rows(), "remainder row ", r, " outside ",
+              remainder_rows());
+    return words() + tiled_rows() * row_words_ + r * row_words_;
+  }
+  [[nodiscard]] std::uint64_t* remainder_row(std::int64_t r) noexcept {
+    BF_DCHECK(r >= 0 && r < remainder_rows(), "remainder row ", r, " outside ",
+              remainder_rows());
+    return words() + tiled_rows() * row_words_ + r * row_words_;
+  }
+
+  /// Word `w` of logical row `k`, resolving the interleave — packers and
+  /// tests only; kernels walk the tile blocks directly.
+  [[nodiscard]] std::uint64_t row_word(std::int64_t k, std::int64_t w) const noexcept {
+    BF_DCHECK(k >= 0 && k < rows_ && w >= 0 && w < row_words_, "row word (", k, ", ", w,
+              ") outside ", rows_, "x", row_words_);
+    if (k < tiled_rows()) {
+      return tile_block(k / tile_)[w * tile_ + k % tile_];
+    }
+    return remainder_row(k - tiled_rows())[w];
+  }
+  std::uint64_t& row_word(std::int64_t k, std::int64_t w) noexcept {
+    BF_DCHECK(k >= 0 && k < rows_ && w >= 0 && w < row_words_, "row word (", k, ", ", w,
+              ") outside ", rows_, "x", row_words_);
+    if (k < tiled_rows()) {
+      return tile_block(k / tile_)[w * tile_ + k % tile_];
+    }
+    return remainder_row(k - tiled_rows())[w];
+  }
+
+ private:
+  std::int64_t rows_ = 0, row_words_ = 0, tile_ = 1;
+  AlignedBuffer buffer_;
+};
+
+/// Interleaved counterpart of PackedFilterBank: each logical row of the
+/// underlying TiledBitMatrix is one filter's kh*kw*pc packed words, grouped
+/// into tiles of T filters (produced once at finalize by
+/// bitpack::tile_filters, consumed by the register-tiled PressedConv).
+class TiledFilterBank {
+ public:
+  TiledFilterBank() = default;
+
+  TiledFilterBank(TiledBitMatrix rows, std::int64_t kh, std::int64_t kw, std::int64_t c)
+      : rows_(std::move(rows)), kh_(kh), kw_(kw), c_(c), pc_(words_for_channels(c)) {
+    BF_CHECK(rows_.row_words() == kh_ * kw_ * pc_, "TiledFilterBank: ", rows_.row_words(),
+             " words per filter for ", kh_, "x", kw_, "x", c_);
+  }
+
+  [[nodiscard]] std::int64_t num_filters() const noexcept { return rows_.rows(); }
+  [[nodiscard]] std::int64_t kernel_h() const noexcept { return kh_; }
+  [[nodiscard]] std::int64_t kernel_w() const noexcept { return kw_; }
+  [[nodiscard]] std::int64_t channels() const noexcept { return c_; }
+  [[nodiscard]] std::int64_t words_per_pixel() const noexcept { return pc_; }
+  [[nodiscard]] std::int64_t words_per_filter() const noexcept { return kh_ * kw_ * pc_; }
+  /// Valid bits per filter: the N of Eq. 1.
+  [[nodiscard]] std::int64_t bits_per_filter() const noexcept { return kh_ * kw_ * c_; }
+  [[nodiscard]] std::int64_t tile() const noexcept { return rows_.tile(); }
+
+  [[nodiscard]] const TiledBitMatrix& rows() const noexcept { return rows_; }
+  [[nodiscard]] TiledBitMatrix& rows() noexcept { return rows_; }
+
+ private:
+  TiledBitMatrix rows_;
+  std::int64_t kh_ = 0, kw_ = 0, c_ = 0, pc_ = 0;
+};
+
 /// Bit-packed binary matrix for fully connected layers: `rows` vectors of
 /// `cols` bits each, rows padded to whole words with zero tail bits.
 /// Row r occupies words [r*words_per_row, (r+1)*words_per_row).

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bitpack/packer.hpp"
 #include "kernels/bgemm.hpp"
 #include "kernels/binary_maxpool.hpp"
 #include "kernels/pressedconv.hpp"
@@ -429,6 +430,208 @@ TEST(IsaParity, BgemmBinarizeRowsMatchesFullAndLeavesTailUntouched) {
       }
     }
     ++seed;
+  }
+}
+
+// --- register-tiled PressedConv / bgemm (interleaved weight layout) --------
+//
+// The conv_shapes() K values (3..40) and gemm_shapes() k values straddle the
+// tile widths (4 and 8), so K < T, K = T exactly, and K % T != 0 remainder
+// paths are all exercised on every variant.
+
+TEST(IsaParity, TileFiltersIsAPermutation) {
+  std::uint64_t seed = 11000;
+  for (const ConvShape& s : conv_shapes()) {
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(filters, seed++);
+    for (std::int64_t tile : {4, 8}) {
+      const TiledFilterBank tiled = bitpack::tile_filters(filters, tile);
+      ASSERT_EQ(tiled.num_filters(), s.k);
+      ASSERT_EQ(tiled.words_per_filter(), filters.words_per_filter());
+      ASSERT_EQ(tiled.rows().num_words(), s.k * filters.words_per_filter());
+      for (std::int64_t k = 0; k < s.k; ++k) {
+        for (std::int64_t w = 0; w < filters.words_per_filter(); ++w) {
+          ASSERT_EQ(tiled.rows().row_word(k, w), filters.filter(k)[w])
+              << "tile_filters lost word " << w << " of filter " << k << " at tile " << tile
+              << ", shape " << describe(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaParity, PressedConvTiledDotMatchesUntiledAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 12000;
+  for (const ConvShape& s : conv_shapes()) {
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(filters, seed++);
+
+    for (std::int64_t n : {1, 3}) {
+      std::vector<PackedTensor> in;
+      std::vector<const PackedTensor*> in_ptrs;
+      for (std::int64_t b = 0; b < n; ++b) {
+        in.emplace_back(s.h, s.w, s.c);
+        fill_random_bits(in.back(), seed++);
+      }
+      for (const PackedTensor& t : in) in_ptrs.push_back(&t);
+
+      for (const IsaVariant& v : variants) {
+        const TiledFilterBank tiled =
+            bitpack::tile_filters(filters, kernels::weight_tile_width(v.isa));
+        std::vector<Tensor> out, ref;
+        std::vector<Tensor*> out_ptrs, ref_ptrs;
+        for (std::int64_t b = 0; b < n; ++b) {
+          out.push_back(Tensor::hwc(oh, ow, s.k));
+          ref.push_back(Tensor::hwc(oh, ow, s.k));
+        }
+        for (Tensor& t : out) out_ptrs.push_back(&t);
+        for (Tensor& t : ref) ref_ptrs.push_back(&t);
+        kernels::conv_dot_batch_kernel(v.isa, v.use_vpopcntdq)(in_ptrs.data(), n, filters,
+                                                               spec, pool, ref_ptrs.data());
+        kernels::conv_dot_tiled_batch_kernel(v.isa, v.use_vpopcntdq)(
+            in_ptrs.data(), n, tiled, spec, pool, out_ptrs.data());
+        for (std::int64_t b = 0; b < n; ++b) {
+          ASSERT_EQ(max_abs_diff(out[static_cast<std::size_t>(b)],
+                                 ref[static_cast<std::size_t>(b)]),
+                    0.0f)
+              << "kernel conv_dot_tiled_batch[" << v.name << "] image " << b << "/" << n
+              << " diverges from the filter-major kernel, shape " << describe(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaParity, PressedConvTiledBinarizeMatchesUntiledAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 13000;
+  for (const ConvShape& s : conv_shapes()) {
+    const ConvSpec spec{s.kernel, s.kernel, s.stride};
+    const std::int64_t oh = spec.out_h(s.h), ow = spec.out_w(s.w);
+    PackedFilterBank filters(s.k, s.kernel, s.kernel, s.c);
+    fill_random_bits(filters, seed++);
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed++);
+    std::uniform_real_distribution<float> tdist(-3.0f, 3.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    const std::int64_t n = 2;
+    std::vector<PackedTensor> in;
+    std::vector<const PackedTensor*> in_ptrs;
+    for (std::int64_t b = 0; b < n; ++b) {
+      in.emplace_back(s.h, s.w, s.c);
+      fill_random_bits(in.back(), seed++);
+    }
+    for (const PackedTensor& t : in) in_ptrs.push_back(&t);
+
+    for (const IsaVariant& v : variants) {
+      const TiledFilterBank tiled =
+          bitpack::tile_filters(filters, kernels::weight_tile_width(v.isa));
+      std::vector<PackedTensor> out, ref;
+      std::vector<PackedTensor*> out_ptrs, ref_ptrs;
+      for (std::int64_t b = 0; b < n; ++b) {
+        out.emplace_back(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+        ref.emplace_back(oh + 2 * s.margin, ow + 2 * s.margin, s.k);
+      }
+      for (PackedTensor& t : out) out_ptrs.push_back(&t);
+      for (PackedTensor& t : ref) ref_ptrs.push_back(&t);
+      kernels::conv_binarize_batch_kernel(v.isa, v.use_vpopcntdq)(
+          in_ptrs.data(), n, filters, spec, thresholds.data(), pool, ref_ptrs.data(),
+          s.margin);
+      kernels::conv_binarize_tiled_batch_kernel(v.isa, v.use_vpopcntdq)(
+          in_ptrs.data(), n, tiled, spec, thresholds.data(), pool, out_ptrs.data(), s.margin);
+      for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t i = 0; i < ref[static_cast<std::size_t>(b)].num_words(); ++i) {
+          ASSERT_EQ(out[static_cast<std::size_t>(b)].words()[i],
+                    ref[static_cast<std::size_t>(b)].words()[i])
+              << "kernel conv_binarize_tiled_batch[" << v.name << "] image " << b
+              << " diverges from the filter-major kernel at word " << i << ", shape "
+              << describe(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(IsaParity, TiledKernelRejectsMismatchedTileWidth) {
+  runtime::ThreadPool pool(1);
+  PackedTensor in(4, 4, 8);
+  PackedFilterBank filters(8, 3, 3, 8);
+  const ConvSpec spec{3, 3, 1};
+  const PackedTensor* in_ptr = &in;
+  Tensor out = Tensor::hwc(2, 2, 8);
+  Tensor* out_ptr = &out;
+  for (const IsaVariant& v : simd::supported_isa_variants()) {
+    const std::int64_t right = kernels::weight_tile_width(v.isa);
+    const std::int64_t wrong = right == 4 ? 8 : 4;
+    const TiledFilterBank bad = bitpack::tile_filters(filters, wrong);
+    EXPECT_THROW(kernels::conv_dot_tiled_batch_kernel(v.isa, v.use_vpopcntdq)(
+                     &in_ptr, 1, bad, spec, pool, &out_ptr),
+                 std::invalid_argument)
+        << "variant " << v.name;
+  }
+}
+
+TEST(IsaParity, BgemmTiledRowsMatchesUntiledAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 14000;
+  for (const GemmShape& s : gemm_shapes()) {
+    const std::int64_t rows = s.m + 2;
+    PackedMatrix a(rows, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+
+    std::vector<float> ref(static_cast<std::size_t>(s.m * s.k));
+    kernels::bgemm_rows_kernel(IsaLevel::kU64, false)(a, s.m, w, pool, ref.data());
+
+    for (const IsaVariant& v : variants) {
+      const TiledBitMatrix tiled = bitpack::tile_fc_weights(w, kernels::weight_tile_width(v.isa));
+      std::vector<float> y(static_cast<std::size_t>(s.m * s.k), -777.0f);
+      kernels::bgemm_rows_tiled_kernel(v.isa, v.use_vpopcntdq)(a, s.m, tiled, pool, y.data());
+      for (std::int64_t i = 0; i < s.m * s.k; ++i) {
+        ASSERT_EQ(y[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)])
+            << "kernel bgemm_rows_tiled[" << v.name << "] diverges at element " << i
+            << ", shape " << describe(s) << " m_rows=" << s.m;
+      }
+    }
+  }
+}
+
+TEST(IsaParity, BgemmTiledBinarizeRowsMatchesUntiledAllVariants) {
+  runtime::ThreadPool pool(3);
+  const auto variants = simd::supported_isa_variants();
+  std::uint64_t seed = 15000;
+  for (const GemmShape& s : gemm_shapes()) {
+    const std::int64_t rows = s.m + 1;
+    PackedMatrix a(rows, s.n_bits), w(s.k, s.n_bits);
+    fill_random_bits(a, seed++);
+    fill_random_bits(w, seed++);
+    std::vector<float> thresholds(static_cast<std::size_t>(s.k));
+    std::mt19937_64 trng(seed++);
+    std::uniform_real_distribution<float> tdist(-5.0f, 5.0f);
+    for (auto& t : thresholds) t = tdist(trng);
+
+    PackedMatrix ref(rows, s.k);
+    kernels::bgemm_binarize_rows_kernel(IsaLevel::kU64, false)(a, s.m, w, thresholds.data(),
+                                                               pool, ref);
+    for (const IsaVariant& v : variants) {
+      const TiledBitMatrix tiled = bitpack::tile_fc_weights(w, kernels::weight_tile_width(v.isa));
+      PackedMatrix out(rows, s.k);
+      kernels::bgemm_binarize_rows_tiled_kernel(v.isa, v.use_vpopcntdq)(
+          a, s.m, tiled, thresholds.data(), pool, out);
+      const std::int64_t words_per_row = out.num_words() / rows;
+      for (std::int64_t i = 0; i < s.m * words_per_row; ++i) {
+        ASSERT_EQ(out.words()[i], ref.words()[i])
+            << "kernel bgemm_binarize_rows_tiled[" << v.name << "] diverges at word " << i
+            << ", shape " << describe(s) << " m_rows=" << s.m;
+      }
+    }
   }
 }
 

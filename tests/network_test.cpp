@@ -353,6 +353,127 @@ TEST(BinaryNetwork, BatchInferenceConvEndingNetworkEmitsDots) {
   expect_batch_matches_batch1(net, ctx, 3, 4040);
 }
 
+// --- finalize-time weight tiling -------------------------------------------
+
+TEST(BinaryNetwork, TiledAndUntiledNetworksBitExact) {
+  // Same weights (seeds), same inputs: the interleaved-layout network must be
+  // bit-identical to the filter-major one for every batch size.
+  NetworkConfig tiled_cfg, plain_cfg;
+  tiled_cfg.num_threads = 3;
+  plain_cfg.num_threads = 3;
+  tiled_cfg.tile_weights = true;
+  plain_cfg.tile_weights = false;
+  BinaryNetwork tiled = make_small_net(tiled_cfg);
+  BinaryNetwork plain = make_small_net(plain_cfg);
+  InferenceContext tiled_ctx = tiled.make_context(7);
+  InferenceContext plain_ctx = plain.make_context(7);
+  // The re-layout is a permutation: identical weight footprint.
+  EXPECT_EQ(tiled.packed_weight_bytes(), plain.packed_weight_bytes());
+
+  for (std::int64_t n : {1, 2, 7}) {
+    std::vector<Tensor> inputs;
+    std::vector<const Tensor*> ptrs;
+    for (std::int64_t b = 0; b < n; ++b) {
+      Tensor t = Tensor::hwc(16, 16, 16);
+      fill_uniform(t, 7100 + static_cast<std::uint64_t>(n * 13 + b));
+      inputs.push_back(std::move(t));
+    }
+    for (const Tensor& t : inputs) ptrs.push_back(&t);
+    const auto st = tiled.infer_batch(ptrs, tiled_ctx);
+    const std::vector<float> tiled_scores(st.begin(), st.end());
+    const auto sp = plain.infer_batch(ptrs, plain_ctx);
+    ASSERT_EQ(tiled_scores.size(), sp.size());
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      ASSERT_EQ(tiled_scores[i], sp[i])
+          << "tiled network diverges from filter-major at score " << i << " (n=" << n << ")";
+    }
+  }
+}
+
+TEST(BinaryNetwork, LayerInfoReportsWeightLayout) {
+  NetworkConfig on, off;
+  on.tile_weights = true;
+  off.tile_weights = false;
+  BinaryNetwork tiled = make_small_net(on);
+  BinaryNetwork plain = make_small_net(off);
+  // Every conv/fc of the small net has K >= 8 >= any tile width, so all get
+  // the interleaved layout; the pool has no weights and stays filter-major.
+  for (const LayerInfo& l : tiled.layers()) {
+    const bool has_weights = l.kind != LayerKind::kPool;
+    EXPECT_EQ(l.layout == kernels::WeightLayout::kInterleaved, has_weights) << l.name;
+  }
+  for (const LayerInfo& l : plain.layers()) {
+    EXPECT_EQ(l.layout, kernels::WeightLayout::kFilterMajor) << l.name;
+  }
+  EXPECT_STREQ(kernels::weight_layout_name(kernels::WeightLayout::kInterleaved), "interleaved");
+}
+
+TEST(BinaryNetwork, TinyLayerFallsBackToFilterMajor) {
+  // K = 3 is below every tile width (4 and 8): finalize must keep the
+  // filter-major kernels even with tiling enabled, and still be bit-exact
+  // against an explicitly untiled build.
+  auto build = [](bool tile) {
+    NetworkConfig cfg;
+    cfg.tile_weights = tile;
+    BinaryNetwork net(cfg);
+    net.add_conv("c", random_filters(3, 16, 41), 1, 0);
+    net.add_fc("f", models::random_fc_weights(6 * 6 * 3, 3, 42), 6 * 6 * 3, 3);
+    net.finalize(TensorDesc{8, 8, 16});
+    return net;
+  };
+  BinaryNetwork tiled = build(true);
+  BinaryNetwork plain = build(false);
+  for (const LayerInfo& l : tiled.layers()) {
+    EXPECT_EQ(l.layout, kernels::WeightLayout::kFilterMajor) << l.name;
+  }
+  Tensor input = Tensor::hwc(8, 8, 16);
+  fill_uniform(input, 43);
+  const auto st = tiled.infer(input);
+  const std::vector<float> ts(st.begin(), st.end());
+  const auto sp = plain.infer(input);
+  ASSERT_EQ(ts.size(), sp.size());
+  for (std::size_t i = 0; i < sp.size(); ++i) ASSERT_EQ(ts[i], sp[i]) << i;
+}
+
+TEST(BinaryNetwork, TiledRemainderLayerBitExact) {
+  // K = 13 and fc outputs 11/5: K % T != 0 for both tile widths, so the
+  // remainder (filter-major) rows of the interleaved banks are exercised
+  // end-to-end through infer_batch.
+  auto build = [](bool tile) {
+    NetworkConfig cfg;
+    cfg.num_threads = 2;
+    cfg.tile_weights = tile;
+    BinaryNetwork net(cfg);
+    net.add_conv("c1", random_filters(13, 16, 51), 1, 1);
+    net.add_fc("f1", models::random_fc_weights(8 * 8 * 13, 11, 52), 8 * 8 * 13, 11);
+    net.add_fc("f2", models::random_fc_weights(11, 5, 53), 11, 5);
+    net.finalize(TensorDesc{8, 8, 16});
+    return net;
+  };
+  BinaryNetwork tiled = build(true);
+  BinaryNetwork plain = build(false);
+  InferenceContext tiled_ctx = tiled.make_context(7);
+  InferenceContext plain_ctx = plain.make_context(7);
+  for (std::int64_t n : {1, 2, 7}) {
+    std::vector<Tensor> inputs;
+    std::vector<const Tensor*> ptrs;
+    for (std::int64_t b = 0; b < n; ++b) {
+      Tensor t = Tensor::hwc(8, 8, 16);
+      fill_uniform(t, 5400 + static_cast<std::uint64_t>(n * 17 + b));
+      inputs.push_back(std::move(t));
+    }
+    for (const Tensor& t : inputs) ptrs.push_back(&t);
+    const auto st = tiled.infer_batch(ptrs, tiled_ctx);
+    const std::vector<float> ts(st.begin(), st.end());
+    const auto sp = plain.infer_batch(ptrs, plain_ctx);
+    ASSERT_EQ(ts.size(), sp.size());
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      ASSERT_EQ(ts[i], sp[i]) << "remainder-path divergence at score " << i << " (n=" << n
+                              << ")";
+    }
+  }
+}
+
 TEST(BinaryNetwork, ContextAndBatchArgumentValidation) {
   BinaryNetwork unfinalized{NetworkConfig{}};
   unfinalized.add_conv("c", random_filters(8, 16, 1), 1, 0);

@@ -17,9 +17,10 @@ Three rules, in decreasing order of severity:
      header bitpack/bit64.hpp may *name* register types (its Table II
      unions) and include <immintrin.h>, but must not call intrinsics.
 
-  2. SIMD implementation headers (simd/bitops_inline.hpp) may be included
-     only by per-ISA translation units: they contain real intrinsic bodies
-     whose lowering depends on the including TU's -m flags.
+  2. SIMD implementation headers (simd/bitops_inline.hpp and
+     simd/bitops_tile.hpp) may be included only by per-ISA translation
+     units: they contain real intrinsic bodies whose lowering depends on
+     the including TU's -m flags.
 
   3. In the CMake tree, ISA -m flags (-msse*, -mavx*, -mpopcnt, -mfma, ...)
      may be attached only to per-ISA translation units via
@@ -62,6 +63,7 @@ PER_ISA_TUS = {
 # including TU's flags, so only per-ISA TUs may include them.
 SIMD_IMPL_HEADERS = {
     "src/simd/bitops_inline.hpp",
+    "src/simd/bitops_tile.hpp",
 }
 
 # Headers that may name vector register types (byte-compatible union views)
@@ -77,7 +79,7 @@ INTRINSIC_CALL = re.compile(r"\b_mm(?:256|512)?_[A-Za-z0-9_]+\s*\(")
 VECTOR_TYPE = re.compile(r"\b__m(?:128|256|512)[id]?\b")
 INTRIN_INCLUDE = re.compile(
     r'#\s*include\s*[<"](?:imm|x86|xmm|emm|pmm|tmm|smm|nmm|wmm|amm|avx\w*)intrin\.h[>"]')
-IMPL_HEADER_INCLUDE = re.compile(r'#\s*include\s*[<"]([^">]*bitops_inline\.hpp)[">]')
+IMPL_HEADER_INCLUDE = re.compile(r'#\s*include\s*[<"]([^">]*bitops_(?:inline|tile)\.hpp)[">]')
 
 # ISA-selecting -m flags.  Deliberately narrow so flags like -march (banned
 # separately in review) or -mtune never match by accident, and generic flags
