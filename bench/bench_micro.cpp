@@ -7,6 +7,8 @@
 // `BENCH {...}` JSON line per supported ISA level for the headline tiling
 // workload (3x3, C = K = 256, 16x16 output); CI's perf-smoke job and the
 // committed BENCH_pressedconv.json baseline both come from these lines.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <random>
@@ -19,6 +21,8 @@
 #include "simd/bitops.hpp"
 #include "simd/cpu_features.hpp"
 #include "simd/parity.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tensor/util.hpp"
 
 namespace {
@@ -126,6 +130,43 @@ void BM_PressedConvDot(benchmark::State& state) {
   state.SetLabel(std::string(simd::isa_name(isa)) + (tiled ? "/tiled" : "/filter-major"));
 }
 
+// Telemetry hot-path costs.  The disarmed TraceSpan row is the one CI
+// gates on: tracing off must cost one relaxed atomic load per span.
+void BM_TraceSpanDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    telemetry::TraceSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+
+void BM_TraceSpanArmed(benchmark::State& state) {
+  telemetry::trace_start("/tmp/bitflow_bench_micro_trace.json", 1 << 16);
+  for (auto _ : state) {
+    telemetry::TraceSpan span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  telemetry::trace_stop();
+  std::remove("/tmp/bitflow_bench_micro_trace.json");
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  telemetry::Counter c;
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+
+void BM_HistogramRecord(benchmark::State& state) {
+  telemetry::Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 6364136223846793005ull + 1442695040888963407ull;  // lcg mix
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+
 void IsaByLength(benchmark::internal::Benchmark* b) {
   for (int isa = 0; isa < 4; ++isa) {
     for (std::int64_t n : {8, 24, 72, 392, 4608}) {  // typical conv/fc run lengths
@@ -146,6 +187,10 @@ BENCHMARK(BM_OrAccumulate)->Apply(IsaByLength);
 BENCHMARK(BM_PackActivationsScalar)->Args({56, 128})->Args({14, 512});
 BENCHMARK(BM_PackActivationsAvx2)->Args({56, 128})->Args({14, 512});
 BENCHMARK(BM_PressedConvDot)->Apply(IsaByLayout);
+BENCHMARK(BM_TraceSpanDisarmed);
+BENCHMARK(BM_TraceSpanArmed);
+BENCHMARK(BM_CounterAdd);
+BENCHMARK(BM_HistogramRecord);
 
 // One `BENCH {...}` line per supported ISA level for the headline tiling
 // workload — the machine-readable feed for CI's perf-smoke assertion and
@@ -169,6 +214,71 @@ void emit_tiling_bench_json() {
   std::fflush(stdout);
 }
 
+/// Median ns/iteration of `body` over `reps` timed repetitions.  A plain
+/// steady-clock loop (not google-benchmark) so the JSON line below is
+/// reproducible with a fixed iteration count and a proper median.
+template <typename F>
+double median_ns_per_iter(F&& body, int reps = 9, int iters = 2'000'000) {
+  std::vector<double> per_rep(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) body();
+    const auto t1 = std::chrono::steady_clock::now();
+    per_rep[static_cast<std::size_t>(r)] =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+        static_cast<double>(iters);
+  }
+  std::sort(per_rep.begin(), per_rep.end());
+  return per_rep[static_cast<std::size_t>(reps) / 2];
+}
+
+// One `BENCH {"bench":"telemetry_span",...}` line: the telemetry hot-path
+// costs CI's telemetry job gates on, and the source of BENCH_telemetry.json.
+// The disarmed cost subtracts an empty-loop baseline so the reported number
+// is the span's own work (one relaxed atomic load + a predicted branch),
+// not loop bookkeeping.
+void emit_telemetry_bench_json() {
+  const double baseline = median_ns_per_iter([] {
+    int sink = 0;
+    benchmark::DoNotOptimize(sink);
+  });
+  const double disarmed_raw = median_ns_per_iter([] {
+    telemetry::TraceSpan span("bench.overhead", "bench");
+    benchmark::DoNotOptimize(&span);
+  });
+  const double disarmed_ns = std::max(0.0, disarmed_raw - baseline);
+
+  telemetry::trace_start("/tmp/bitflow_bench_micro_trace.json", 1 << 16);
+  const double armed_raw = median_ns_per_iter(
+      [] {
+        telemetry::TraceSpan span("bench.overhead", "bench");
+        benchmark::DoNotOptimize(&span);
+      },
+      9, 200'000);
+  telemetry::trace_stop();
+  std::remove("/tmp/bitflow_bench_micro_trace.json");
+  const double armed_ns = std::max(0.0, armed_raw - baseline);
+
+  static telemetry::Counter counter;
+  const double counter_ns =
+      std::max(0.0, median_ns_per_iter([] { counter.add(); }) - baseline);
+  static telemetry::Histogram hist;
+  static std::uint64_t lcg = 1;
+  const double hist_ns = std::max(0.0, median_ns_per_iter([] {
+                                    hist.record(lcg);
+                                    lcg = lcg * 6364136223846793005ull +
+                                          1442695040888963407ull;
+                                  }) -
+                                      baseline);
+
+  std::printf(
+      "BENCH {\"bench\":\"telemetry_span\",\"disarmed_ns\":%.3f,\"armed_ns\":%.3f,"
+      "\"counter_add_ns\":%.3f,\"hist_record_ns\":%.3f,\"baseline_ns\":%.3f}\n",
+      disarmed_ns, armed_ns, counter_ns, hist_ns, baseline);
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,5 +287,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_tiling_bench_json();
+  emit_telemetry_bench_json();
   return 0;
 }

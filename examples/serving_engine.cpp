@@ -13,7 +13,15 @@
 //      kResourceExhausted instead of blocking the caller, and a request
 //      with a too-tight deadline expires in queue with kDeadlineExceeded;
 //   4. read the engine's counters: throughput, achieved batch sizes, and
-//      latency quantiles — the numbers bench_serving_throughput sweeps.
+//      latency quantiles — the numbers bench_serving_throughput sweeps;
+//   5. print the per-layer profile of the served model: time, achieved
+//      GOPS and the measured roofline of each layer's chosen ISA.
+//
+// Observability: run with BITFLOW_TRACE=trace.json to get a Chrome-tracing
+// timeline of every request -> batch -> layer -> kernel span (open it at
+// chrome://tracing or https://ui.perfetto.dev), and scrape the process
+// metrics registry (telemetry::registry().prometheus_text()) for the
+// engine's counters in Prometheus text format.
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -110,5 +118,19 @@ int main() {
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.batches), stats.mean_batch(),
               stats.latency_p50_ms, stats.latency_p99_ms);
+
+  // 5. Per-layer profile with roofline attribution: where the time goes and
+  // how close each layer runs to its ISA's measured xor+popcount peak.
+  graph::NetworkConfig prof_cfg;
+  prof_cfg.profile = true;
+  prof_cfg.num_threads = 1;
+  graph::BinaryNetwork net = model.instantiate(prof_cfg);
+  for (int i = 0; i < 50; ++i) {
+    Tensor image = Tensor::hwc(16, 16, 8);
+    fill_uniform(image, static_cast<std::uint64_t>(i));
+    (void)net.infer(image);
+  }
+  std::printf("\nper-layer profile (50 batch-1 inferences):\n%s",
+              net.profile_report().to_table().c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 //
 // Layer cake (see DESIGN.md):
 //   core   : this facade, AIT model, version/system report, Status/failpoints
+//   telemetry: metrics registry, per-layer profiler, trace-event sink
 //   serve  : recoverable serving boundary (InferenceSession, see serve/session.hpp)
 //   graph  : static network, memory planner, vector execution scheduler
 //   ops    : standalone operator-level API
@@ -38,6 +39,9 @@
 #include "serve/engine.hpp"
 #include "serve/session.hpp"
 #include "simd/cpu_features.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/util.hpp"
 

@@ -1,14 +1,17 @@
 #include "graph/network.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "baseline/float_ops.hpp"
 #include "bitpack/packer.hpp"
+#include "core/ait.hpp"
 #include "core/failpoint.hpp"
-#include "runtime/timer.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bitflow::graph {
 
@@ -114,6 +117,17 @@ struct BinaryNetwork::Impl {
   std::vector<Stage> stages;
   BufferPlan plan;
   std::int64_t weight_bytes = 0;
+
+  // Profiler metadata, fixed at finalize().  span_names/kernel_names back
+  // the trace spans (TraceSpan keeps the const char* — the strings must
+  // never move, so these vectors are sized once and never touched again).
+  std::vector<std::string> span_names;    // "layer:<name>", one per stage
+  std::vector<std::string> kernel_names;  // "<kernel>[<isa>]", one per stage
+  std::vector<double> stage_ops;          // binary ops per image (2/MAC); 0 = n/a
+  std::vector<double> stage_ait;          // direct-conv AIT; 0 = n/a
+  // Shared lock-free accumulators: [0] = input pack, [i+1] = stage i.  Heap
+  // array so recording through a const Impl& is well-formed.
+  std::unique_ptr<telemetry::SpanStats[]> span_stats;
 
   // Default context backing the batch-1 infer() convenience API.  This is
   // the only mutable member after finalize(), and only infer() touches it.
@@ -505,6 +519,66 @@ void BinaryNetwork::finalize(TensorDesc input) {
   im.plan.scores_size = flow.num_elements();
   im.pending.clear();
   im.pending.shrink_to_fit();
+
+  // Profiler metadata: interned span names, the kernel each stage will
+  // actually dispatch, and the static per-image cost model each profiled
+  // sample is normalized against.
+  im.span_names.reserve(n_layers);
+  im.kernel_names.reserve(n_layers);
+  im.stage_ops.reserve(n_layers);
+  im.stage_ait.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const Stage& s = im.stages[i];
+    const LayerInfo& info = im.infos[i];
+    im.span_names.push_back("layer:" + info.name);
+    std::string kernel;
+    double ops = 0.0, ait = 0.0;
+    switch (s.kind) {
+      case LayerKind::kConv: {
+        const double macs = static_cast<double>(info.out.h * info.out.w * info.out.c) *
+                            static_cast<double>(s.conv_spec.kernel_h * s.conv_spec.kernel_w *
+                                                info.in.c);
+        ops = 2.0 * macs;
+        if (s.full_precision) {
+          kernel = "im2col_sgemm[f32]";
+        } else {
+          kernel = s.tiled ? (s.is_last ? "pressedconv_dot_tiled" : "pressedconv_bin_tiled")
+                           : (s.is_last ? "pressedconv_dot" : "pressedconv_bin");
+          // Padded extents: that is the buffer the kernel actually reads
+          // (and keeps the workload non-degenerate for same-padded layers).
+          ait = core::analyze_binary_conv({info.in.h + 2 * info.pad, info.in.w + 2 * info.pad,
+                                           info.in.c, info.out.c, s.conv_spec.kernel_h,
+                                           s.conv_spec.kernel_w})
+                    .ait_direct;
+        }
+        break;
+      }
+      case LayerKind::kPool:
+        kernel = "binary_maxpool";
+        break;
+      case LayerKind::kFc: {
+        const double n_in = static_cast<double>(info.in.num_elements());
+        const double k_out = static_cast<double>(info.out.num_elements());
+        ops = 2.0 * n_in * k_out;
+        kernel = s.tiled ? (s.is_last ? "bgemm_rows_tiled" : "bgemm_binarize_rows_tiled")
+                         : (s.is_last ? "bgemm_rows" : "bgemm_binarize_rows");
+        ait = core::analyze_binary_conv({1, 1, info.in.num_elements(),
+                                         info.out.num_elements(), 1, 1})
+                  .ait_direct;
+        break;
+      }
+    }
+    if (!s.full_precision) {
+      kernel += '[';
+      kernel += simd::isa_name(s.isa);
+      kernel += ']';
+    }
+    im.kernel_names.push_back(std::move(kernel));
+    im.stage_ops.push_back(ops);
+    im.stage_ait.push_back(ait);
+  }
+  im.span_stats = std::make_unique<telemetry::SpanStats[]>(n_layers + 1);
+
   im.finalized = true;
   // The default context backs the legacy batch-1 infer(); creating it here
   // preserves the "zero allocation per inference" property of that API.
@@ -544,9 +618,15 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
                                   " extents do not match finalized network");
     }
   }
-  const bool profile = im.cfg.profile;
+  // Profiling is armed per network (cfg.profile) or process-wide
+  // (BITFLOW_PROFILE / telemetry::set_profiling); both feed the same
+  // lock-free per-layer accumulators behind profile_report().  The disarmed
+  // cost here is one relaxed atomic load, and each TraceSpan below adds one
+  // more — the telemetry overhead budget CI enforces.
+  const bool profile = im.cfg.profile || telemetry::profiling_enabled();
   cx.profile_ms.clear();
-  runtime::Timer timer;
+  telemetry::TraceSpan whole_span("graph.infer_batch", "graph", n);
+  std::uint64_t t0 = profile ? telemetry::trace_now_ns() : 0;
 
   // Input stage: binarize + pack each image into its batch slot of the
   // first buffer's interior — unless the first layer is the full-precision
@@ -554,31 +634,38 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
   // network starts fully connected (pack straight into the fc bit rows).
   const bool starts_with_fc = im.stages.front().kind == LayerKind::kFc;
   const bool starts_full_precision = im.stages.front().full_precision;
-  if (starts_full_precision) {
-    // Nothing to pack: the per-image copy into f_in_padded happens in the
-    // stage loop right before each image's float convolution.
-  } else if (!starts_with_fc) {
-    for (std::int64_t b = 0; b < n; ++b) {
-      bitpack::pack_activations_into_interior(*inputs[static_cast<std::size_t>(b)],
-                                              cx.acts[0][static_cast<std::size_t>(b)],
-                                              im.input_margin, cx.pool);
-    }
-  } else {
-    PackedMatrix& rows = cx.fc_bits[static_cast<std::size_t>(im.stages.front().in_fc)];
-    for (std::int64_t b = 0; b < n; ++b) {
-      const Tensor& t = *inputs[static_cast<std::size_t>(b)];
-      bitpack::pack_row_into(t.data(), t.num_elements(), rows, b);
+  {
+    telemetry::TraceSpan pack_span("pack_input", "graph", n);
+    if (starts_full_precision) {
+      // Nothing to pack: the per-image copy into f_in_padded happens in the
+      // stage loop right before each image's float convolution.
+    } else if (!starts_with_fc) {
+      for (std::int64_t b = 0; b < n; ++b) {
+        bitpack::pack_activations_into_interior(*inputs[static_cast<std::size_t>(b)],
+                                                cx.acts[0][static_cast<std::size_t>(b)],
+                                                im.input_margin, cx.pool);
+      }
+    } else {
+      PackedMatrix& rows = cx.fc_bits[static_cast<std::size_t>(im.stages.front().in_fc)];
+      for (std::int64_t b = 0; b < n; ++b) {
+        const Tensor& t = *inputs[static_cast<std::size_t>(b)];
+        bitpack::pack_row_into(t.data(), t.num_elements(), rows, b);
+      }
     }
   }
   if (profile) {
-    cx.profile_ms.push_back(timer.elapsed_ms());
-    timer.reset();
+    const std::uint64_t t1 = telemetry::trace_now_ns();
+    cx.profile_ms.push_back(static_cast<double>(t1 - t0) / 1e6);
+    im.span_stats[0].record(t1 - t0, static_cast<std::uint64_t>(n));
+    t0 = t1;
   }
 
   const std::int64_t out_size = im.plan.scores_size;
   for (std::size_t i = 0; i < im.stages.size(); ++i) {
     const Stage& s = im.stages[i];
     const float* th = s.thresholds.empty() ? nullptr : s.thresholds.data();
+    telemetry::TraceSpan layer_span(im.span_names[i].c_str(), "layer", n);
+    telemetry::TraceSpan kernel_span(im.kernel_names[i].c_str(), "kernel", n);
     switch (s.kind) {
       case LayerKind::kConv: {
         if (s.full_precision) {
@@ -691,8 +778,10 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
       }
     }
     if (profile) {
-      cx.profile_ms.push_back(timer.elapsed_ms());
-      timer.reset();
+      const std::uint64_t t1 = telemetry::trace_now_ns();
+      cx.profile_ms.push_back(static_cast<double>(t1 - t0) / 1e6);
+      im.span_stats[i + 1].record(t1 - t0, static_cast<std::uint64_t>(n));
+      t0 = t1;
     }
   }
   return {cx.scores.data(), static_cast<std::size_t>(n * out_size)};
@@ -715,6 +804,75 @@ int BinaryNetwork::num_threads() const noexcept { return impl_->cfg.num_threads;
 std::int64_t BinaryNetwork::packed_weight_bytes() const { return impl_->weight_bytes; }
 const std::vector<double>& BinaryNetwork::last_profile_ms() const {
   return impl_->default_ctx ? impl_->default_ctx->last_profile_ms() : impl_->no_profile;
+}
+
+ProfileReport BinaryNetwork::profile_report() const {
+  const Impl& im = *impl_;
+  if (!im.finalized) throw std::logic_error("BinaryNetwork: profile_report before finalize");
+  ProfileReport rep;
+  rep.rows.reserve(im.stages.size() + 1);
+  for (std::size_t i = 0; i < im.stages.size() + 1; ++i) {
+    LayerProfile row;
+    if (i == 0) {
+      row.name = "pack_input";
+      row.kernel = "bitpack";
+    } else {
+      row.name = im.infos[i - 1].name;
+      row.kernel = im.kernel_names[i - 1];
+      row.ait = im.stage_ait[i - 1];
+    }
+    const telemetry::SpanStats::View v = im.span_stats[i].view();
+    row.calls = v.count;
+    row.images = v.units;
+    row.mean_ms = v.mean_ns() / 1e6;
+    row.p50_ms = static_cast<double>(v.p50_ns) / 1e6;
+    row.p99_ms = static_cast<double>(v.p99_ns) / 1e6;
+    row.min_ms = static_cast<double>(v.min_ns) / 1e6;
+    if (i > 0 && v.total_ns > 0 && im.stage_ops[i - 1] > 0.0) {
+      // ops/ns == GOPS; normalized per image so fused batches don't inflate.
+      row.gops = im.stage_ops[i - 1] * static_cast<double>(v.units) /
+                 static_cast<double>(v.total_ns);
+      // The roof only applies to layers running the binary primitive.
+      if (im.stage_ait[i - 1] > 0.0) {
+        row.roof_gops = telemetry::roofline_peak_gops(im.stages[i - 1].isa);
+      }
+    }
+    rep.rows.push_back(std::move(row));
+  }
+  return rep;
+}
+
+void BinaryNetwork::reset_profile() {
+  Impl& im = *impl_;
+  if (!im.finalized) return;
+  for (std::size_t i = 0; i < im.stages.size() + 1; ++i) im.span_stats[i].reset();
+}
+
+std::string ProfileReport::to_table() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-14s %-30s %7s %7s %9s %9s %9s %8s %14s %6s\n", "layer",
+                "kernel", "calls", "images", "mean_ms", "p50_ms", "p99_ms", "gops",
+                "roof(gops)", "ait");
+  out += line;
+  out.append(118, '-');
+  out += '\n';
+  for (const LayerProfile& r : rows) {
+    char roof[24] = "n/a";
+    char ait_s[16] = "n/a";
+    if (r.roof_gops > 0.0) {
+      std::snprintf(roof, sizeof roof, "%6.1f (%3.0f%%)", r.roof_gops,
+                    100.0 * r.gops / r.roof_gops);
+    }
+    if (r.ait > 0.0) std::snprintf(ait_s, sizeof ait_s, "%.1f", r.ait);
+    std::snprintf(line, sizeof line, "%-14s %-30s %7llu %7llu %9.4f %9.4f %9.4f %8.1f %14s %6s\n",
+                  r.name.c_str(), r.kernel.c_str(),
+                  static_cast<unsigned long long>(r.calls),
+                  static_cast<unsigned long long>(r.images), r.mean_ms, r.p50_ms, r.p99_ms,
+                  r.gops, roof, ait_s);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace bitflow::graph

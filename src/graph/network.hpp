@@ -78,6 +78,39 @@ struct LayerInfo {
   kernels::WeightLayout layout = kernels::WeightLayout::kFilterMajor;
 };
 
+/// One row of a per-layer profile (see BinaryNetwork::profile_report()).
+/// Latencies are per infer_batch() invocation of that stage (a fused batch
+/// is one invocation); GOPS is normalized by images, so batch size does not
+/// inflate it.
+struct LayerProfile {
+  std::string name;    ///< layer name; row 0 is the input pack ("pack_input")
+  std::string kernel;  ///< kernel + ISA actually dispatched, e.g. "pressedconv_bin_tiled[avx2]"
+  std::uint64_t calls = 0;   ///< stage invocations recorded
+  std::uint64_t images = 0;  ///< images processed across those calls
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;  ///< log2-bucket upper bound
+  double p99_ms = 0.0;
+  double min_ms = 0.0;
+  /// Achieved binary-op throughput (2 ops per MAC, the bench convention);
+  /// 0 for stages with no counted arithmetic (pool, input pack).
+  double gops = 0.0;
+  /// Measured xor+popcount roof for this layer's ISA (telemetry
+  /// roofline_peak_gops); 0 = not applicable (full-precision, pool, pack).
+  double roof_gops = 0.0;
+  /// Arithmetic intensity of the layer's direct binary convolution
+  /// (core/ait, ops per memory element); 0 = not applicable.
+  double ait = 0.0;
+};
+
+/// Aggregated per-layer profile of every profiled inference since finalize()
+/// (or the last reset_profile()).
+struct ProfileReport {
+  std::vector<LayerProfile> rows;  ///< row 0 = input pack, then one per layer
+  /// Human-readable fixed-width table (one row per layer) with a roofline
+  /// column showing achieved/peak GOPS for binary layers.
+  [[nodiscard]] std::string to_table() const;
+};
+
 /// Network-wide execution configuration.
 struct NetworkConfig {
   int num_threads = 1;
@@ -213,6 +246,19 @@ class BinaryNetwork {
   /// Reads the default context — for infer_batch() use
   /// InferenceContext::last_profile_ms().
   [[nodiscard]] const std::vector<double>& last_profile_ms() const;
+
+  /// Aggregated per-layer profile across every profiled inference through
+  /// this network (all contexts; the per-layer accumulators are lock-free,
+  /// so concurrent replicated workers profile into the same report).
+  /// Populated when NetworkConfig::profile is set or process-wide profiling
+  /// is armed (telemetry::set_profiling / BITFLOW_PROFILE=1); with profiling
+  /// disarmed the rows carry the static metadata but zero samples.
+  /// Only valid after finalize().
+  [[nodiscard]] ProfileReport profile_report() const;
+
+  /// Clears the profile accumulators (not the static metadata).  Do not call
+  /// concurrently with in-flight profiled inferences.
+  void reset_profile();
 
  private:
   friend class InferenceContext;  // its Impl allocates from the buffer plan

@@ -1,19 +1,21 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/failpoint.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bitflow::runtime {
 
 namespace {
 
-/// Runs one worker's share of a job with the fault-injection hooks applied.
-void run_job(const std::function<void(int)>& fn, int worker) {
-  BF_FAILPOINT("runtime.worker");
-  BF_FAILPOINT("runtime.worker_stall");
-  fn(worker);
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Best-effort message extraction from a captured exception.
@@ -29,7 +31,48 @@ std::string describe(const std::exception_ptr& e) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+void ThreadPool::run_job(const std::function<void(int)>& fn, int worker) {
+  // Process-wide counters shared by every pool; per-worker detail stays in
+  // the pool's own padded tick slots (stats()).
+  static telemetry::Counter& g_tasks = telemetry::registry().counter("runtime.pool.tasks");
+  static telemetry::Counter& g_busy = telemetry::registry().counter("runtime.pool.busy_ns");
+  BF_FAILPOINT("runtime.worker");
+  BF_FAILPOINT("runtime.worker_stall");
+  Ticks& t = ticks_[static_cast<std::size_t>(worker)];
+  const std::uint64_t t0 = steady_ns();
+  try {
+    fn(worker);
+  } catch (...) {
+    const std::uint64_t ns = steady_ns() - t0;
+    t.tasks.fetch_add(1, std::memory_order_relaxed);
+    t.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    g_tasks.add();
+    g_busy.add(ns);
+    throw;
+  }
+  const std::uint64_t ns = steady_ns() - t0;
+  t.tasks.fetch_add(1, std::memory_order_relaxed);
+  t.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  g_tasks.add();
+  g_busy.add(ns);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers.resize(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    const Ticks& t = ticks_[static_cast<std::size_t>(i)];
+    s.workers[static_cast<std::size_t>(i)].tasks = t.tasks.load(std::memory_order_relaxed);
+    s.workers[static_cast<std::size_t>(i)].busy_ns =
+        t.busy_ns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads),
+      ticks_(num_threads >= 1 ? std::make_unique<Ticks[]>(static_cast<std::size_t>(num_threads))
+                              : nullptr) {
   if (num_threads < 1) throw std::invalid_argument("ThreadPool needs >= 1 thread");
   threads_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 1; i < num_threads; ++i) {
@@ -121,7 +164,9 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
 void ThreadPool::parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn) {
   if (n <= 0) return;
   if (num_threads_ == 1) {
-    fn(Range{0, n}, 0);
+    // Through run_job so failpoints and tick accounting behave the same as
+    // the multi-threaded path.
+    run_job([&fn, n](int worker) { fn(Range{0, n}, worker); }, 0);
     return;
   }
   const int p = static_cast<int>(std::min<std::int64_t>(num_threads_, n));

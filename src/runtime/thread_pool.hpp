@@ -8,10 +8,12 @@
 // (scaling_sim.hpp) so simulated speedups reflect the real load balance.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -37,6 +39,27 @@ class WorkerFailure : public std::runtime_error {
 
  private:
   int failed_;
+};
+
+/// Per-worker execution tallies (see ThreadPool::stats()).
+struct WorkerStats {
+  std::uint64_t tasks = 0;    ///< jobs this worker executed
+  std::uint64_t busy_ns = 0;  ///< approximate wall-clock spent inside jobs
+};
+
+/// Point-in-time utilization snapshot of one pool.
+struct PoolStats {
+  std::vector<WorkerStats> workers;  ///< index = worker index (0 = caller)
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    std::uint64_t t = 0;
+    for (const WorkerStats& w : workers) t += w.tasks;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_busy_ns() const {
+    std::uint64_t t = 0;
+    for (const WorkerStats& w : workers) t += w.busy_ns;
+    return t;
+  }
 };
 
 /// Inclusive-exclusive index range [begin, end).
@@ -92,10 +115,25 @@ class ThreadPool {
   /// each worker.  Workers whose block is empty skip the call.
   void parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn);
 
+  /// Per-worker tallies since construction: every worker's task count and
+  /// approximate busy time (two clock reads per job — noise next to a layer
+  /// job, so always on).  Safe to call concurrently with running jobs; the
+  /// totals also feed the process-wide `runtime.pool.*` telemetry counters.
+  [[nodiscard]] PoolStats stats() const;
+
  private:
   void worker_loop(int index);
+  /// One worker's share of a job: fault-injection hooks + tick accounting.
+  void run_job(const std::function<void(int)>& fn, int worker);
+
+  /// Cache-line-padded so workers never contend on each other's tallies.
+  struct alignas(64) Ticks {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
 
   int num_threads_;
+  std::unique_ptr<Ticks[]> ticks_;
   std::vector<std::thread> threads_;
 
   std::mutex mutex_;

@@ -1,9 +1,9 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
-#include <bit>
+#include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -14,6 +14,8 @@
 #include "serve/error_map.hpp"
 #include "serve/request_queue.hpp"
 #include "simd/cpu_features.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bitflow::serve {
 
@@ -22,30 +24,28 @@ using core::Status;
 
 namespace {
 
-/// Log-bucketed latency histogram: bucket i counts samples whose
-/// microsecond value has bit width i, i.e. us in [2^(i-1), 2^i).  Quantiles
-/// report the upper bucket bound — coarse but allocation-free and
-/// mergeable, which is what a per-engine counter needs.
-constexpr std::size_t kLatBuckets = 40;  // 2^39 us ≈ 6.4 days
-
-std::size_t bucket_for_us(std::uint64_t us) {
-  return std::min<std::size_t>(std::bit_width(us), kLatBuckets - 1);
-}
-
-double bucket_upper_ms(std::size_t bucket) {
-  return static_cast<double>(std::uint64_t{1} << bucket) / 1000.0;
-}
-
-double quantile_ms(const std::array<std::uint64_t, kLatBuckets>& hist, std::uint64_t total,
-                   double q) {
-  if (total == 0) return 0.0;
-  const std::uint64_t want = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+/// Latency quantile with the engine's historical convention: the registry
+/// histogram buckets microsecond latencies by bit width, and the reported
+/// quantile is the *power-of-two* upper bound of the quantile bucket
+/// (2^i us), converted to ms.  Keeping this convention makes the registry
+/// migration invisible to stats() consumers (sub-us samples still report a
+/// strictly positive p50).
+double quantile_ms(const telemetry::Histogram::Snapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(q * static_cast<double>(h.count - 1)) + 1;
   std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < kLatBuckets; ++i) {
-    cum += hist[i];
-    if (cum >= want) return bucket_upper_ms(i);
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cum += h.buckets[i];
+    if (cum >= want) return std::ldexp(1.0, static_cast<int>(i)) / 1000.0;
   }
-  return bucket_upper_ms(kLatBuckets - 1);
+  return std::ldexp(1.0, static_cast<int>(h.buckets.size()) - 1) / 1000.0;
+}
+
+/// Distinguishes the instruments of concurrently live engines in one scrape.
+std::string next_engine_label() {
+  static std::atomic<std::uint64_t> seq{0};
+  return "engine=\"" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) + "\"";
 }
 
 }  // namespace
@@ -58,26 +58,69 @@ struct Engine::Impl {
   std::atomic<bool> stopping{false};
   std::once_flag shutdown_once;
 
-  // Counters: monotonically increasing, relaxed — they order nothing.
-  std::atomic<std::uint64_t> accepted{0};
-  std::atomic<std::uint64_t> rejected{0};
-  std::atomic<std::uint64_t> expired{0};
-  std::atomic<std::uint64_t> completed{0};
-  std::atomic<std::uint64_t> failed{0};
-  std::atomic<std::uint64_t> batches{0};
-
-  // Histograms share one mutex; they are touched once per batch / request
-  // completion, far off the kernel hot path.
-  mutable std::mutex hist_mu;
-  std::vector<std::uint64_t> batch_hist;  // size max_batch + 1
-  std::array<std::uint64_t, kLatBuckets> lat_hist{};
-  std::uint64_t lat_count = 0;
+  // All counters and histograms live in the process-wide telemetry registry,
+  // labeled per engine: stats() reconstructs this engine's view from its own
+  // instruments while one Prometheus scrape sees every engine at once.
+  // Recording stays what it was with the hand-rolled atomics — relaxed adds
+  // on pre-registered storage — but the batch/latency histograms lose their
+  // mutex (registry histograms are wait-free).
+  const std::string label = next_engine_label();  // before the refs: init order
+  telemetry::Counter& accepted;
+  telemetry::Counter& rejected;
+  telemetry::Counter& expired;
+  telemetry::Counter& completed;
+  telemetry::Counter& failed;
+  telemetry::Counter& batches;
+  telemetry::Counter& batch_images;    // occupancy numerator
+  telemetry::Counter& queue_overflow;  // full-queue rejections specifically
+  telemetry::Histogram& batch_size_hist;  // linear: exact counts for 0..max_batch
+  telemetry::Histogram& latency_us_hist;  // log2 microseconds
 
   Impl(EngineConfig c, graph::BinaryNetwork n)
       : cfg(c),
         net(std::move(n)),
         queue(c.queue_capacity),
-        batch_hist(static_cast<std::size_t>(c.max_batch) + 1, 0) {}
+        accepted(telemetry::registry().counter("serve.requests.accepted", label)),
+        rejected(telemetry::registry().counter("serve.requests.rejected", label)),
+        expired(telemetry::registry().counter("serve.requests.expired", label)),
+        completed(telemetry::registry().counter("serve.requests.completed", label)),
+        failed(telemetry::registry().counter("serve.requests.failed", label)),
+        batches(telemetry::registry().counter("serve.batches", label)),
+        batch_images(telemetry::registry().counter("serve.batch.images", label)),
+        queue_overflow(telemetry::registry().counter("serve.queue.overflow", label)),
+        batch_size_hist(
+            telemetry::registry().histogram("serve.batch.size", label, c.max_batch)),
+        latency_us_hist(telemetry::registry().histogram("serve.request.latency_us", label)) {
+    // Derived state evaluated only at scrape time.  The Impl address is
+    // stable across Engine moves, so `this` capture is safe; ~Impl removes
+    // the callbacks before the captured members die.
+    telemetry::registry().add_callback_gauge(
+        this, "serve.queue.depth", label,
+        [this] { return static_cast<double>(queue.size()); });
+    telemetry::registry().add_callback_gauge(
+        this, "serve.batcher.occupancy", label, [this] {
+          const double b = static_cast<double>(batches.value());
+          if (b == 0.0) return 0.0;
+          return static_cast<double>(batch_images.value()) /
+                 (b * static_cast<double>(cfg.max_batch));
+        });
+  }
+
+  ~Impl() { telemetry::registry().remove_callbacks(this); }
+
+  /// Emits the request's cross-thread lifetime (enqueue -> resolution) as an
+  /// async trace pair; a "X" span would break well-nesting on the worker's
+  /// thread because requests overlap batches.
+  void trace_request(const Request& r) {
+    if (telemetry::trace_enabled()) [[unlikely]] {
+      const std::uint64_t start_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              r.enqueue_time.time_since_epoch())
+              .count());
+      telemetry::trace_async("serve.request", "request", start_ns,
+                             telemetry::trace_now_ns(), telemetry::trace_next_async_id());
+    }
+  }
 
   void resolve_ok(Request& r, const float* scores, std::int64_t count) {
     const auto now = std::chrono::steady_clock::now();
@@ -85,22 +128,21 @@ struct Engine::Impl {
         std::chrono::duration_cast<std::chrono::microseconds>(now - r.enqueue_time).count());
     // Count before fulfilling the promise: a caller that has observed its
     // result must find the request reflected in stats().
-    completed.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(hist_mu);
-      lat_hist[bucket_for_us(us)] += 1;
-      lat_count += 1;
-    }
+    completed.add();
+    latency_us_hist.record(us);
+    trace_request(r);
     r.promise.set_value(std::vector<float>(scores, scores + count));
   }
 
   void resolve_error(Request& r, Status st) {
-    failed.fetch_add(1, std::memory_order_relaxed);
+    failed.add();
+    trace_request(r);
     r.promise.set_value(std::move(st));
   }
 
   void resolve_expired(Request& r) {
-    expired.fetch_add(1, std::memory_order_relaxed);
+    expired.add();
+    trace_request(r);
     r.promise.set_value(Status{
         ErrorCode::kDeadlineExceeded,
         "request expired after waiting in queue beyond its deadline"});
@@ -123,11 +165,10 @@ struct Engine::Impl {
       const std::int64_t n = static_cast<std::int64_t>(batch.size());
       inputs.clear();
       for (const Request& r : batch) inputs.push_back(&r.input);
-      batches.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> lock(hist_mu);
-        batch_hist[static_cast<std::size_t>(n)] += 1;
-      }
+      batches.add();
+      batch_images.add(static_cast<std::uint64_t>(n));
+      batch_size_hist.record(static_cast<std::uint64_t>(n));
+      telemetry::TraceSpan batch_span("serve.batch", "serve", n);
 
       try {
         BF_FAILPOINT("serve.infer");
@@ -222,7 +263,7 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
   const graph::TensorDesc want = im.net.input_desc();
   if (r.input.height() != want.h || r.input.width() != want.w ||
       r.input.channels() != want.c) {
-    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    im.rejected.add();
     r.promise.set_value(Status{
         ErrorCode::kBadInput,
         "submit: input is " + std::to_string(r.input.height()) + "x" +
@@ -238,7 +279,7 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
   try {
     BF_FAILPOINT("serve.queue_admit");
   } catch (...) {
-    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    im.rejected.add();
     r.promise.set_value(map_infer_error());
     return fut;
   }
@@ -247,7 +288,8 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
   if (deadline.count() > 0) r.deadline = r.enqueue_time + deadline;
 
   if (!im.queue.try_push(r)) {
-    im.rejected.fetch_add(1, std::memory_order_relaxed);
+    im.rejected.add();
+    im.queue_overflow.add();
     r.promise.set_value(Status{
         ErrorCode::kResourceExhausted,
         im.queue.closed()
@@ -255,7 +297,7 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
             : "submit: queue full (capacity " + std::to_string(im.queue.capacity()) + ")"});
     return fut;
   }
-  im.accepted.fetch_add(1, std::memory_order_relaxed);
+  im.accepted.add();
   return fut;
 }
 
@@ -277,17 +319,21 @@ void Engine::shutdown() {
 EngineStats Engine::stats() const {
   const Impl& im = *impl_;
   EngineStats s;
-  s.accepted = im.accepted.load(std::memory_order_relaxed);
-  s.rejected = im.rejected.load(std::memory_order_relaxed);
-  s.expired = im.expired.load(std::memory_order_relaxed);
-  s.completed = im.completed.load(std::memory_order_relaxed);
-  s.failed = im.failed.load(std::memory_order_relaxed);
-  s.batches = im.batches.load(std::memory_order_relaxed);
+  s.accepted = im.accepted.value();
+  s.rejected = im.rejected.value();
+  s.expired = im.expired.value();
+  s.completed = im.completed.value();
+  s.failed = im.failed.value();
+  s.batches = im.batches.value();
   s.queue_depth = im.queue.size();
-  std::lock_guard<std::mutex> lock(im.hist_mu);
-  s.batch_size_hist = im.batch_hist;
-  s.latency_p50_ms = quantile_ms(im.lat_hist, im.lat_count, 0.50);
-  s.latency_p99_ms = quantile_ms(im.lat_hist, im.lat_count, 0.99);
+  // Rebuild the exact per-size counts from the linear registry histogram:
+  // buckets 0..max_batch are exact (the overflow bucket is unreachable since
+  // no batch exceeds max_batch).
+  const telemetry::Histogram::Snapshot bh = im.batch_size_hist.snapshot();
+  s.batch_size_hist.assign(bh.buckets.begin(),
+                           bh.buckets.begin() + im.cfg.max_batch + 1);
+  s.latency_p50_ms = quantile_ms(im.latency_us_hist.snapshot(), 0.50);
+  s.latency_p99_ms = quantile_ms(im.latency_us_hist.snapshot(), 0.99);
   return s;
 }
 

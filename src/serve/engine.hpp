@@ -59,6 +59,12 @@ struct EngineConfig {
 /// Counter snapshot for benchmarking and monitoring.  All request counters
 /// are cumulative since create(); accepted = completed + failed + expired +
 /// the requests currently in flight.
+///
+/// This is a compatibility view: the engine's instruments live in the
+/// process-wide telemetry registry (telemetry::registry()) under
+/// `serve.*{engine="<seq>"}` names, and stats() reconstructs this struct
+/// from them.  Prefer the registry (and its Prometheus exposition) for new
+/// monitoring consumers.
 struct EngineStats {
   std::uint64_t accepted = 0;   ///< admitted into the queue
   std::uint64_t rejected = 0;   ///< refused at admission (backpressure/fault)

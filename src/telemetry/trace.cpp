@@ -1,0 +1,274 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace bitflow::telemetry {
+
+namespace {
+
+struct TraceEvent {
+  /// Span names are COPIED into the slot (truncated to kNameCap-1 chars):
+  /// layer/kernel names point into network internals that may be destroyed
+  /// before the atexit flush of a BITFLOW_TRACE session.  Categories are
+  /// required to be string literals (see trace.hpp), so the pointer is kept.
+  static constexpr std::size_t kNameCap = 48;
+  char name[kNameCap];
+  const char* cat;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  std::int64_t arg;   // >= 0: recorded as args.n
+  std::uint64_t id;   // async pair id; kIdNone = synchronous complete event
+  static constexpr std::uint64_t kIdNone = UINT64_MAX;
+};
+
+/// One thread's event ring.  Single writer (the owning thread); the flusher
+/// reads slots below the acquired size, which the writer published with a
+/// release store after filling the slot — so every read slot is immutable.
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, std::uint32_t tid)
+      : slots(capacity), tid(tid) {}
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint32_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid;
+
+  void push(const char* name, const char* cat, std::uint64_t start_ns,
+            std::uint64_t end_ns, std::int64_t arg, std::uint64_t id) noexcept {
+    const std::uint32_t n = size.load(std::memory_order_relaxed);
+    if (n >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceEvent& ev = slots[n];
+    std::strncpy(ev.name, name, TraceEvent::kNameCap - 1);
+    ev.name[TraceEvent::kNameCap - 1] = '\0';
+    ev.cat = cat;
+    ev.start_ns = start_ns;
+    ev.end_ns = end_ns;
+    ev.arg = arg;
+    ev.id = id;
+    size.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  bool armed = false;
+  std::string path;
+  std::size_t ring_capacity = 1 << 16;
+  std::uint64_t t0_ns = 0;
+  std::uint32_t next_tid = 1;
+  std::atomic<std::uint64_t> next_async_id{1};
+  // Rings live for the whole process: a thread that exits keeps its events.
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: threads record at exit
+  return *s;
+}
+
+ThreadRing* this_thread_ring() {
+  // One registration per (thread, process): the shared_ptr in the global
+  // list keeps the ring alive past thread exit, so the flusher never reads
+  // freed memory.
+  thread_local ThreadRing* ring = [] {
+    TraceState& st = state();
+    std::lock_guard lock(st.mu);
+    auto r = std::make_shared<ThreadRing>(st.ring_capacity, st.next_tid++);
+    st.rings.push_back(r);
+    return r.get();
+  }();
+  return ring;
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Applies BITFLOW_TRACE before main() and flushes at process exit, so any
+/// binary in the tree can be traced without code changes.
+const bool g_env_applied = [] {
+  const char* path = std::getenv("BITFLOW_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  try {
+    trace_start(path);
+    std::atexit([] {
+      const std::size_t n = trace_stop();
+      std::fprintf(stderr, "[bitflow] trace: wrote %zu events to %s\n", n,
+                   std::getenv("BITFLOW_TRACE"));
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bitflow] ignoring BITFLOW_TRACE: %s\n", e.what());
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void trace_record(const char* name, const char* cat, std::uint64_t start_ns,
+                  std::uint64_t end_ns, std::int64_t arg) {
+  this_thread_ring()->push(name, cat, start_ns, end_ns, arg, TraceEvent::kIdNone);
+}
+
+void trace_record_async(const char* name, const char* cat, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t id) {
+  if (id == TraceEvent::kIdNone) id -= 1;
+  this_thread_ring()->push(name, cat, start_ns, end_ns, -1, id);
+}
+
+}  // namespace detail
+
+void trace_start(const std::string& path, std::size_t ring_capacity) {
+  if (path.empty()) throw std::invalid_argument("trace_start: empty path");
+  if (ring_capacity < 16) throw std::invalid_argument("trace_start: ring too small");
+  TraceState& st = state();
+  std::lock_guard lock(st.mu);
+  if (st.armed) throw std::logic_error("trace_start: trace already armed");
+  st.path = path;
+  st.ring_capacity = ring_capacity;
+  st.t0_ns = detail::now_ns();
+  // Reset rings registered by a previous session; new threads get the new
+  // capacity.  Existing threads keep their (already sized) rings — events
+  // from before this session are discarded by the size reset.
+  for (auto& r : st.rings) {
+    r->size.store(0, std::memory_order_relaxed);
+    r->dropped.store(0, std::memory_order_relaxed);
+    if (r->slots.size() != ring_capacity) r->slots.resize(ring_capacity);
+  }
+  st.armed = true;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped_events() {
+  TraceState& st = state();
+  std::lock_guard lock(st.mu);
+  std::uint64_t total = 0;
+  for (const auto& r : st.rings) total += r->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t trace_stop() {
+  TraceState& st = state();
+  std::lock_guard lock(st.mu);
+  if (!st.armed) return 0;
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  st.armed = false;
+
+  std::FILE* f = std::fopen(st.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bitflow] trace: cannot open '%s'\n", st.path.c_str());
+    return 0;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  std::size_t written = 0;
+  std::string line;
+  std::uint64_t dropped = 0;
+  auto emit = [&](const TraceEvent& ev, std::uint32_t tid, double ts_us, double dur_us,
+                  const char* ph, std::uint64_t id) {
+    line.clear();
+    if (written != 0) line += ",\n";
+    line += "{\"name\":\"";
+    json_escape_into(line, ev.name);
+    line += "\",\"cat\":\"";
+    json_escape_into(line, ev.cat);
+    line += "\",\"ph\":\"";
+    line += ph;
+    line += "\",\"pid\":1,\"tid\":";
+    line += std::to_string(tid);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ts_us);
+    line += buf;
+    if (ph[0] == 'X') {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", dur_us);
+      line += buf;
+    }
+    if (id != TraceEvent::kIdNone) {
+      line += ",\"id\":\"";
+      line += std::to_string(id);
+      line += '"';
+    }
+    if (ev.arg >= 0) {
+      line += ",\"args\":{\"n\":";
+      line += std::to_string(ev.arg);
+      line += '}';
+    }
+    line += '}';
+    std::fputs(line.c_str(), f);
+    ++written;
+  };
+
+  for (const auto& r : st.rings) {
+    const std::uint32_t n = r->size.load(std::memory_order_acquire);
+    dropped += r->dropped.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const TraceEvent& ev = r->slots[i];
+      // Clamp events that straddled trace_start (a span constructed before
+      // arming records nothing, but an armed span can begin before t0 if
+      // arming raced its constructor — harmless, clamp to 0).
+      const double ts_us =
+          ev.start_ns >= st.t0_ns
+              ? static_cast<double>(ev.start_ns - st.t0_ns) / 1000.0
+              : 0.0;
+      const double dur_us = ev.end_ns >= ev.start_ns
+                                ? static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0
+                                : 0.0;
+      if (ev.id == TraceEvent::kIdNone) {
+        emit(ev, r->tid, ts_us, dur_us, "X", TraceEvent::kIdNone);
+      } else {
+        const double end_us = ts_us + dur_us;
+        emit(ev, r->tid, ts_us, 0.0, "b", ev.id);
+        emit(ev, r->tid, end_us, 0.0, "e", ev.id);
+      }
+    }
+    r->size.store(0, std::memory_order_relaxed);
+    r->dropped.store(0, std::memory_order_relaxed);
+  }
+  if (dropped > 0) {
+    line.clear();
+    if (written != 0) line += ",\n";
+    line += "{\"name\":\"trace_dropped_events\",\"cat\":\"meta\",\"ph\":\"C\",\"pid\":1,"
+            "\"tid\":0,\"ts\":0,\"args\":{\"dropped\":";
+    line += std::to_string(dropped);
+    line += "}}";
+    std::fputs(line.c_str(), f);
+    ++written;
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return written;
+}
+
+/// Fresh id for an async interval (request lifetimes).
+std::uint64_t trace_next_async_id() {
+  return state().next_async_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace bitflow::telemetry

@@ -1,0 +1,108 @@
+// Chrome-tracing / Perfetto trace-event sink with per-thread ring buffers.
+//
+// When disabled (the default), a TraceSpan costs ONE relaxed atomic load in
+// its constructor and a branch on the cached result in its destructor — the
+// same discipline as core/failpoint, verified by bench_micro's span-overhead
+// rows and CI's telemetry job.  When enabled (programmatically via
+// trace_start(), or for a whole process via BITFLOW_TRACE=<path>), each span
+// records a complete event into a fixed-capacity thread-local ring buffer:
+// no locks, no allocation on the hot path after the first event of a thread.
+// trace_stop() (or process exit under BITFLOW_TRACE) merges every thread's
+// ring and writes Chrome's JSON array format, loadable in chrome://tracing
+// and Perfetto:
+//
+//   BITFLOW_TRACE=trace.json ./examples/serving_engine
+//
+// Span vocabulary (cat / name):
+//   serve   : "serve.batch" — one micro-batch through a worker
+//   graph   : "graph.infer_batch", "pack_input" — one pass through the chain
+//   layer   : "layer:<name>" — one network stage
+//   kernel  : "<kernel>[<isa>]" — the kernel dispatch inside a stage
+//   request : async "serve.request" pairs (enqueue -> resolution); async
+//             because a request's lifetime spans threads and overlaps
+//             batches, so it must not claim a slot in the nesting stack.
+//
+// Ring-buffer overflow drops the *newest* events (never overwrites): a slot,
+// once published, is immutable, which is what makes the lock-free flush
+// race-free (slot write happens-before the release store of the size the
+// flusher acquires).  Dropped counts are reported in the trace metadata.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bitflow::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+/// Appends a complete event to the calling thread's ring.  `start_ns`/`end_ns`
+/// are steady_clock readings.  `name` is copied into the ring slot (truncated
+/// to 47 chars) so dynamic names — layer/kernel names owned by a network —
+/// stay valid even when the flush runs at process exit; `cat` must be a
+/// string literal (the pointer is kept).
+void trace_record(const char* name, const char* cat, std::uint64_t start_ns,
+                  std::uint64_t end_ns, std::int64_t arg);
+/// Appends an async begin/end pair (rendered as its own track).
+void trace_record_async(const char* name, const char* cat, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t id);
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+}  // namespace detail
+
+/// One relaxed load: is the trace sink armed?
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms the sink; events recorded from now on are written to `path` by
+/// trace_stop().  `ring_capacity` bounds the per-thread event count
+/// (overflow drops newest).  Throws std::logic_error if already armed.
+void trace_start(const std::string& path, std::size_t ring_capacity = 1 << 16);
+
+/// Disarms the sink, merges every thread's ring and writes the JSON file.
+/// Returns the number of events written.  No-op returning 0 when not armed.
+std::size_t trace_stop();
+
+/// Total events dropped to ring overflow since trace_start().
+[[nodiscard]] std::uint64_t trace_dropped_events();
+
+/// RAII scoped span.  Disarmed cost: one relaxed atomic load (constructor)
+/// plus a predictable branch (destructor).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "span",
+                     std::int64_t arg = -1) noexcept
+      : name_(name), cat_(cat), arg_(arg), armed_(trace_enabled()) {
+    if (armed_) [[unlikely]] start_ns_ = detail::now_ns();
+  }
+  ~TraceSpan() {
+    if (armed_) [[unlikely]] {
+      detail::trace_record(name_, cat_, start_ns_, detail::now_ns(), arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::int64_t arg_;
+  bool armed_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Records an async (cross-thread) interval from explicit steady_clock
+/// nanosecond readings; used for request lifetimes.  Call only after
+/// checking trace_enabled().
+inline void trace_async(const char* name, const char* cat, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t id) {
+  detail::trace_record_async(name, cat, start_ns, end_ns, id);
+}
+
+/// steady_clock now in nanoseconds (the time base every recorded span uses).
+[[nodiscard]] inline std::uint64_t trace_now_ns() noexcept { return detail::now_ns(); }
+
+/// Fresh process-unique id for an async interval.
+[[nodiscard]] std::uint64_t trace_next_async_id();
+
+}  // namespace bitflow::telemetry

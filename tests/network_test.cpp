@@ -14,6 +14,7 @@
 #include "kernels/padding.hpp"
 #include "models/vgg.hpp"
 #include "simd/parity.hpp"
+#include "telemetry/profiler.hpp"
 #include "tensor/util.hpp"
 
 namespace bitflow::graph {
@@ -198,6 +199,69 @@ TEST(BinaryNetwork, ProfileModeRecordsPerLayerTimes) {
   // input pack + 5 layers
   EXPECT_EQ(net.last_profile_ms().size(), 6u);
   for (double t : net.last_profile_ms()) EXPECT_GE(t, 0.0);
+}
+
+TEST(BinaryNetwork, ProfileReportAttributesRooflinePerLayer) {
+  NetworkConfig cfg;
+  cfg.profile = true;
+  BinaryNetwork net = make_small_net(cfg);
+  Tensor input = Tensor::hwc(16, 16, 16);
+  fill_uniform(input, 13);
+  constexpr int kRuns = 3;
+  for (int i = 0; i < kRuns; ++i) (void)net.infer(input);
+
+  const ProfileReport report = net.profile_report();
+  ASSERT_EQ(report.rows.size(), 6u);  // pack + 5 layers
+  EXPECT_EQ(report.rows[0].name, "pack_input");
+  EXPECT_EQ(report.rows[1].name, "c1");
+  EXPECT_EQ(report.rows[5].name, "f2");
+  for (const LayerProfile& row : report.rows) {
+    EXPECT_EQ(row.calls, static_cast<std::uint64_t>(kRuns)) << row.name;
+    EXPECT_EQ(row.images, static_cast<std::uint64_t>(kRuns)) << row.name;
+    EXPECT_GE(row.mean_ms, 0.0) << row.name;
+    EXPECT_GE(row.p99_ms, row.p50_ms) << row.name;
+  }
+  // Binary conv and fc rows carry arithmetic intensity and a roofline; the
+  // pool row (no multiply-accumulates) does not.
+  for (std::size_t i : {1u, 3u, 4u, 5u}) {
+    EXPECT_GT(report.rows[i].gops, 0.0) << report.rows[i].name;
+    EXPECT_GT(report.rows[i].roof_gops, 0.0) << report.rows[i].name;
+    EXPECT_GT(report.rows[i].ait, 0.0) << report.rows[i].name;
+  }
+  EXPECT_EQ(report.rows[2].ait, 0.0);  // maxpool: no MAC work modeled
+
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("pack_input"), std::string::npos);
+  EXPECT_NE(table.find("roof"), std::string::npos);
+  EXPECT_NE(table.find("pressedconv"), std::string::npos);
+
+  net.reset_profile();
+  const ProfileReport cleared = net.profile_report();
+  ASSERT_EQ(cleared.rows.size(), 6u);
+  for (const LayerProfile& row : cleared.rows) EXPECT_EQ(row.calls, 0u);
+}
+
+TEST(BinaryNetwork, ProfileReportAccumulatesAcrossContextsWhenGloballyEnabled) {
+  // Even with cfg.profile unset, the process-wide profiler switch arms the
+  // shared accumulators, and batch inference counts every image.
+  BinaryNetwork net = make_small_net({});
+  telemetry::set_profiling(true);
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 3; ++i) {
+    Tensor t = Tensor::hwc(16, 16, 16);
+    fill_uniform(t, 20 + static_cast<std::uint64_t>(i));
+    batch.push_back(std::move(t));
+  }
+  const std::vector<const Tensor*> ptrs = {&batch[0], &batch[1], &batch[2]};
+  InferenceContext ctx = net.make_context(3);
+  (void)net.infer_batch(std::span<const Tensor* const>(ptrs), ctx);
+  telemetry::set_profiling(false);
+  const ProfileReport report = net.profile_report();
+  ASSERT_EQ(report.rows.size(), 6u);
+  for (const LayerProfile& row : report.rows) {
+    EXPECT_EQ(row.calls, 1u) << row.name;
+    EXPECT_EQ(row.images, 3u) << row.name;
+  }
 }
 
 TEST(BinaryNetwork, BuildErrors) {

@@ -95,6 +95,42 @@ TEST(ThreadPool, MoreThreadsThanWork) {
 
 TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
 
+TEST(ThreadPool, StatsCountEveryWorkerExactlyOncePerJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.stats().total_tasks(), 0u);
+  constexpr int kJobs = 25;
+  for (int job = 0; job < kJobs; ++job) {
+    pool.run_on_all([](int) {
+      volatile std::int64_t sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    });
+  }
+  const PoolStats s = pool.stats();
+  ASSERT_EQ(s.workers.size(), 4u);
+  // run_on_all dispatches the job to all workers (caller included), so every
+  // worker's tally advances by exactly one per job and the totals agree.
+  for (const WorkerStats& w : s.workers) EXPECT_EQ(w.tasks, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(s.total_tasks(), static_cast<std::uint64_t>(4 * kJobs));
+  EXPECT_GT(s.total_busy_ns(), 0u);
+}
+
+TEST(ThreadPool, StatsTickOnSingleThreadInlinePath) {
+  ThreadPool pool(1);
+  pool.run_on_all([](int worker) { EXPECT_EQ(worker, 0); });
+  pool.parallel_for(16, [](Range, int) {});
+  const PoolStats s = pool.stats();
+  ASSERT_EQ(s.workers.size(), 1u);
+  EXPECT_EQ(s.workers[0].tasks, 2u);  // one run_on_all + one inline parallel_for
+}
+
+TEST(ThreadPool, StatsStillTickWhenJobsThrow) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_on_all([](int) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // Both workers ran (and failed); the failed executions are still counted.
+  EXPECT_EQ(pool.stats().total_tasks(), 2u);
+}
+
 TEST(ScalingSimulator, UniformChunksScaleLinearlyWithoutOverhead) {
   ScalingSimulator sim(std::vector<double>(64, 1.0), /*fork_join_base=*/0.0);
   EXPECT_DOUBLE_EQ(sim.serial_seconds(), 64.0);

@@ -1,0 +1,273 @@
+// Trace-event sink: disabled-by-default contract, span recording through
+// real inference (batch-1 and batched, engine and network level), JSON
+// validity of the emitted file, well-nesting of the synchronous spans per
+// thread, matched async begin/end pairs, and drop-newest overflow.
+//
+// The JSON checks use a purpose-built miniature parser (the trace writer
+// emits one event object per line), not a JSON library — the point is to
+// assert the exact shape chrome://tracing consumes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bitpack/packer.hpp"
+#include "io/model.hpp"
+#include "models/vgg.hpp"
+#include "serve/engine.hpp"
+#include "telemetry/trace.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::telemetry {
+namespace {
+
+/// One parsed trace event (only the fields the assertions need).
+struct ParsedEvent {
+  std::string name, cat, ph, id;
+  long tid = -1;
+  double ts = -1.0, dur = 0.0;
+};
+
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + pat.size();
+  const std::size_t end = line.find('"', start);
+  return line.substr(start, end - start);
+}
+
+double extract_number(const std::string& line, const std::string& key, double fallback) {
+  const std::string pat = "\"" + key + "\":";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return fallback;
+  return std::stod(line.substr(at + pat.size()));
+}
+
+/// Parses the trace file written by trace_stop().  Fails the test on any
+/// structural violation (bad header, missing required field).
+std::vector<ParsedEvent> parse_trace(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(all.find("\n]}"), std::string::npos);
+
+  std::vector<ParsedEvent> events;
+  std::istringstream lines(all);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t start = line.find('{');
+    if (start == std::string::npos || line.find("\"traceEvents\"") != std::string::npos) {
+      continue;
+    }
+    if (line[start] != '{') continue;
+    ParsedEvent ev;
+    ev.name = extract_string(line, "name");
+    if (ev.name.empty()) continue;  // closing bracket line
+    ev.cat = extract_string(line, "cat");
+    ev.ph = extract_string(line, "ph");
+    ev.id = extract_string(line, "id");
+    ev.tid = static_cast<long>(extract_number(line, "tid", -1.0));
+    ev.ts = extract_number(line, "ts", -1.0);
+    ev.dur = extract_number(line, "dur", 0.0);
+    EXPECT_FALSE(ev.ph.empty()) << line;
+    EXPECT_GE(ev.tid, 0) << line;
+    EXPECT_GE(ev.ts, 0.0) << line;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+/// Asserts the "X" (complete) events of every thread nest like a call stack:
+/// sorted by start time, each next span either starts after the previous
+/// ends or lies entirely within it.
+void expect_well_nested(const std::vector<ParsedEvent>& events) {
+  std::map<long, std::vector<const ParsedEvent*>> by_tid;
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "X") by_tid[e.tid].push_back(&e);
+  }
+  EXPECT_FALSE(by_tid.empty());
+  for (auto& [tid, evs] : by_tid) {
+    std::stable_sort(evs.begin(), evs.end(), [](const ParsedEvent* a, const ParsedEvent* b) {
+      if (a->ts != b->ts) return a->ts < b->ts;
+      return a->dur > b->dur;  // enclosing span first at equal start
+    });
+    // Tolerance: timestamps are rounded to 0.001 us in the writer.
+    constexpr double kEps = 0.0015;
+    std::vector<const ParsedEvent*> stack;
+    for (const ParsedEvent* e : evs) {
+      while (!stack.empty() && e->ts >= stack.back()->ts + stack.back()->dur - kEps) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        EXPECT_LE(e->ts + e->dur, stack.back()->ts + stack.back()->dur + kEps)
+            << "span '" << e->name << "' (tid " << tid << ") straddles '"
+            << stack.back()->name << "'";
+      }
+      stack.push_back(e);
+    }
+  }
+}
+
+io::Model make_model() {
+  io::Model m(graph::TensorDesc{8, 8, 8});
+  FilterBank filters = models::random_filters(16, 3, 3, 8, 11);
+  std::vector<float> th(16);
+  for (int i = 0; i < 16; ++i) th[static_cast<std::size_t>(i)] = static_cast<float>(i) - 8.0f;
+  m.add_conv("c1", bitpack::pack_filters(filters), 1, 1, th);
+  m.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  const auto w = models::random_fc_weights(4 * 4 * 16, 10, 12);
+  m.add_fc("f1", bitpack::pack_transpose_fc_weights(w.data(), 4 * 4 * 16, 10));
+  return m;
+}
+
+Tensor make_input(std::uint64_t seed) {
+  Tensor t = Tensor::hwc(8, 8, 8);
+  fill_uniform(t, seed);
+  return t;
+}
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(Trace, DisabledByDefaultAndZeroStopIsNoop) {
+  ASSERT_FALSE(trace_enabled());
+  { TraceSpan span("should.not.record", "test"); }
+  EXPECT_EQ(trace_stop(), 0u);  // not armed: no file, no events
+}
+
+TEST(Trace, StartRejectsBadArgumentsAndDoubleArm) {
+  EXPECT_THROW(trace_start(""), std::invalid_argument);
+  EXPECT_THROW(trace_start("x.json", 4), std::invalid_argument);
+  const std::string path = tmp_path("bitflow_trace_doublearm.json");
+  trace_start(path);
+  EXPECT_THROW(trace_start(path), std::logic_error);
+  trace_stop();
+}
+
+TEST(Trace, InferenceEmitsWellNestedSpansAndMatchedAsyncPairs) {
+  const io::Model model = make_model();
+  serve::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  auto created = serve::Engine::create(model, cfg);
+  ASSERT_TRUE(created.is_ok());
+  serve::Engine engine = std::move(created).value();
+
+  const std::string path = tmp_path("bitflow_trace_engine.json");
+  trace_start(path);
+  // Batch-1 and batched inference, through the full request->batch->layer
+  // stack.
+  ASSERT_TRUE(engine.infer(make_input(21)).is_ok());
+  std::vector<std::future<core::Result<std::vector<float>>>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(engine.submit(make_input(22)));
+  for (auto& f : futs) ASSERT_TRUE(f.get().is_ok());
+  engine.shutdown();
+  const std::size_t written = trace_stop();
+  EXPECT_GT(written, 0u);
+
+  const std::vector<ParsedEvent> events = parse_trace(path);
+  EXPECT_EQ(events.size(), written);
+
+  // The span vocabulary is present at every level.
+  auto count_name = [&events](const std::string& name, const std::string& ph) {
+    std::size_t n = 0;
+    for (const ParsedEvent& e : events) {
+      if (e.ph == ph && e.name == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_name("serve.batch", "X"), 1u);
+  EXPECT_GE(count_name("graph.infer_batch", "X"), 3u);  // 1 infer + >= 2 batches
+  EXPECT_GE(count_name("pack_input", "X"), 1u);
+  EXPECT_GE(count_name("layer:c1", "X"), 1u);
+  EXPECT_GE(count_name("layer:p1", "X"), 1u);
+  EXPECT_GE(count_name("layer:f1", "X"), 1u);
+  std::size_t kernel_events = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "X" && e.cat == "kernel") {
+      ++kernel_events;
+      EXPECT_NE(e.name.find('['), std::string::npos) << e.name;  // "<kernel>[<isa>]"
+    }
+  }
+  EXPECT_GE(kernel_events, 3u);
+
+  // Synchronous spans nest per thread; request lifetimes are async pairs
+  // with matching begin/end ids (9 requests: 1 infer + 8 submits).
+  expect_well_nested(events);
+  std::map<std::string, int> begins, ends;
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "b") {
+      EXPECT_EQ(e.name, "serve.request");
+      EXPECT_FALSE(e.id.empty());
+      begins[e.id] += 1;
+    } else if (e.ph == "e") {
+      ends[e.id] += 1;
+    }
+  }
+  EXPECT_EQ(begins.size(), 9u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(Trace, BatchOneNetworkTraceNestsLayersInsideInfer) {
+  const io::Model model = make_model();
+  graph::BinaryNetwork net = model.instantiate(graph::NetworkConfig{});
+  const std::string path = tmp_path("bitflow_trace_net.json");
+  trace_start(path);
+  (void)net.infer(make_input(5));
+  trace_stop();
+  const std::vector<ParsedEvent> events = parse_trace(path);
+  // One thread, one inference: infer_batch encloses pack + 3 layers.
+  double infer_ts = -1.0, infer_end = -1.0;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "graph.infer_batch") {
+      infer_ts = e.ts;
+      infer_end = e.ts + e.dur;
+    }
+  }
+  ASSERT_GE(infer_ts, 0.0);
+  std::size_t enclosed = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.cat == "layer" || e.name == "pack_input") {
+      EXPECT_GE(e.ts, infer_ts - 0.0015);
+      EXPECT_LE(e.ts + e.dur, infer_end + 0.0015);
+      ++enclosed;
+    }
+  }
+  EXPECT_EQ(enclosed, 4u);
+  expect_well_nested(events);
+}
+
+TEST(Trace, OverflowDropsNewestAndReportsCount) {
+  const std::string path = tmp_path("bitflow_trace_overflow.json");
+  // A fresh thread gets a ring of exactly this capacity; it emits far more
+  // spans than fit, so the tail must drop (never overwrite).
+  trace_start(path, 16);
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) {
+      TraceSpan span("overflow.span", "test");
+    }
+  });
+  t.join();
+  EXPECT_EQ(trace_dropped_events(), 84u);
+  const std::size_t written = trace_stop();
+  const std::vector<ParsedEvent> events = parse_trace(path);
+  EXPECT_EQ(events.size(), written);
+  std::size_t spans = 0, meta = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "overflow.span") ++spans;
+    if (e.name == "trace_dropped_events" && e.ph == "C") ++meta;
+  }
+  EXPECT_EQ(spans, 16u);
+  EXPECT_EQ(meta, 1u);
+}
+
+}  // namespace
+}  // namespace bitflow::telemetry

@@ -1,0 +1,68 @@
+// Runs a miniature serving workload and prints the process metrics registry
+// in Prometheus text exposition format to stdout.
+//
+// This is the feed for tools/check_prom_format.py (wired into ctest and
+// CI's telemetry job): the dump exercises every instrument family the
+// engine, thread pool and failpoint catalog register — counters, callback
+// gauges, linear and log2 histograms — so the lint sees a representative
+// exposition, not a hand-written fixture.
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bitpack/packer.hpp"
+#include "io/model.hpp"
+#include "models/vgg.hpp"
+#include "serve/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "tensor/util.hpp"
+
+namespace {
+
+using namespace bitflow;
+
+io::Model make_model() {
+  io::Model m(graph::TensorDesc{8, 8, 8});
+  FilterBank filters = models::random_filters(16, 3, 3, 8, 11);
+  std::vector<float> th(16, 0.0f);
+  m.add_conv("c1", bitpack::pack_filters(filters), 1, 1, th);
+  m.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  const auto w = models::random_fc_weights(4 * 4 * 16, 10, 12);
+  m.add_fc("f1", bitpack::pack_transpose_fc_weights(w.data(), 4 * 4 * 16, 10));
+  return m;
+}
+
+Tensor make_input(std::uint64_t seed) {
+  Tensor t = Tensor::hwc(8, 8, 8);
+  fill_uniform(t, seed);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const io::Model model = make_model();
+  serve::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  auto created = serve::Engine::create(model, cfg);
+  if (!created.is_ok()) {
+    std::fprintf(stderr, "engine creation failed\n");
+    return 1;
+  }
+  serve::Engine engine = std::move(created).value();
+  std::vector<std::future<core::Result<std::vector<float>>>> futs;
+  futs.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(engine.submit(make_input(static_cast<std::uint64_t>(i))));
+  }
+  for (auto& f : futs) {
+    if (!f.get().is_ok()) {
+      std::fprintf(stderr, "request failed\n");
+      return 1;
+    }
+  }
+  engine.shutdown();
+  std::fputs(telemetry::registry().prometheus_text().c_str(), stdout);
+  return 0;
+}

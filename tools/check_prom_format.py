@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition lint for BitFlow's metrics registry.
+
+Reads an exposition dump (a file argument, or stdin) — normally produced by
+``bitflow_metrics_dump`` — and checks the line format against the subset of
+the Prometheus text format the registry emits:
+
+  1. Every line is either a ``# TYPE <name> <counter|gauge|histogram>``
+     comment or a ``name{labels} value`` sample; no blank interior lines.
+  2. Metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (the registry
+     sanitizes dotted names, so a leaked ``.`` is a bug).
+  3. Every sample is preceded by a TYPE comment for its family, declared
+     exactly once.
+  4. Histogram families are complete and ordered: one or more ``_bucket``
+     samples with non-decreasing ``le`` bounds, cumulative non-decreasing
+     counts, a final ``le="+Inf"`` bucket, then ``_sum`` and ``_count``,
+     with count equal to the +Inf bucket.
+  5. Values parse as numbers; counter and histogram samples are
+     non-negative.
+
+Exit status: 0 when the dump is clean, 1 with one "line N: message" per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([^ ]+) (counter|gauge|histogram)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def parse_le(labels: str) -> str | None:
+    for part in labels.split(","):
+        if part.startswith('le="') and part.endswith('"'):
+            return part[4:-1]
+    return None
+
+
+def base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(lines: list[str]) -> list[str]:
+    errors: list[str] = []
+    declared: dict[str, str] = {}  # family -> kind
+    # histogram family -> list of (le, count); cleared when _count seen
+    open_hist: dict[str, list[tuple[str, float]]] = {}
+
+    for i, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line:
+            if i != len(lines):
+                errors.append(f"line {i}: blank interior line")
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            family, kind = m.groups()
+            if not NAME_RE.match(family):
+                errors.append(f"line {i}: bad metric name {family!r}")
+            if family in declared:
+                errors.append(f"line {i}: duplicate TYPE for {family}")
+            declared[family] = kind
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {i}: unexpected comment {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {i}: unparseable sample {line!r}")
+            continue
+        name, _, labels, value = m.groups()
+        family = base_family(name)
+        kind = declared.get(family) or declared.get(name)
+        if kind is None:
+            errors.append(f"line {i}: sample {name} has no preceding TYPE")
+            continue
+        for lab in (labels or "").split(","):
+            if lab and not LABEL_RE.match(lab):
+                errors.append(f"line {i}: bad label pair {lab!r}")
+        try:
+            v = float(value)
+        except ValueError:
+            errors.append(f"line {i}: non-numeric value {value!r}")
+            continue
+        if kind in ("counter", "histogram") and v < 0:
+            errors.append(f"line {i}: negative {kind} value {v}")
+        if kind != "histogram":
+            continue
+        # Histogram family bookkeeping.
+        if name.endswith("_bucket"):
+            le = parse_le(labels or "")
+            if le is None:
+                errors.append(f"line {i}: _bucket sample without le label")
+                continue
+            series = open_hist.setdefault(family, [])
+            if series:
+                prev_le, prev_count = series[-1]
+                if prev_le == "+Inf":
+                    errors.append(f"line {i}: bucket after le=\"+Inf\"")
+                elif le != "+Inf" and float(le) <= float(prev_le):
+                    errors.append(f"line {i}: le bounds not increasing")
+                if v < prev_count:
+                    errors.append(f"line {i}: cumulative count decreased")
+            series.append((le, v))
+        elif name.endswith("_count"):
+            series = open_hist.pop(family, [])
+            if not series or series[-1][0] != "+Inf":
+                errors.append(f"line {i}: histogram {family} missing +Inf bucket")
+            elif series[-1][1] != v:
+                errors.append(
+                    f"line {i}: {family}_count {v} != +Inf bucket {series[-1][1]}")
+    for family in open_hist:
+        errors.append(f"histogram {family} has buckets but no _count")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    if not any(line.strip() for line in lines):
+        print("empty exposition dump", file=sys.stderr)
+        return 1
+    errors = check(lines)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        samples = sum(1 for l in lines if l.strip() and not l.startswith("#"))
+        print(f"OK: {samples} samples, "
+              f"{sum(1 for l in lines if l.startswith('# TYPE'))} families")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

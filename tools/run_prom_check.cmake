@@ -1,0 +1,10 @@
+# ctest glue for the prom_format test: run the metrics demo, capture its
+# exposition dump to a file, and feed it through check_prom_format.py.
+execute_process(COMMAND ${DUMP} OUTPUT_FILE ${OUT} RESULT_VARIABLE dump_rc)
+if(NOT dump_rc EQUAL 0)
+  message(FATAL_ERROR "bitflow_metrics_dump failed with ${dump_rc}")
+endif()
+execute_process(COMMAND ${PYTHON} ${LINT} ${OUT} RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "check_prom_format.py found violations")
+endif()
