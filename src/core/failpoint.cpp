@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 #include <thread>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace bitflow::failpoint {
 
@@ -34,8 +36,10 @@ struct PointState {
   std::uint64_t fired = 0;  // how many of those hits fired
 };
 
-std::mutex g_mutex;
-std::array<PointState, kCatalog.size()> g_state;
+// Lock ordering: g_mutex is a leaf — no other lock is ever taken while it
+// is held (detail::hit() performs its action after releasing it).
+core::Mutex g_mutex;
+std::array<PointState, kCatalog.size()> g_state BF_GUARDED_BY(g_mutex);
 
 /// Index of `name` in the catalog, or -1.
 int find(std::string_view name) {
@@ -137,7 +141,7 @@ void arm(std::string_view name, Config cfg) {
     throw std::invalid_argument("failpoint: trigger parameter n must be >= 1");
   }
   const int i = find_or_throw(name);
-  std::lock_guard lock(g_mutex);
+  core::MutexLock lock(g_mutex);
   PointState& st = g_state[static_cast<std::size_t>(i)];
   if (!st.armed) detail::g_armed_points.fetch_add(1, std::memory_order_relaxed);
   st.armed = true;
@@ -148,14 +152,14 @@ void arm(std::string_view name, Config cfg) {
 
 void disarm(std::string_view name) {
   const int i = find_or_throw(name);
-  std::lock_guard lock(g_mutex);
+  core::MutexLock lock(g_mutex);
   PointState& st = g_state[static_cast<std::size_t>(i)];
   if (st.armed) detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
   st.armed = false;
 }
 
 void disarm_all() {
-  std::lock_guard lock(g_mutex);
+  core::MutexLock lock(g_mutex);
   for (PointState& st : g_state) {
     if (st.armed) detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
     st.armed = false;
@@ -164,13 +168,13 @@ void disarm_all() {
 
 bool armed(std::string_view name) {
   const int i = find_or_throw(name);
-  std::lock_guard lock(g_mutex);
+  core::MutexLock lock(g_mutex);
   return g_state[static_cast<std::size_t>(i)].armed;
 }
 
 std::uint64_t hit_count(std::string_view name) {
   const int i = find_or_throw(name);
-  std::lock_guard lock(g_mutex);
+  core::MutexLock lock(g_mutex);
   return g_state[static_cast<std::size_t>(i)].hits;
 }
 
@@ -186,6 +190,7 @@ void arm_from_spec(std::string_view spec) {
 }
 
 void arm_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before main() normally.
   const char* spec = std::getenv("BITFLOW_FAILPOINTS");
   if (spec == nullptr || spec[0] == '\0') return;
   try {
@@ -198,13 +203,15 @@ void arm_from_env() {
 
 namespace detail {
 
+// Ordering contract: relaxed (see failpoint.hpp — it is only a fast-path
+// gate; point state synchronizes through g_mutex).
 std::atomic<int> g_armed_points{0};
 
 bool hit(const char* name) {
   Action action{};
   std::uint64_t stall_ms = 0;
   {
-    std::lock_guard lock(g_mutex);
+    core::MutexLock lock(g_mutex);
     const int i = find(name);
     // An unknown name in a BF_FAILPOINT macro is a wiring bug, but hit()
     // runs inside production paths — degrade to a no-op rather than abort.

@@ -114,6 +114,10 @@ namespace detail {
 
 /// Count of currently armed failpoints; both macros gate on this so that a
 /// fully disarmed process pays one relaxed load per hit.
+/// Ordering contract: relaxed loads/stores only.  The gate publishes no
+/// data: a hit that observes a stale zero merely skips one evaluation, and
+/// the per-point state it would have read synchronizes through the failpoint
+/// mutex inside detail::hit().
 extern std::atomic<int> g_armed_points;
 
 /// Slow path: looks up `name`, evaluates the trigger, performs the armed

@@ -1,0 +1,103 @@
+// Annotated synchronization primitives: the lockable vocabulary the Clang
+// Thread Safety Analysis (-Wthread-safety) verifies against.
+//
+// Every mutex-protected structure in the tree uses these wrappers instead of
+// raw std::mutex/std::condition_variable so that BF_GUARDED_BY contracts on
+// the protected members are checkable: the analysis only tracks capabilities
+// it can see, and these are the types that carry the BF_CAPABILITY /
+// BF_SCOPED_CAPABILITY attributes.  On GCC the attributes vanish and the
+// wrappers compile down to exactly the std primitives they hold (all methods
+// are inline forwarding calls).
+//
+// Waiting discipline: CondVar deliberately has NO predicate overload.  A
+// predicate lambda is analyzed as a separate function that does not inherit
+// the caller's lock set, so `cv.wait(lock, [&]{ return guarded_; })` would
+// produce a false -Wthread-safety positive on every guarded read inside the
+// lambda.  Write the loop explicitly instead — it is the same code the
+// predicate overload expands to, with the guarded reads visibly under the
+// lock:
+//
+//   core::MutexLock lock(mu_);
+//   while (!ready_condition_goes_here) cv_.wait(lock);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace bitflow::core {
+
+class CondVar;
+class MutexLock;
+
+/// Exclusive mutex (std::mutex with the `capability` attribute).  Prefer the
+/// scoped MutexLock over manual lock()/unlock() pairs.
+class BF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BF_ACQUIRE() { mu_.lock(); }
+  void unlock() BF_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() BF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a core::Mutex (RAII, non-movable).  The scoped-capability
+/// attribute tells the analysis the mutex is held from construction to the
+/// end of the enclosing scope.
+class BF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() BF_RELEASE() {}  // NOLINT(modernize-use-equals-default): the
+  // attribute must annotate a user-provided destructor to parse on Clang.
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting on a core::Mutex via its MutexLock.  wait()
+/// atomically releases and re-acquires the underlying std::mutex, so from
+/// the analysis' view the capability is held across the call — which is the
+/// correct contract for callers (the lock IS held again when wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible: always re-check the
+  /// guarded condition in a while-loop, see the file comment).
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Blocks until notified or `tp`; reports which one ended the wait.
+  std::cv_status wait_until(MutexLock& lock,
+                            std::chrono::steady_clock::time_point tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  /// Blocks until notified or `d` elapsed; reports which one ended the wait.
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock, std::chrono::duration<Rep, Period> d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bitflow::core

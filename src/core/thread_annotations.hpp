@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These macros attach lock-discipline contracts to types, data members and
+// functions so that a Clang build with -Wthread-safety proves — at compile
+// time, on every build — that every access to a guarded member happens with
+// the right mutex held.  On compilers without the attributes (GCC builds,
+// which this repo's default CI matrix uses) every macro expands to nothing,
+// so annotated code is identical to unannotated code off-Clang; see
+// tests/sync_annotations_test.cpp for the expansion contract.
+//
+// Usage vocabulary (mirrors the upstream Clang documentation, BF_-prefixed):
+//
+//   * BF_GUARDED_BY(mu)    — data member readable/writable only with mu held;
+//   * BF_PT_GUARDED_BY(mu) — the pointee of a pointer member is guarded;
+//   * BF_REQUIRES(mu)      — function callable only with mu already held;
+//   * BF_ACQUIRE(mu) / BF_RELEASE(mu) — function acquires / releases mu;
+//   * BF_TRY_ACQUIRE(b, mu) — try-lock returning `b` on success;
+//   * BF_EXCLUDES(mu)      — function callable only with mu NOT held
+//                            (deadlock documentation for self-locking APIs);
+//   * BF_CAPABILITY / BF_SCOPED_CAPABILITY — mark a type as a lockable
+//     capability / a scoped RAII lock (core/sync.hpp applies both);
+//   * BF_NO_THREAD_SAFETY_ANALYSIS — opt a function body out (init/teardown
+//     code that is single-threaded by construction).
+//
+// The analysis is intraprocedural over these contracts: keep condition-
+// variable predicates as explicit while-loops around CondVar::wait (see
+// core/sync.hpp) rather than captured lambdas, because a lambda body is
+// analyzed as a separate function that does not inherit the caller's lock
+// set.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BF_THREAD_ANNOTATION
+#define BF_THREAD_ANNOTATION(x)  // expands to nothing off-Clang
+#endif
+
+#define BF_CAPABILITY(name) BF_THREAD_ANNOTATION(capability(name))
+#define BF_SCOPED_CAPABILITY BF_THREAD_ANNOTATION(scoped_lockable)
+
+#define BF_GUARDED_BY(mu) BF_THREAD_ANNOTATION(guarded_by(mu))
+#define BF_PT_GUARDED_BY(mu) BF_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+#define BF_ACQUIRED_BEFORE(...) BF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BF_ACQUIRED_AFTER(...) BF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define BF_REQUIRES(...) BF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BF_REQUIRES_SHARED(...) BF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define BF_ACQUIRE(...) BF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BF_ACQUIRE_SHARED(...) BF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define BF_RELEASE(...) BF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BF_RELEASE_SHARED(...) BF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define BF_TRY_ACQUIRE(...) BF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BF_TRY_ACQUIRE_SHARED(...) \
+  BF_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define BF_EXCLUDES(...) BF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define BF_ASSERT_CAPABILITY(x) BF_THREAD_ANNOTATION(assert_capability(x))
+#define BF_RETURN_CAPABILITY(x) BF_THREAD_ANNOTATION(lock_returned(x))
+
+#define BF_NO_THREAD_SAFETY_ANALYSIS BF_THREAD_ANNOTATION(no_thread_safety_analysis)

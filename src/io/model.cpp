@@ -37,6 +37,9 @@ namespace {
 constexpr char kMagic[4] = {'B', 'F', 'L', 'W'};
 constexpr std::uint32_t kVersion = 1;
 
+// Ordering contract: relaxed loads/stores — the budget is a standalone
+// configuration value; a load racing a set_model_load_budget_bytes() call
+// legitimately sees either bound, and nothing else is published through it.
 std::atomic<std::int64_t> g_load_budget{kDefaultModelLoadBudgetBytes};
 
 /// `a * b`, throwing instead of overflowing.  Loader sizes are products of

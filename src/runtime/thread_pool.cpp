@@ -82,7 +82,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   start_cv_.notify_all();
@@ -94,8 +94,8 @@ void ThreadPool::worker_loop(int index) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      start_cv_.wait(lock, [&] { return shutting_down_ || job_epoch_ != seen_epoch; });
+      core::MutexLock lock(mutex_);
+      while (!shutting_down_ && job_epoch_ == seen_epoch) start_cv_.wait(lock);
       if (shutting_down_) return;
       seen_epoch = job_epoch_;
       job = job_;
@@ -107,7 +107,7 @@ void ThreadPool::worker_loop(int index) {
       error = std::current_exception();
     }
     {
-      std::lock_guard lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (error) {
         if (!first_error_) first_error_ = error;
         ++error_count_;
@@ -124,7 +124,7 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     BF_DCHECK(pending_ == 0, "run_on_all: previous job still pending (", pending_, " workers)");
     BF_DCHECK(job_ == nullptr, "run_on_all: re-entrant dispatch on the same pool");
     job_ = &fn;
@@ -143,8 +143,8 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
   std::exception_ptr worker_error;
   int worker_errors = 0;
   {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    core::MutexLock lock(mutex_);
+    while (pending_ != 0) done_cv_.wait(lock);
     job_ = nullptr;
     worker_error = first_error_;
     worker_errors = error_count_;

@@ -9,18 +9,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/check.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace bitflow::runtime {
 
@@ -109,11 +109,12 @@ class ThreadPool {
   /// fn throws, that exception is rethrown unchanged on the calling thread;
   /// if several throw, a WorkerFailure aggregating the count and the first
   /// message is thrown instead.  The pool remains fully usable afterwards.
-  void run_on_all(const std::function<void(int)>& fn);
+  void run_on_all(const std::function<void(int)>& fn) BF_EXCLUDES(mutex_);
 
   /// Splits [0, n) into static blocks and runs `fn(range, worker_index)` on
   /// each worker.  Workers whose block is empty skip the call.
-  void parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn);
+  void parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn)
+      BF_EXCLUDES(mutex_);
 
   /// Per-worker tallies since construction: every worker's task count and
   /// approximate busy time (two clock reads per job — noise next to a layer
@@ -127,6 +128,9 @@ class ThreadPool {
   void run_job(const std::function<void(int)>& fn, int worker);
 
   /// Cache-line-padded so workers never contend on each other's tallies.
+  /// Ordering contract: both counters are pure tallies written by their
+  /// owning worker with relaxed adds and read racily by stats(); they order
+  /// nothing, so every access is memory_order_relaxed.
   struct alignas(64) Ticks {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busy_ns{0};
@@ -136,15 +140,21 @@ class ThreadPool {
   std::unique_ptr<Ticks[]> ticks_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t job_epoch_ = 0;
-  int pending_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  ///< first worker exception of the current job
-  int error_count_ = 0;             ///< worker exceptions of the current job
+  // Fork/join rendezvous state.  mutex_ guards the whole job protocol: the
+  // dispatcher publishes {job_, job_epoch_, pending_} under it, workers pick
+  // the job up and report completion/errors under it, and both cv waits
+  // re-check their guarded condition in explicit loops.
+  core::Mutex mutex_;
+  core::CondVar start_cv_;
+  core::CondVar done_cv_;
+  const std::function<void(int)>* job_ BF_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_epoch_ BF_GUARDED_BY(mutex_) = 0;
+  int pending_ BF_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ BF_GUARDED_BY(mutex_) = false;
+  /// First worker exception of the current job.
+  std::exception_ptr first_error_ BF_GUARDED_BY(mutex_);
+  /// Worker exceptions of the current job.
+  int error_count_ BF_GUARDED_BY(mutex_) = 0;
 };
 
 /// Process-wide default pool, sized to the hardware concurrency; created on

@@ -44,6 +44,7 @@ double quantile_ms(const telemetry::Histogram::Snapshot& h, double q) {
 
 /// Distinguishes the instruments of concurrently live engines in one scrape.
 std::string next_engine_label() {
+  // Ordering contract: relaxed fetch_add — labels only need uniqueness.
   static std::atomic<std::uint64_t> seq{0};
   return "engine=\"" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) + "\"";
 }
@@ -55,7 +56,6 @@ struct Engine::Impl {
   graph::BinaryNetwork net;
   RequestQueue queue;
   std::vector<std::thread> threads;
-  std::atomic<bool> stopping{false};
   std::once_flag shutdown_once;
 
   // All counters and histograms live in the process-wide telemetry registry,
@@ -308,7 +308,9 @@ core::Result<std::vector<float>> Engine::infer(Tensor input) {
 void Engine::shutdown() {
   Impl& im = *impl_;
   std::call_once(im.shutdown_once, [&im] {
-    im.stopping.store(true, std::memory_order_relaxed);
+    // Workers observe shutdown through the closed queue alone: close() wakes
+    // every blocked pop, next_batch() drains and returns false.  No separate
+    // stop flag — one fewer thing to keep coherent.
     im.queue.close();
     for (std::thread& t : im.threads) {
       if (t.joinable()) t.join();

@@ -11,7 +11,7 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 
 bool RequestQueue::try_push(Request& r) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     if (closed_ || q_.size() >= capacity_) return false;
     q_.push_back(std::move(r));
   }
@@ -20,8 +20,8 @@ bool RequestQueue::try_push(Request& r) {
 }
 
 std::optional<Request> RequestQueue::pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  ready_.wait(lock, [this] { return closed_ || !q_.empty(); });
+  core::MutexLock lock(mu_);
+  while (!closed_ && q_.empty()) ready_.wait(lock);
   if (q_.empty()) return std::nullopt;  // closed and drained
   Request r = std::move(q_.front());
   q_.pop_front();
@@ -29,18 +29,19 @@ std::optional<Request> RequestQueue::pop() {
 }
 
 std::optional<Request> RequestQueue::pop_until(std::chrono::steady_clock::time_point tp) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!ready_.wait_until(lock, tp, [this] { return closed_ || !q_.empty(); })) {
-    return std::nullopt;  // timeout
+  core::MutexLock lock(mu_);
+  while (!closed_ && q_.empty()) {
+    if (ready_.wait_until(lock, tp) == std::cv_status::timeout) break;
   }
-  if (q_.empty()) return std::nullopt;  // closed and drained
+  // Timeout with nothing queued, or closed and drained.
+  if (q_.empty()) return std::nullopt;
   Request r = std::move(q_.front());
   q_.pop_front();
   return r;
 }
 
 std::optional<Request> RequestQueue::try_pop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (q_.empty()) return std::nullopt;
   Request r = std::move(q_.front());
   q_.pop_front();
@@ -49,19 +50,19 @@ std::optional<Request> RequestQueue::try_pop() {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     closed_ = true;
   }
   ready_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return q_.size();
 }
 

@@ -10,15 +10,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/status.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bitflow::serve {
@@ -63,11 +63,13 @@ class RequestQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  // mu_ guards the FIFO and the closed flag; ready_ signals "q_ non-empty or
+  // closed".  Consumers re-check both conditions in explicit wait loops.
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<Request> q_;
-  bool closed_ = false;
+  mutable core::Mutex mu_;
+  core::CondVar ready_;
+  std::deque<Request> q_ BF_GUARDED_BY(mu_);
+  bool closed_ BF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bitflow::serve

@@ -4,11 +4,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "core/failpoint.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace bitflow::telemetry {
 
@@ -108,15 +109,23 @@ struct Registry::Impl {
     std::function<double()> fn;
   };
 
-  mutable std::mutex mu;
+  // mu guards registration and snapshotting (the cold paths).  Recording on
+  // an instrument returned by lookup() is lock-free and deliberately NOT
+  // guarded: instrument addresses are stable for the registry's lifetime.
+  mutable core::Mutex mu;
   // Keyed by name + '\x01' + labels; std::map keeps exposition output in a
   // deterministic order.  Entry instruments are heap-allocated so their
   // addresses survive map rebalancing.
-  std::map<std::string, Entry> entries;
-  std::vector<CallbackGauge> callbacks;
+  std::map<std::string, Entry> entries BF_GUARDED_BY(mu);
+  std::vector<CallbackGauge> callbacks BF_GUARDED_BY(mu);
 
-  Entry& lookup(std::string_view name, std::string_view labels, Kind kind) {
-    std::lock_guard lock(mu);
+  /// Interns (name, labels) and constructs the instrument — both under mu,
+  /// so two threads racing to register the same metric observe one fully
+  /// constructed instrument (the returned address is stable thereafter).
+  /// `linear_max` only applies to histograms (see Registry::histogram).
+  Entry& lookup(std::string_view name, std::string_view labels, Kind kind,
+                std::int64_t linear_max = -1) BF_EXCLUDES(mu) {
+    core::MutexLock lock(mu);
     auto [it, inserted] = entries.try_emplace(key_of(name, labels));
     Entry& e = it->second;
     if (inserted) {
@@ -126,6 +135,21 @@ struct Registry::Impl {
     } else if (e.kind != kind) {
       throw std::invalid_argument("telemetry: metric '" + std::string(name) +
                                   "' re-registered with a different kind");
+    }
+    switch (kind) {
+      case Kind::kCounter:
+        if (!e.counter) e.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        if (!e.histogram) {
+          e.histogram = std::make_unique<Histogram>(
+              linear_max >= 0 ? Histogram::linear(static_cast<std::size_t>(linear_max) + 1)
+                              : Histogram());
+        }
+        break;
     }
     return e;
   }
@@ -157,43 +181,33 @@ Registry& Registry::instance() {
 Registry& registry() { return Registry::instance(); }
 
 Counter& Registry::counter(std::string_view name, std::string_view labels) {
-  Impl::Entry& e = impl_->lookup(name, labels, Impl::Kind::kCounter);
-  if (!e.counter) e.counter = std::make_unique<Counter>();
-  return *e.counter;
+  return *impl_->lookup(name, labels, Impl::Kind::kCounter).counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
-  Impl::Entry& e = impl_->lookup(name, labels, Impl::Kind::kGauge);
-  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
-  return *e.gauge;
+  return *impl_->lookup(name, labels, Impl::Kind::kGauge).gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view labels,
                                std::int64_t linear_max) {
-  Impl::Entry& e = impl_->lookup(name, labels, Impl::Kind::kHistogram);
-  if (!e.histogram) {
-    e.histogram = std::make_unique<Histogram>(
-        linear_max >= 0 ? Histogram::linear(static_cast<std::size_t>(linear_max) + 1)
-                        : Histogram());
-  }
-  return *e.histogram;
+  return *impl_->lookup(name, labels, Impl::Kind::kHistogram, linear_max).histogram;
 }
 
 void Registry::add_callback_gauge(const void* owner, std::string name, std::string labels,
                                   std::function<double()> fn) {
-  std::lock_guard lock(impl_->mu);
+  core::MutexLock lock(impl_->mu);
   impl_->callbacks.push_back({owner, std::move(name), std::move(labels), std::move(fn)});
 }
 
 void Registry::remove_callbacks(const void* owner) {
-  std::lock_guard lock(impl_->mu);
+  core::MutexLock lock(impl_->mu);
   std::erase_if(impl_->callbacks,
                 [owner](const Impl::CallbackGauge& c) { return c.owner == owner; });
 }
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot s;
-  std::lock_guard lock(impl_->mu);
+  core::MutexLock lock(impl_->mu);
   for (const auto& [key, e] : impl_->entries) {
     switch (e.kind) {
       case Impl::Kind::kCounter:

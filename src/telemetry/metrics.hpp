@@ -53,6 +53,7 @@ class Counter {
   }
 
  private:
+  // Ordering contract: relaxed everywhere — a tally orders nothing.
   std::atomic<std::uint64_t> v_{0};
 };
 
@@ -67,6 +68,8 @@ class Gauge {
   }
 
  private:
+  // Ordering contract: relaxed everywhere — last-writer-wins sample, no
+  // cross-variable ordering promised to readers.
   std::atomic<std::int64_t> v_{0};
 };
 
@@ -133,6 +136,10 @@ class Histogram {
 
   Bucketing bucketing_;
   std::size_t n_buckets_;
+  // Ordering contract: relaxed everywhere.  A record() is three independent
+  // relaxed adds; snapshot() reads count_ first so a concurrently recorded
+  // sample can only make the snapshot conservative (bucket visible, count
+  // not yet), never inconsistent in a way a reader can observe as negative.
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> count_{0};

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "simd/bitops.hpp"
 #include "simd/cpu_features.hpp"
 
@@ -13,9 +14,12 @@ namespace bitflow::telemetry {
 
 namespace {
 
+// Ordering contract: relaxed — arming profiling publishes no data; the
+// accumulators a newly armed thread records into are individually racy-safe.
 std::atomic<bool> g_profiling{false};
 
 const bool g_profile_env_applied = [] {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once at static init.
   const char* v = std::getenv("BITFLOW_PROFILE");
   if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
     g_profiling.store(true, std::memory_order_relaxed);
@@ -48,14 +52,14 @@ double roofline_peak_gops(simd::IsaLevel isa) {
   // (best, not mean: the roof is what the kernel can reach, and anything
   // slower is interference).
   struct Cache {
-    std::mutex mu;
-    double gops[4] = {0.0, 0.0, 0.0, 0.0};
+    core::Mutex mu;
+    double gops[4] BF_GUARDED_BY(mu) = {0.0, 0.0, 0.0, 0.0};
   };
   static Cache* c = new Cache();
   const auto idx = static_cast<std::size_t>(isa);
 
   {
-    std::lock_guard lock(c->mu);
+    core::MutexLock lock(c->mu);
     if (c->gops[idx] > 0.0) return c->gops[idx];
   }
   if (!simd::cpu_features().supports(isa)) return 0.0;
@@ -87,7 +91,7 @@ double roofline_peak_gops(simd::IsaLevel isa) {
   }
   (void)sink;
 
-  std::lock_guard lock(c->mu);
+  core::MutexLock lock(c->mu);
   if (c->gops[idx] <= 0.0) c->gops[idx] = best_gops;
   return c->gops[idx];
 }

@@ -83,6 +83,10 @@ class SpanStats {
   }
 
  private:
+  // Ordering contract: relaxed everywhere — independent tallies read by
+  // view() as individually consistent samples; no cross-field cut is
+  // promised (same contract as Histogram).  min_ns_'s CAS loop is relaxed
+  // too: the comparison only needs the value, not any ordering.
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> units_{0};
   std::atomic<std::uint64_t> total_ns_{0};

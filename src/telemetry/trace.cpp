@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace bitflow::telemetry {
 
@@ -36,6 +38,11 @@ struct ThreadRing {
   explicit ThreadRing(std::size_t capacity, std::uint32_t tid)
       : slots(capacity), tid(tid) {}
   std::vector<TraceEvent> slots;
+  // Ordering contract: the writer fills slots[n] then publishes with a
+  // release store of size; the flusher's acquire load of size makes every
+  // published slot visible (resets and the overflow check are relaxed —
+  // they synchronize through the trace mutex or order nothing).  dropped is
+  // a relaxed tally.
   std::atomic<std::uint32_t> size{0};
   std::atomic<std::uint64_t> dropped{0};
   std::uint32_t tid;
@@ -60,15 +67,20 @@ struct ThreadRing {
 };
 
 struct TraceState {
-  std::mutex mu;
-  bool armed = false;
-  std::string path;
-  std::size_t ring_capacity = 1 << 16;
-  std::uint64_t t0_ns = 0;
-  std::uint32_t next_tid = 1;
+  // mu guards the session state (arm/flush/ring registration); recording
+  // into an already-registered ring is lock-free and goes through the
+  // thread_local pointer, never this struct.
+  core::Mutex mu;
+  bool armed BF_GUARDED_BY(mu) = false;
+  std::string path BF_GUARDED_BY(mu);
+  std::size_t ring_capacity BF_GUARDED_BY(mu) = 1 << 16;
+  std::uint64_t t0_ns BF_GUARDED_BY(mu) = 0;
+  std::uint32_t next_tid BF_GUARDED_BY(mu) = 1;
+  // Ordering contract: relaxed fetch_add — ids only need uniqueness.
   std::atomic<std::uint64_t> next_async_id{1};
   // Rings live for the whole process: a thread that exits keeps its events.
-  std::vector<std::shared_ptr<ThreadRing>> rings;
+  // The vector is guarded; the pointed-to rings are lock-free (see above).
+  std::vector<std::shared_ptr<ThreadRing>> rings BF_GUARDED_BY(mu);
 };
 
 TraceState& state() {
@@ -82,7 +94,7 @@ ThreadRing* this_thread_ring() {
   // freed memory.
   thread_local ThreadRing* ring = [] {
     TraceState& st = state();
-    std::lock_guard lock(st.mu);
+    core::MutexLock lock(st.mu);
     auto r = std::make_shared<ThreadRing>(st.ring_capacity, st.next_tid++);
     st.rings.push_back(r);
     return r.get();
@@ -105,6 +117,7 @@ void json_escape_into(std::string& out, const char* s) {
 /// Applies BITFLOW_TRACE before main() and flushes at process exit, so any
 /// binary in the tree can be traced without code changes.
 const bool g_env_applied = [] {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once at static init.
   const char* path = std::getenv("BITFLOW_TRACE");
   if (path == nullptr || path[0] == '\0') return false;
   try {
@@ -112,7 +125,7 @@ const bool g_env_applied = [] {
     std::atexit([] {
       const std::size_t n = trace_stop();
       std::fprintf(stderr, "[bitflow] trace: wrote %zu events to %s\n", n,
-                   std::getenv("BITFLOW_TRACE"));
+                   std::getenv("BITFLOW_TRACE"));  // NOLINT(concurrency-mt-unsafe)
     });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[bitflow] ignoring BITFLOW_TRACE: %s\n", e.what());
@@ -124,6 +137,7 @@ const bool g_env_applied = [] {
 
 namespace detail {
 
+// Ordering contract: relaxed (see trace.hpp — the flag publishes nothing).
 std::atomic<bool> g_trace_enabled{false};
 
 std::uint64_t now_ns() noexcept {
@@ -150,7 +164,7 @@ void trace_start(const std::string& path, std::size_t ring_capacity) {
   if (path.empty()) throw std::invalid_argument("trace_start: empty path");
   if (ring_capacity < 16) throw std::invalid_argument("trace_start: ring too small");
   TraceState& st = state();
-  std::lock_guard lock(st.mu);
+  core::MutexLock lock(st.mu);
   if (st.armed) throw std::logic_error("trace_start: trace already armed");
   st.path = path;
   st.ring_capacity = ring_capacity;
@@ -169,7 +183,7 @@ void trace_start(const std::string& path, std::size_t ring_capacity) {
 
 std::uint64_t trace_dropped_events() {
   TraceState& st = state();
-  std::lock_guard lock(st.mu);
+  core::MutexLock lock(st.mu);
   std::uint64_t total = 0;
   for (const auto& r : st.rings) total += r->dropped.load(std::memory_order_relaxed);
   return total;
@@ -177,7 +191,7 @@ std::uint64_t trace_dropped_events() {
 
 std::size_t trace_stop() {
   TraceState& st = state();
-  std::lock_guard lock(st.mu);
+  core::MutexLock lock(st.mu);
   if (!st.armed) return 0;
   detail::g_trace_enabled.store(false, std::memory_order_relaxed);
   st.armed = false;
@@ -190,7 +204,7 @@ std::size_t trace_stop() {
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   std::size_t written = 0;
   std::string line;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped_total = 0;
   auto emit = [&](const TraceEvent& ev, std::uint32_t tid, double ts_us, double dur_us,
                   const char* ph, std::uint64_t id) {
     line.clear();
@@ -227,7 +241,7 @@ std::size_t trace_stop() {
 
   for (const auto& r : st.rings) {
     const std::uint32_t n = r->size.load(std::memory_order_acquire);
-    dropped += r->dropped.load(std::memory_order_relaxed);
+    dropped_total += r->dropped.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < n; ++i) {
       const TraceEvent& ev = r->slots[i];
       // Clamp events that straddled trace_start (a span constructed before
@@ -251,12 +265,12 @@ std::size_t trace_stop() {
     r->size.store(0, std::memory_order_relaxed);
     r->dropped.store(0, std::memory_order_relaxed);
   }
-  if (dropped > 0) {
+  if (dropped_total > 0) {
     line.clear();
     if (written != 0) line += ",\n";
     line += "{\"name\":\"trace_dropped_events\",\"cat\":\"meta\",\"ph\":\"C\",\"pid\":1,"
             "\"tid\":0,\"ts\":0,\"args\":{\"dropped\":";
-    line += std::to_string(dropped);
+    line += std::to_string(dropped_total);
     line += "}}";
     std::fputs(line.c_str(), f);
     ++written;

@@ -35,6 +35,10 @@
 namespace bitflow::telemetry {
 
 namespace detail {
+// Ordering contract: relaxed loads/stores only.  Arming publishes no data
+// through this flag — a span that observes the old value merely skips (or
+// clamps into) the session; slot publication orders via the ring's
+// release/acquire size protocol instead.
 extern std::atomic<bool> g_trace_enabled;
 /// Appends a complete event to the calling thread's ring.  `start_ns`/`end_ns`
 /// are steady_clock readings.  `name` is copied into the ring slot (truncated

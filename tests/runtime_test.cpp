@@ -52,7 +52,7 @@ TEST_P(ThreadPoolParam, ParallelForVisitsEveryIndexOnce) {
       hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
     }
   });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(std::memory_order_relaxed), 1);
 }
 
 TEST_P(ThreadPoolParam, ParallelForSumMatches) {
@@ -70,9 +70,9 @@ TEST_P(ThreadPoolParam, ReusableAcrossJobs) {
   ThreadPool pool(GetParam());
   std::atomic<int> counter{0};
   for (int job = 0; job < 50; ++job) {
-    pool.run_on_all([&](int) { counter.fetch_add(1); });
+    pool.run_on_all([&](int) { counter.fetch_add(1, std::memory_order_relaxed); });
   }
-  EXPECT_EQ(counter.load(), 50 * pool.num_threads());
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 50 * pool.num_threads());
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParam, ::testing::Values(1, 2, 4, 8));
@@ -88,9 +88,9 @@ TEST(ThreadPool, MoreThreadsThanWork) {
   ThreadPool pool(8);
   std::vector<std::atomic<int>> hits(3);
   pool.parallel_for(3, [&](Range r, int) {
-    for (std::int64_t i = r.begin; i < r.end; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+    for (std::int64_t i = r.begin; i < r.end; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
   });
-  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (auto& h : hits) EXPECT_EQ(h.load(std::memory_order_relaxed), 1);
 }
 
 TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), std::invalid_argument); }
@@ -233,9 +233,9 @@ TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
   // The pool must remain usable after a failed job.
   std::atomic<int> count{0};
   pool.parallel_for(16, [&](Range r, int) {
-    count.fetch_add(static_cast<int>(r.size()));
+    count.fetch_add(static_cast<int>(r.size()), std::memory_order_relaxed);
   });
-  EXPECT_EQ(count.load(), 16);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 16);
 }
 
 TEST(StaticBlock, EdgeCases) {
@@ -316,8 +316,8 @@ TEST(ThreadPool, RunOnAllAggregatesMultipleWorkerFailures) {
   // The pool must be fully usable afterwards: pending/job state reset.
   for (int round = 0; round < 3; ++round) {
     std::atomic<int> visits{0};
-    pool.run_on_all([&](int) { visits.fetch_add(1); });
-    EXPECT_EQ(visits.load(), 4) << "round " << round;
+    pool.run_on_all([&](int) { visits.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(visits.load(std::memory_order_relaxed), 4) << "round " << round;
   }
 }
 
@@ -368,8 +368,8 @@ TEST(ThreadPool, UsableAfterWorkerThrowsTwiceInARow) {
                  std::runtime_error);
   }
   std::atomic<int> visits{0};
-  pool.run_on_all([&](int) { visits.fetch_add(1); });
-  EXPECT_EQ(visits.load(), 4);
+  pool.run_on_all([&](int) { visits.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(visits.load(std::memory_order_relaxed), 4);
 }
 
 TEST(MeasureChunkCosts, CountsAndPositivity) {
@@ -378,7 +378,7 @@ TEST(MeasureChunkCosts, CountsAndPositivity) {
     for (std::int64_t i = r.begin; i < r.end; ++i) {
       volatile double x = 0;
       for (int j = 0; j < 1000; ++j) x = x + j;
-      work.fetch_add(1);
+      work.fetch_add(1, std::memory_order_relaxed);
     }
   });
   EXPECT_EQ(costs.size(), 8u);

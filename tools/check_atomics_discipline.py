@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""Static lint enforcing BitFlow's atomics discipline.
+
+std::atomic's operator forms (`x++`, `x = v`, implicit loads) and
+default-argument member functions all mean memory_order_seq_cst — the
+strongest, slowest ordering, silently, with no record of whether the author
+*meant* sequential consistency or just forgot to choose.  Every lock-free
+structure in this tree (telemetry counters, trace rings, the failpoint gate,
+thread-pool tallies) was designed around a specific, documented ordering;
+this lint keeps that explicit.
+
+Four rules:
+
+  1. Explicit ordering on every atomic member-function access: each
+     .load()/.store()/.exchange()/.fetch_*()/.compare_exchange_*() call must
+     name a memory_order argument.  fetch_* and compare_exchange_* are
+     atomic-only names and are checked everywhere; load/store/exchange are
+     checked when the receiver is a known atomic variable (declared anywhere
+     in the scanned tree), so `stream.load()`-style homonyms cannot trip it.
+
+  2. No operator forms on declared atomics: ++/--, compound assignment
+     (+= etc.) and plain `= value` assignment are all hidden seq_cst
+     round-trips; spell them fetch_add/fetch_sub/store with an ordering.
+
+  3. seq_cst is quarantined in library code: under src/, any
+     memory_order_seq_cst must carry a `// NOLINT-atomic(<why>)` marker on
+     the same line (or be listed in SEQ_CST_ALLOWLIST).  Sequential
+     consistency is legitimate — but in a tree whose hot paths are counted
+     in relaxed loads, it must be a recorded decision, not a default.
+     Tests and benches may use it freely (explicitly).
+
+  4. Ordering contract comment on every atomic declaration under src/: the
+     declaration (or the comment block within {} lines above it) must say
+     which orderings its accesses use and why — grep for "Ordering
+     contract:" in src/telemetry/metrics.hpp for the house style.
+
+Exit status: 0 when the tree is clean, 1 with one "file:line: message" per
+violation otherwise.  `--self-test` runs the lint against the fixture trees
+in tools/lint_fixtures/atomics/ and verifies it accepts the good tree and
+rejects each seeded violation in the bad tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+
+# Rule 3: files under these directories are library code — seq_cst needs a
+# justification marker there.
+LIBRARY_DIRS = ("src",)
+
+# (file, justification) pairs exempt from rule 3 without an inline marker.
+# Deliberately empty: prefer the inline `// NOLINT-atomic(...)` marker, which
+# keeps the justification next to the code it excuses.
+SEQ_CST_ALLOWLIST: dict[str, str] = {}
+
+# How many lines above an atomic declaration may hold its contract comment.
+CONTRACT_WINDOW = 8
+CONTRACT_KEYWORDS = re.compile(
+    r"relaxed|acquire|release|acq_rel|seq_cst|ordering|order", re.IGNORECASE)
+
+# Atomic-only member-function names: safe to police by name alone.
+ATOMIC_ONLY_METHODS = (
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong", "test_and_set",
+)
+# Names shared with non-atomic types: policed only on known atomic receivers.
+GENERIC_METHODS = ("load", "store", "exchange")
+
+METHOD_CALL = re.compile(
+    r"([A-Za-z_]\w*(?:\s*\[[^\][]*\])?)\s*(?:\.|->)\s*("
+    + "|".join(ATOMIC_ONLY_METHODS + GENERIC_METHODS) + r")\s*\(")
+
+# A declaration whose type spells std::atomic< at the start of the
+# declarator (possibly behind cv/storage qualifiers or a unique_ptr/array
+# wrapper).  Matches declarations, not make_unique<...> expressions.
+ATOMIC_DECL = re.compile(
+    r"^\s*(?:inline\s+|static\s+|mutable\s+|extern\s+|constexpr\s+|const\s+|thread_local\s+)*"
+    r"(?:std::unique_ptr<\s*)?(?:std::)?atomic(?:_flag)?\s*<")
+
+# Name collection is looser than ATOMIC_DECL: it also looks inside
+# containers (std::vector<std::atomic<int>> hits) so rule 2 covers them.
+ATOMIC_NAME = re.compile(r"\batomic(?:_flag)?\s*<[^;]*?>\s*(?:\[\s*\]\s*>\s*)?"
+                         r"([A-Za-z_]\w*)\s*(?:\{|=|;|\[|$)")
+
+INCREMENT = r"(?:\+\+|--)"
+COMPOUND = r"(?:\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=)"
+
+STRING_LITERAL = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+CHAR_LITERAL = re.compile(r"'(?:[^'\\\n]|\\.)*'")
+NOLINT_ATOMIC = re.compile(r"//\s*NOLINT-atomic\(.+\)")
+
+
+def strip_string_literals(text: str) -> str:
+    text = STRING_LITERAL.sub(lambda m: '"' + " " * (len(m.group(0)) - 2) + '"', text)
+    return CHAR_LITERAL.sub(lambda m: "'" + " " * (len(m.group(0)) - 2) + "'", text)
+
+
+def strip_comments(text: str) -> str:
+    """Blanks // and /* */ comments, offset-preserving."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def balanced_args(text: str, open_paren: int) -> str:
+    """Argument text of the call whose '(' is at `open_paren`."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def collect_atomic_names(scan: str) -> set[str]:
+    names = set()
+    for line in scan.splitlines():
+        if "atomic" not in line or "using" in line or "typedef" in line:
+            continue
+        for m in ATOMIC_NAME.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def is_library_file(rel: str) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in LIBRARY_DIRS)
+
+
+def check_member_calls(rel: str, scan: str, atomics: set[str],
+                       errors: list[str]) -> None:
+    for m in METHOD_CALL.finditer(scan):
+        receiver, method = m.group(1), m.group(2)
+        receiver_name = receiver.split("[")[0].strip()
+        if method in GENERIC_METHODS and receiver_name not in atomics:
+            continue
+        args = balanced_args(scan, m.end() - 1)
+        if "memory_order" in args:
+            continue
+        errors.append(
+            f"{rel}:{line_of(scan, m.start())}: {receiver_name}.{method}() without an explicit "
+            "memory_order (defaulted seq_cst — name the ordering the contract calls for)")
+
+
+def check_operator_forms(rel: str, scan: str, atomics: set[str],
+                         errors: list[str]) -> None:
+    if not atomics:
+        return
+    alt = "|".join(re.escape(a) for a in sorted(atomics))
+    # `name[...]` covers atomic arrays/vectors (hits[i]++).
+    target = rf"(?:{alt})(?:\s*\[[^\][]*\])?"
+    patterns = [
+        (re.compile(rf"(?<![\w.>]){target}\s*{INCREMENT}"),
+         "++/-- on an atomic is a hidden seq_cst RMW — use fetch_add/fetch_sub"),
+        (re.compile(rf"{INCREMENT}\s*{target}(?![\w])"),
+         "++/-- on an atomic is a hidden seq_cst RMW — use fetch_add/fetch_sub"),
+        (re.compile(rf"(?<![\w.>]){target}\s*{COMPOUND}"),
+         "compound assignment on an atomic is a hidden seq_cst RMW — use fetch_*"),
+        (re.compile(rf"(?<![\w.>]){target}\s*=(?![=])"),
+         "assignment to an atomic is a hidden seq_cst store — use .store(v, order)"),
+    ]
+    for line_start, line in _line_spans(scan):
+        if "atomic" in line:
+            continue  # a declaration line: `std::atomic<bool> stop = false;` is init
+        for pat, why in patterns:
+            for m in pat.finditer(line):
+                # `Type name = init;` of a NON-atomic that shares an atomic's
+                # name (WorkerStats mirrors Ticks) is a declaration, not a
+                # hidden store: skip when a type-ish token precedes the name.
+                before = line[:m.start()].rstrip()
+                if "=" in m.group(0) and before and before[-1] in \
+                        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_>&*:":
+                    continue
+                errors.append(f"{rel}:{line_of(scan, line_start + m.start())}: {why}")
+
+
+def _line_spans(text: str):
+    pos = 0
+    for line in text.splitlines(keepends=True):
+        yield pos, line.rstrip("\n")
+        pos += len(line)
+
+
+def check_seq_cst(rel: str, scan: str, raw_lines: list[str],
+                  errors: list[str]) -> None:
+    if not is_library_file(rel) or rel in SEQ_CST_ALLOWLIST:
+        return
+    for line_start, line in _line_spans(scan):
+        if "memory_order_seq_cst" not in line and "memory_order::seq_cst" not in line:
+            continue
+        lineno = line_of(scan, line_start)
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if NOLINT_ATOMIC.search(raw):
+            continue
+        errors.append(
+            f"{rel}:{lineno}: seq_cst in library code without a justification — add "
+            "`// NOLINT-atomic(<why sequential consistency is required>)` or weaken the order")
+
+
+def check_contract_comments(rel: str, scan: str, raw_lines: list[str],
+                            errors: list[str]) -> None:
+    if not is_library_file(rel):
+        return
+    for line_start, line in _line_spans(scan):
+        if not ATOMIC_DECL.match(line):
+            continue
+        lineno = line_of(scan, line_start)
+        lo = max(0, lineno - 1 - CONTRACT_WINDOW)
+        window = raw_lines[lo:lineno]
+        documented = any(
+            ("//" in w or "*" in w.lstrip()[:1]) and CONTRACT_KEYWORDS.search(w)
+            for w in window)
+        if not documented:
+            errors.append(
+                f"{rel}:{lineno}: atomic declaration without an ordering-contract comment — "
+                "say which memory orders its accesses use and why (see "
+                "src/telemetry/metrics.hpp for the house style)")
+
+
+def scan_tree(root: pathlib.Path) -> tuple[list[str], int]:
+    files: list[tuple[str, str]] = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.suffix in SOURCE_SUFFIXES:
+                files.append((path.relative_to(root).as_posix(),
+                              path.read_text(errors="replace")))
+
+    # Known atomic variable names.  Rule 1's generic-method check is
+    # tree-wide (an extern atomic declared in a header is policed at its use
+    # sites in other files); rule 2's operator check is per-file, because
+    # short names like `count` legitimately recur as plain locals elsewhere
+    # and operator misuse virtually always sits next to the declaration.
+    atomics: set[str] = set()
+    scans: dict[str, str] = {}
+    local_atomics: dict[str, set[str]] = {}
+    for rel, text in files:
+        scan = strip_comments(strip_string_literals(text))
+        scans[rel] = scan
+        local_atomics[rel] = collect_atomic_names(scan)
+        atomics |= local_atomics[rel]
+
+    errors: list[str] = []
+    for rel, text in files:
+        scan = scans[rel]
+        raw_lines = text.splitlines()
+        check_member_calls(rel, scan, atomics, errors)
+        check_operator_forms(rel, scan, local_atomics[rel], errors)
+        check_seq_cst(rel, scan, raw_lines, errors)
+        check_contract_comments(rel, scan, raw_lines, errors)
+    return errors, len(files)
+
+
+def self_test(fixtures: pathlib.Path) -> int:
+    ok_errors, ok_n = scan_tree(fixtures / "good")
+    failures = []
+    if ok_errors:
+        failures.append("good fixture tree should be clean, got:\n    "
+                        + "\n    ".join(ok_errors))
+    if ok_n == 0:
+        failures.append("good fixture tree scanned no files")
+
+    bad_errors, bad_n = scan_tree(fixtures / "bad")
+    if bad_n == 0:
+        failures.append("bad fixture tree scanned no files")
+    joined = "\n".join(bad_errors)
+    expectations = [
+        ("defaulted load", r"g_flag\.load\(\) without an explicit memory_order"),
+        ("defaulted fetch_add", r"counter\.fetch_add\(\) without an explicit memory_order"),
+        ("operator ++", r"\+\+/-- on an atomic"),
+        ("operator ++ on element", r"src/mod/ops\.cpp:22: \+\+/--"),
+        ("plain assignment", r"assignment to an atomic is a hidden seq_cst store"),
+        ("compound assignment", r"compound assignment on an atomic"),
+        ("unjustified seq_cst", r"seq_cst in library code without a justification"),
+        ("missing contract comment", r"atomic declaration without an ordering-contract"),
+    ]
+    for label, pat in expectations:
+        if not re.search(pat, joined):
+            failures.append(f"bad fixture tree: expected a '{label}' violation "
+                            f"matching /{pat}/, lint reported:\n{joined or '  (nothing)'}")
+    # The justified seq_cst and the documented atomic in the bad tree must
+    # NOT be flagged (they pin the escape hatches).
+    for label, pat in [("NOLINT-atomic escape", r"src/mod/justified\.cpp"),
+                       ("documented declaration", r"src/mod/documented\.hpp")]:
+        if re.search(pat, joined):
+            failures.append(f"bad fixture tree: {label} was flagged but must be accepted")
+
+    if failures:
+        print(f"atomics discipline self-test: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"atomics discipline self-test: OK "
+          f"({ok_n}+{bad_n} fixture files, {len(bad_errors)} seeded violations caught)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against tools/lint_fixtures/atomics/ instead of the tree")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    if args.self_test:
+        return self_test(pathlib.Path(__file__).resolve().parent
+                         / "lint_fixtures" / "atomics")
+
+    errors, n_files = scan_tree(root)
+    if errors:
+        print(f"atomics discipline: {len(errors)} violation(s) in {n_files} scanned files:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"atomics discipline: OK ({n_files} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Fixture: the rule-4 acceptance path.  This header must produce ZERO
+// violations: its declaration carries a proper contract comment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Documented {
+ public:
+  void bump() noexcept { n_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  // Ordering contract: relaxed everywhere — a tally orders nothing.
+  std::atomic<std::uint64_t> n_{0};
+};
+
+}  // namespace fixture

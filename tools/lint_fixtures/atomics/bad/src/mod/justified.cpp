@@ -1,0 +1,14 @@
+// Fixture: the rule-3 escape hatch.  This file must produce ZERO violations
+// even though it sits in the bad tree and uses seq_cst in library code.
+#include <atomic>
+
+namespace fixture {
+
+int justified_fence() {
+  // Ordering contract: seq_cst handshake — both sides need the total order.
+  std::atomic<int> flag{0};
+  flag.store(1, std::memory_order_seq_cst);  // NOLINT-atomic(Dekker handshake: store must totally order with the peer's)
+  return flag.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: one seeded violation per rule.  The self-test pins that the lint
+// rejects every one of these (and nothing in justified.cpp / documented.hpp).
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+extern std::atomic<bool> g_flag;
+
+std::atomic<std::uint64_t> counter{0};
+
+bool defaulted_load() { return g_flag.load(); }
+
+void defaulted_rmw() { counter.fetch_add(1); }
+
+void operator_forms() {
+  std::array<std::atomic<int>, 4> hits;
+  std::atomic<bool> stop{false};
+  std::atomic<int> total{0};
+  counter++;
+  for (int i = 0; i < 4; ++i) hits[i]++;
+  stop = true;
+  total += 2;
+  (void)stop;
+  (void)total;
+}
+
+int unjustified_seq_cst() {
+  std::atomic<int> x{0};
+  x.store(1, std::memory_order_seq_cst);
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#include "mod/clean.hpp"
+
+namespace fixture {
+
+// Ordering contract: see clean.hpp (release/acquire publication flag).
+std::atomic<bool> g_published{false};
+
+// seq_cst with an inline justification is accepted in library code.
+// NOLINT-atomic(fixture: pins the justification escape hatch) below:
+int fence_with_reason() {
+  std::atomic<int> x{0};  // Ordering contract: seq_cst, see marker below.
+  x.store(1, std::memory_order_seq_cst);  // NOLINT-atomic(Dekker-style flag handshake needs total order)
+  return x.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

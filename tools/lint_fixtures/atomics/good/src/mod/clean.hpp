@@ -1,0 +1,36 @@
+// Fixture: every rule satisfied.  Kept deliberately close to the idioms in
+// src/telemetry so the lint's acceptance behaviour is pinned against real
+// house style, not a toy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Tally {
+ public:
+  void add(std::uint64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Ordering contract: relaxed everywhere — a tally orders nothing.
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Ordering contract: release-publish by the writer, acquire by the reader;
+// the payload written before the store is visible after the load.
+extern std::atomic<bool> g_published;
+
+inline void publish() { g_published.store(true, std::memory_order_release); }
+inline bool consume() { return g_published.load(std::memory_order_acquire); }
+
+// A non-atomic `load` homonym must not trip rule 1.
+struct Stream {
+  int load() { return 0; }
+};
+inline int use_stream(Stream& s) { return s.load(); }
+
+}  // namespace fixture

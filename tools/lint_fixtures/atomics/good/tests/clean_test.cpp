@@ -1,0 +1,13 @@
+// Tests may use seq_cst freely — but still explicitly.
+#include <atomic>
+
+int main() {
+  std::atomic<int> counter{0};
+  counter.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic<bool> stop{false};
+  stop.store(true, std::memory_order_relaxed);
+  return counter.load(std::memory_order_seq_cst) == 1 &&
+                 stop.load(std::memory_order_relaxed)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,3 @@
+// Fixture: core is a leaf — it may not include tensor.
+#pragma once
+#include "tensor/t.hpp"

@@ -1,0 +1,2 @@
+// Fixture: a module absent from the layering spec.
+#pragma once

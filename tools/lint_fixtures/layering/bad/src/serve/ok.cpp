@@ -1,0 +1,2 @@
+// Fixture: a clean file in the bad tree (violations are per-file, not per-tree).
+#include "core/status.hpp"

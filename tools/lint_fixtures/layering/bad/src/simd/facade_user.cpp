@@ -1,0 +1,2 @@
+// Fixture: internal code including the umbrella facade.
+#include "core/bitflow.hpp"

@@ -1,0 +1,4 @@
+// Fixture: a commented-out upward include must NOT be flagged.
+#pragma once
+// #include "serve/engine.hpp"
+/* #include "serve/engine.hpp" */

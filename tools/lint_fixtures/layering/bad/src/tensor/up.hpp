@@ -1,0 +1,3 @@
+// Fixture: an upward include — tensor must never see serve.
+#pragma once
+#include "serve/engine.hpp"

@@ -1,0 +1,3 @@
+// Fixture: a leaf-module header including only the standard library.
+#pragma once
+#include <string>

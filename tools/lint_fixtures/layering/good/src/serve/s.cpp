@@ -1,0 +1,5 @@
+// Fixture: serve reaching DOWN through its transitive closure is fine —
+// baseline is not a direct dep of serve, but graph pulls it in.
+#include "baseline/float_ops.hpp"
+#include "core/status.hpp"
+#include "tensor/t.hpp"

@@ -1,0 +1,4 @@
+// Fixture: tensor may include core (a direct dependency).
+#pragma once
+#include "core/status.hpp"
+#include "tensor/detail.hpp"
