@@ -18,6 +18,7 @@
 
 #include "common.hpp"
 #include "bitpack/packer.hpp"
+#include "core/cancel.hpp"
 #include "simd/bitops.hpp"
 #include "simd/cpu_features.hpp"
 #include "simd/parity.hpp"
@@ -279,6 +280,39 @@ void emit_telemetry_bench_json() {
   std::fflush(stdout);
 }
 
+// One `BENCH {"bench":"cancel_checkpoint",...}` line: the cooperative-
+// cancellation costs CI's robustness job gates on.  An INERT token (the
+// default, what every non-deadline request carries) must make a checkpoint
+// one null check; an ARMED token (deadline/drain-cancellable request) pays
+// one relaxed atomic load.  Same baseline-subtraction convention as the
+// telemetry_span block above.
+void emit_cancel_bench_json() {
+  const double baseline = median_ns_per_iter([] {
+    int sink = 0;
+    benchmark::DoNotOptimize(sink);
+  });
+
+  static const core::CancelToken inert;
+  const double disarmed_ns =
+      std::max(0.0, median_ns_per_iter([] {
+                 inert.throw_if_cancelled();
+                 benchmark::DoNotOptimize(&inert);
+               }) - baseline);
+
+  static const core::CancelToken armed = core::CancelToken::cancellable();
+  const double armed_ns =
+      std::max(0.0, median_ns_per_iter([] {
+                 armed.throw_if_cancelled();
+                 benchmark::DoNotOptimize(&armed);
+               }) - baseline);
+
+  std::printf(
+      "BENCH {\"bench\":\"cancel_checkpoint\",\"disarmed_ns\":%.3f,"
+      "\"armed_ns\":%.3f,\"baseline_ns\":%.3f}\n",
+      disarmed_ns, armed_ns, baseline);
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -288,5 +322,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   emit_tiling_bench_json();
   emit_telemetry_bench_json();
+  emit_cancel_bench_json();
   return 0;
 }

@@ -1,0 +1,142 @@
+// Cooperative cancellation for the serving path.
+//
+// A CancelToken is a copyable handle to shared cancellation state carrying
+// an optional absolute deadline and a latched cancel flag.  The serving
+// engine derives one token per micro-batch (deadline = the latest member
+// deadline, cancellable by drain), plumbs it through
+// BinaryNetwork::infer_batch into the context's ThreadPool, and the
+// execution layers poll it cooperatively:
+//
+//   * graph::BinaryNetwork::infer_batch checks at every layer boundary and
+//     throws CancelledError — so an abandoned batch stops within one layer
+//     instead of burning the full forward pass;
+//   * runtime::ThreadPool::parallel_for checks at the start of every range
+//     chunk and *skips* the chunk (no exception crosses a pool worker; the
+//     next layer-boundary check converts the latched state into the error).
+//
+// Cost model (the robustness CI job gates this like the disarmed TraceSpan):
+//   * a default-constructed token is inert — poll() is one null-pointer
+//     check, < 2 ns, so the checkpoints stay compiled into release kernels;
+//   * an armed token costs one relaxed atomic load, plus one steady_clock
+//     read when a deadline is set.
+//
+// Once a token reports a reason it stays cancelled forever (latched), so a
+// chunk skipped by the pool can never be followed by a layer-boundary check
+// that sees "not cancelled" — partial results never escape.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace bitflow::core {
+
+/// Why a token fired.  kDeadline maps to kDeadlineExceeded at the serving
+/// boundary, kCancelled to kCancelled (serve/error_map.cpp).
+enum class CancelReason : std::uint8_t { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+/// Thrown by CancelToken::throw_if_cancelled() at cooperative checkpoints.
+/// Internal-only, like every other engine exception: the serving boundary
+/// maps it to a Status before it reaches a caller.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(reason == CancelReason::kDeadline
+                               ? "cancelled: deadline expired at a cooperative checkpoint"
+                               : "cancelled: caller abandoned the work (drain/cancel)"),
+        reason_(reason) {}
+  [[nodiscard]] CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+namespace detail {
+struct CancelState {
+  // Ordering contract: relaxed everywhere.  `reason` is a latched gate, not
+  // a publication channel: observers act on it by *stopping* (skipping work
+  // or throwing), never by reading data the canceller wrote.  A stale kNone
+  // merely delays the stop by one checkpoint.  compare_exchange keeps the
+  // first reason to land (cancel vs deadline races resolve arbitrarily but
+  // permanently).
+  std::atomic<std::uint8_t> reason{0};
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+}  // namespace detail
+
+/// Copyable, thread-safe cancellation handle.  Default-constructed tokens
+/// are inert (never fire, near-zero poll cost); armed tokens come from
+/// cancellable() / with_deadline().
+class CancelToken {
+ public:
+  /// Inert token: poll() is a null check and always returns kNone.
+  CancelToken() = default;
+
+  /// Armed token with no deadline; fires only via cancel().
+  [[nodiscard]] static CancelToken cancellable() {
+    return CancelToken(std::make_shared<detail::CancelState>());
+  }
+
+  /// Armed token that self-fires (reason kDeadline) once `deadline` passes;
+  /// also cancellable.  time_point::max() means "cancellable, no deadline".
+  [[nodiscard]] static CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) {
+    auto s = std::make_shared<detail::CancelState>();
+    s->deadline = deadline;
+    return CancelToken(std::move(s));
+  }
+
+  /// False for default-constructed (inert) tokens.
+  [[nodiscard]] bool armed() const noexcept { return s_ != nullptr; }
+
+  /// Requests cancellation (latched; no-op on an inert token or when a
+  /// reason already landed).  Safe from any thread.
+  void cancel() const noexcept {
+    if (s_ == nullptr) return;
+    std::uint8_t expected = 0;
+    s_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kCancelled),
+        std::memory_order_relaxed, std::memory_order_relaxed);
+  }
+
+  /// Current reason; latches kDeadline on first observation past the
+  /// deadline.  Inert tokens always return kNone.
+  [[nodiscard]] CancelReason poll() const noexcept {
+    if (s_ == nullptr) return CancelReason::kNone;
+    const std::uint8_t r = s_->reason.load(std::memory_order_relaxed);
+    if (r != 0) return static_cast<CancelReason>(r);
+    if (s_->deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= s_->deadline) {
+      std::uint8_t expected = 0;
+      s_->reason.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+          std::memory_order_relaxed, std::memory_order_relaxed);
+      return static_cast<CancelReason>(s_->reason.load(std::memory_order_relaxed));
+    }
+    return CancelReason::kNone;
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return poll() != CancelReason::kNone;
+  }
+
+  /// Cooperative checkpoint: throws CancelledError when the token fired.
+  void throw_if_cancelled() const {
+    const CancelReason r = poll();
+    if (r != CancelReason::kNone) throw CancelledError(r);
+  }
+
+  /// The armed deadline (time_point::max() when none / inert).
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline() const noexcept {
+    return s_ == nullptr ? std::chrono::steady_clock::time_point::max() : s_->deadline;
+  }
+
+ private:
+  explicit CancelToken(std::shared_ptr<detail::CancelState> s) : s_(std::move(s)) {}
+  std::shared_ptr<detail::CancelState> s_;
+};
+
+}  // namespace bitflow::core

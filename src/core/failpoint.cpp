@@ -17,7 +17,7 @@ namespace {
 // Fixed catalog of every injection site compiled into the library.  Names
 // are namespaced by subsystem; the serving boundary maps a FaultInjected
 // back to a Status code by this prefix (serve/session.cpp).
-constexpr std::array<PointInfo, 9> kCatalog{{
+constexpr std::array<PointInfo, 13> kCatalog{{
     {"io.open", "Model::load(path) after the file was opened"},
     {"io.read_header", "Model::load(istream) after magic/version were read"},
     {"io.read_weights", "Model::load(istream) before each layer weight payload"},
@@ -26,6 +26,12 @@ constexpr std::array<PointInfo, 9> kCatalog{{
     {"runtime.worker_stall", "ThreadPool job execution (stall flavour, same site)"},
     {"serve.infer", "InferenceSession/Engine inference entry, inside the error boundary"},
     {"serve.queue_admit", "Engine::submit admission path, before the request is enqueued"},
+    {"serve.shed", "Engine::submit load-shedding decision: site-fault forces a shed"},
+    {"serve.cancel_checkpoint",
+     "infer_batch layer-boundary checkpoint: site-fault forces a cancellation"},
+    {"serve.drain", "Engine::drain entry, inside the drain error boundary"},
+    {"serve.worker_quarantine",
+     "Engine worker breaker evaluation: site-fault forces a quarantine trip"},
     {"simd.force_fallback", "finalize() ISA clamp: site-fault lowers every layer to u64"},
 }};
 

@@ -34,6 +34,8 @@ enum class ErrorCode : std::uint8_t {
   kDeadlineExceeded,    ///< inference did not finish within the configured deadline
   kUnsupportedIsa,      ///< requested ISA level is not executable on this CPU
   kInternal,            ///< any other exception caught at the boundary
+  kCancelled,           ///< work abandoned at a cooperative cancellation checkpoint
+  kUnavailable,         ///< engine is draining/drained and not accepting work
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
@@ -46,6 +48,8 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
     case ErrorCode::kUnsupportedIsa: return "kUnsupportedIsa";
     case ErrorCode::kInternal: return "kInternal";
+    case ErrorCode::kCancelled: return "kCancelled";
+    case ErrorCode::kUnavailable: return "kUnavailable";
   }
   return "?";
 }

@@ -600,6 +600,12 @@ InferenceContext BinaryNetwork::make_context(std::int64_t max_batch, int num_thr
 
 std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const> inputs,
                                                   InferenceContext& ctx) const {
+  return infer_batch(inputs, ctx, core::CancelToken{});
+}
+
+std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const> inputs,
+                                                  InferenceContext& ctx,
+                                                  const core::CancelToken& cancel) const {
   const Impl& im = *impl_;
   InferenceContext::Impl& cx = *ctx.impl_;
   if (!im.finalized) throw std::logic_error("BinaryNetwork: infer before finalize");
@@ -627,6 +633,20 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
   cx.profile_ms.clear();
   telemetry::TraceSpan whole_span("graph.infer_batch", "graph", n);
   std::uint64_t t0 = profile ? telemetry::trace_now_ns() : 0;
+
+  // Cooperative-cancellation checkpoints: the token rides the context's pool
+  // (chunk-level skips inside parallel_for) and is polled here at every
+  // layer boundary.  The serve.cancel_checkpoint failpoint shares the site
+  // so the fault matrix can force a cancellation deterministically.  Inert
+  // token: one null check + one relaxed load per layer.
+  cx.pool.set_cancel_token(cancel);
+  const auto checkpoint = [&cancel] {
+    cancel.throw_if_cancelled();
+    if (BF_FAILPOINT_TRIGGERED("serve.cancel_checkpoint")) {
+      throw core::CancelledError(core::CancelReason::kCancelled);
+    }
+  };
+  checkpoint();
 
   // Input stage: binarize + pack each image into its batch slot of the
   // first buffer's interior — unless the first layer is the full-precision
@@ -662,6 +682,7 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
 
   const std::int64_t out_size = im.plan.scores_size;
   for (std::size_t i = 0; i < im.stages.size(); ++i) {
+    checkpoint();  // layer boundary: abandoned batches stop within one layer
     const Stage& s = im.stages[i];
     const float* th = s.thresholds.empty() ? nullptr : s.thresholds.data();
     telemetry::TraceSpan layer_span(im.span_names[i].c_str(), "layer", n);

@@ -161,17 +161,31 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
   throw WorkerFailure(failures, num_threads_, describe(primary));
 }
 
+void ThreadPool::set_cancel_token(core::CancelToken token) {
+  core::MutexLock lock(mutex_);
+  cancel_ = std::move(token);
+}
+
 void ThreadPool::parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn) {
   if (n <= 0) return;
+  // One handle copy per dispatch (an uncontended lock, noise next to the
+  // fork/join itself); the per-chunk poll below is lock-free.
+  core::CancelToken cancel;
+  {
+    core::MutexLock lock(mutex_);
+    cancel = cancel_;
+  }
   if (num_threads_ == 1) {
     // Through run_job so failpoints and tick accounting behave the same as
     // the multi-threaded path.
+    if (cancel.stop_requested()) return;  // chunk-level cooperative skip
     run_job([&fn, n](int worker) { fn(Range{0, n}, worker); }, 0);
     return;
   }
   const int p = static_cast<int>(std::min<std::int64_t>(num_threads_, n));
   run_on_all([&](int worker) {
     if (worker >= p) return;
+    if (cancel.stop_requested()) return;  // chunk-level cooperative skip
     const Range r = static_block(n, p, worker);
     if (r.size() > 0) fn(r, worker);
   });

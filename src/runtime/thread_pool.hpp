@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/check.hpp"
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
@@ -113,8 +114,23 @@ class ThreadPool {
 
   /// Splits [0, n) into static blocks and runs `fn(range, worker_index)` on
   /// each worker.  Workers whose block is empty skip the call.
+  ///
+  /// Cooperative cancellation: when a cancel token is installed
+  /// (set_cancel_token) and fires, each worker checks it once at the start
+  /// of its range chunk and *skips* the chunk — no exception crosses a pool
+  /// worker, so the run_on_all error contract is unchanged.  The caller
+  /// (graph layer) converts the latched token into an error at its next
+  /// layer-boundary checkpoint; buffers touched by skipped chunks are
+  /// garbage by then but provably never read.
   void parallel_for(std::int64_t n, const std::function<void(Range, int)>& fn)
       BF_EXCLUDES(mutex_);
+
+  /// Installs the token every subsequent parallel_for chunk polls (an inert
+  /// default token disables the checks beyond one null-pointer test).  Must
+  /// not be called concurrently with a running job on this pool — the owner
+  /// of the pool (one inference stream per context) sets it between
+  /// inferences.
+  void set_cancel_token(core::CancelToken token) BF_EXCLUDES(mutex_);
 
   /// Per-worker tallies since construction: every worker's task count and
   /// approximate busy time (two clock reads per job — noise next to a layer
@@ -147,6 +163,10 @@ class ThreadPool {
   core::Mutex mutex_;
   core::CondVar start_cv_;
   core::CondVar done_cv_;
+  /// Cooperative-cancellation token polled by parallel_for chunks.  Guarded
+  /// by mutex_ only for the handle copy (set vs the per-dispatch snapshot);
+  /// the token's own state is atomic and polled lock-free inside chunks.
+  core::CancelToken cancel_ BF_GUARDED_BY(mutex_);
   const std::function<void(int)>* job_ BF_GUARDED_BY(mutex_) = nullptr;
   std::uint64_t job_epoch_ BF_GUARDED_BY(mutex_) = 0;
   int pending_ BF_GUARDED_BY(mutex_) = 0;

@@ -5,11 +5,15 @@
 #include <chrono>
 #include <cmath>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "core/cancel.hpp"
 #include "core/failpoint.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "serve/batcher.hpp"
 #include "serve/error_map.hpp"
 #include "serve/request_queue.hpp"
@@ -21,6 +25,17 @@ namespace bitflow::serve {
 
 using core::ErrorCode;
 using core::Status;
+
+const char* engine_state_name(EngineState s) noexcept {
+  switch (s) {
+    case EngineState::kStarting: return "starting";
+    case EngineState::kServing: return "serving";
+    case EngineState::kReloading: return "reloading";
+    case EngineState::kDraining: return "draining";
+    case EngineState::kDrained: return "drained";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -49,48 +64,98 @@ std::string next_engine_label() {
   return "engine=\"" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) + "\"";
 }
 
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
 }  // namespace
 
 struct Engine::Impl {
   EngineConfig cfg;
-  graph::BinaryNetwork net;
   RequestQueue queue;
   std::vector<std::thread> threads;
   std::once_flag shutdown_once;
 
+  // --- lifecycle state -------------------------------------------------------
+  // mu_ guards the lifecycle: state machine, generation pointer, in-flight
+  // accounting, per-worker batch tokens, and the breaker census.  It is never
+  // held across inference, a context (re)build, or a queue operation —
+  // RequestQueue's internal mutex and mu_ stay independent leaves.  Lock
+  // order with telemetry: the callback gauges below take mu_ inside the
+  // registry mutex at scrape time (Registry mu -> mu_, one-way); nothing
+  // holding mu_ may call the registry's locked API (DESIGN.md §7).
+  mutable core::Mutex mu_;
+  EngineState state_ BF_GUARDED_BY(mu_) = EngineState::kStarting;
+  bool closing_ BF_GUARDED_BY(mu_) = false;     // shutdown() entered
+  bool drain_hard_ BF_GUARDED_BY(mu_) = false;  // drain timeout: cancel the rest
+  /// Admitted-but-unresolved requests; idle_cv_ signals the drop to zero.
+  std::size_t in_flight_ BF_GUARDED_BY(mu_) = 0;
+  core::CondVar idle_cv_;
+  /// Wakes quarantined workers early (shutdown or drain escalation).
+  core::CondVar state_cv_;
+  /// The served network generation.  Workers hold their own shared_ptr while
+  /// executing, so retiring a generation never invalidates a running batch.
+  std::shared_ptr<const graph::BinaryNetwork> net_ BF_GUARDED_BY(mu_);
+  std::uint64_t net_gen_ BF_GUARDED_BY(mu_) = 1;
+  /// batch_tokens_[w] = cancel token of worker w's in-progress batch (inert
+  /// when the worker is between batches); drain() escalation cancels them.
+  std::vector<core::CancelToken> batch_tokens_ BF_GUARDED_BY(mu_);
+  int quarantined_ BF_GUARDED_BY(mu_) = 0;
+
+  /// Reload keeps these invariant (validated), so admission reads them
+  /// without touching the generation pointer.
+  const graph::TensorDesc in_desc_;
+  const std::int64_t out_size_;
+
+  /// EWMA of per-request service time (batch wall clock / batch size), the
+  /// numerator of the admission-time queue-delay estimate.
+  // Ordering contract: relaxed loads/stores everywhere — this is a heuristic
+  // shared between workers (writers) and submitters (readers); a lost
+  // racing update merely delays convergence by one batch, and no other
+  // state is published through it.
+  std::atomic<std::uint64_t> ewma_request_ns_{0};
+
   // All counters and histograms live in the process-wide telemetry registry,
   // labeled per engine: stats() reconstructs this engine's view from its own
   // instruments while one Prometheus scrape sees every engine at once.
-  // Recording stays what it was with the hand-rolled atomics — relaxed adds
-  // on pre-registered storage — but the batch/latency histograms lose their
-  // mutex (registry histograms are wait-free).
   const std::string label = next_engine_label();  // before the refs: init order
   telemetry::Counter& accepted;
   telemetry::Counter& rejected;
+  telemetry::Counter& shed;
   telemetry::Counter& expired;
   telemetry::Counter& completed;
   telemetry::Counter& failed;
+  telemetry::Counter& cancelled;
   telemetry::Counter& batches;
   telemetry::Counter& batch_images;    // occupancy numerator
   telemetry::Counter& queue_overflow;  // full-queue rejections specifically
+  telemetry::Counter& drains;
+  telemetry::Counter& reloads;
+  telemetry::Counter& quarantines;
   telemetry::Histogram& batch_size_hist;  // linear: exact counts for 0..max_batch
   telemetry::Histogram& latency_us_hist;  // log2 microseconds
 
-  Impl(EngineConfig c, graph::BinaryNetwork n)
+  Impl(EngineConfig c, std::shared_ptr<const graph::BinaryNetwork> n)
       : cfg(c),
-        net(std::move(n)),
         queue(c.queue_capacity),
+        net_(std::move(n)),
+        in_desc_(net_->input_desc()),
+        out_size_(net_->output_size()),
         accepted(telemetry::registry().counter("serve.requests.accepted", label)),
         rejected(telemetry::registry().counter("serve.requests.rejected", label)),
+        shed(telemetry::registry().counter("serve.requests.shed", label)),
         expired(telemetry::registry().counter("serve.requests.expired", label)),
         completed(telemetry::registry().counter("serve.requests.completed", label)),
         failed(telemetry::registry().counter("serve.requests.failed", label)),
+        cancelled(telemetry::registry().counter("serve.requests.cancelled", label)),
         batches(telemetry::registry().counter("serve.batches", label)),
         batch_images(telemetry::registry().counter("serve.batch.images", label)),
         queue_overflow(telemetry::registry().counter("serve.queue.overflow", label)),
+        drains(telemetry::registry().counter("serve.drains", label)),
+        reloads(telemetry::registry().counter("serve.reloads", label)),
+        quarantines(telemetry::registry().counter("serve.worker.quarantines", label)),
         batch_size_hist(
             telemetry::registry().histogram("serve.batch.size", label, c.max_batch)),
         latency_us_hist(telemetry::registry().histogram("serve.request.latency_us", label)) {
+    batch_tokens_.resize(static_cast<std::size_t>(c.workers));
     // Derived state evaluated only at scrape time.  The Impl address is
     // stable across Engine moves, so `this` capture is safe; ~Impl removes
     // the callbacks before the captured members die.
@@ -103,6 +168,20 @@ struct Engine::Impl {
           if (b == 0.0) return 0.0;
           return static_cast<double>(batch_images.value()) /
                  (b * static_cast<double>(cfg.max_batch));
+        });
+    telemetry::registry().add_callback_gauge(this, "serve.state", label, [this] {
+      core::MutexLock lock(mu_);
+      return static_cast<double>(static_cast<int>(state_));
+    });
+    telemetry::registry().add_callback_gauge(
+        this, "serve.requests.in_flight", label, [this] {
+          core::MutexLock lock(mu_);
+          return static_cast<double>(in_flight_);
+        });
+    telemetry::registry().add_callback_gauge(
+        this, "serve.workers.quarantined", label, [this] {
+          core::MutexLock lock(mu_);
+          return static_cast<double>(quarantined_);
         });
   }
 
@@ -122,8 +201,29 @@ struct Engine::Impl {
     }
   }
 
+  /// One admitted request fully resolved: drops the in-flight count and, at
+  /// zero, wakes drain()/shutdown() waiters.
+  void finish_one() BF_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    if (in_flight_ > 0 && --in_flight_ == 0) idle_cv_.notify_all();
+  }
+
   void resolve_ok(Request& r, const float* scores, std::int64_t count) {
     const auto now = std::chrono::steady_clock::now();
+    // The deadline is a contract on the WHOLE request: a member that rode a
+    // mixed batch past its own budget (the batch token only trips once
+    // every member is over) has scores, but delivering them late would
+    // stretch the completed-latency tail unboundedly under overload.  It
+    // counts as expired, and the latency histogram only ever sees requests
+    // that met their contract.
+    if (now > r.deadline) {
+      expired.add();
+      trace_request(r);
+      r.promise.set_value(Status{ErrorCode::kDeadlineExceeded,
+                                 "request completed past its deadline"});
+      finish_one();
+      return;
+    }
     const std::uint64_t us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now - r.enqueue_time).count());
     // Count before fulfilling the promise: a caller that has observed its
@@ -132,12 +232,14 @@ struct Engine::Impl {
     latency_us_hist.record(us);
     trace_request(r);
     r.promise.set_value(std::vector<float>(scores, scores + count));
+    finish_one();
   }
 
   void resolve_error(Request& r, Status st) {
     failed.add();
     trace_request(r);
     r.promise.set_value(std::move(st));
+    finish_one();
   }
 
   void resolve_expired(Request& r) {
@@ -146,21 +248,136 @@ struct Engine::Impl {
     r.promise.set_value(Status{
         ErrorCode::kDeadlineExceeded,
         "request expired after waiting in queue beyond its deadline"});
+    finish_one();
   }
 
-  /// Worker thread body: replicated context + batcher loop.  Exits when the
-  /// queue is closed and drained; every popped request's promise resolves.
-  void worker_main() {
-    graph::InferenceContext ctx = net.make_context(cfg.max_batch, cfg.net.num_threads);
+  void resolve_cancelled(Request& r, const char* why) {
+    cancelled.add();
+    trace_request(r);
+    r.promise.set_value(Status{ErrorCode::kCancelled, why});
+    finish_one();
+  }
+
+  /// A batch abandoned at a cooperative checkpoint: members whose own
+  /// deadline has lapsed keep the deadline vocabulary; the rest were
+  /// cancelled outright (drain escalation).
+  void resolve_abandoned(Request& r) {
+    if (r.deadline <= std::chrono::steady_clock::now()) {
+      expired.add();
+      trace_request(r);
+      r.promise.set_value(Status{
+          ErrorCode::kDeadlineExceeded,
+          "deadline expired at a mid-inference cancellation checkpoint"});
+      finish_one();
+    } else {
+      resolve_cancelled(r, "request cancelled at a cooperative checkpoint (drain)");
+    }
+  }
+
+  /// Circuit breaker: this worker sits out for breaker_backoff (or until
+  /// shutdown/drain escalation), then returns to the batcher loop to
+  /// re-probe with real traffic.
+  void quarantine() BF_EXCLUDES(mu_) {
+    quarantines.add();
+    core::MutexLock lock(mu_);
+    ++quarantined_;
+    const auto until = std::chrono::steady_clock::now() + cfg.breaker_backoff;
+    while (!closing_ && !drain_hard_) {
+      if (state_cv_.wait_until(lock, until) == std::cv_status::timeout) break;
+    }
+    --quarantined_;
+  }
+
+  /// Worker thread body: replicated per-generation context + batcher loop.
+  /// Exits when the queue is closed and drained; every popped request's
+  /// promise resolves.
+  void worker_main(int widx) {
+    std::shared_ptr<const graph::BinaryNetwork> my_net;
+    std::uint64_t my_gen = 0;
+    {
+      core::MutexLock lock(mu_);
+      my_net = net_;
+      my_gen = net_gen_;
+    }
+    // A context build can fail (allocation fault injection, genuine memory
+    // pressure): retry — such faults are transient — and bail out only once
+    // the engine is shutting down with nothing left to drain.
+    std::optional<graph::InferenceContext> ctx;
+    while (!ctx.has_value()) {
+      try {
+        ctx.emplace(my_net->make_context(cfg.max_batch, cfg.net.num_threads));
+      } catch (...) {
+        if (queue.closed() && queue.size() == 0) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     Batcher batcher(queue, BatcherConfig{cfg.max_batch, cfg.batch_timeout});
-    const std::int64_t out_size = net.output_size();
     std::vector<Request> batch, lapsed;
     std::vector<const Tensor*> inputs;
     inputs.reserve(static_cast<std::size_t>(cfg.max_batch));
+    int consecutive_failures = 0;
 
     while (batcher.next_batch(batch, lapsed)) {
       for (Request& r : lapsed) resolve_expired(r);
+
+      // Generation + drain checks at the batch boundary: one short lock.
+      bool hard = false;
+      std::shared_ptr<const graph::BinaryNetwork> fresh;
+      std::uint64_t fresh_gen = 0;
+      {
+        core::MutexLock lock(mu_);
+        hard = drain_hard_;
+        if (net_gen_ != my_gen) {
+          fresh = net_;
+          fresh_gen = net_gen_;
+        }
+      }
+      if (fresh) {
+        try {
+          // Build the new generation's context BEFORE retiring the old one:
+          // if the build fails (allocation fault), this worker keeps serving
+          // the previous generation and retries at the next batch boundary.
+          graph::InferenceContext next_ctx =
+              fresh->make_context(cfg.max_batch, cfg.net.num_threads);
+          ctx.reset();  // old context must not outlive its network below
+          ctx.emplace(std::move(next_ctx));
+          my_net = std::move(fresh);
+          my_gen = fresh_gen;
+        } catch (...) {
+          // Transient: stay on the old generation, retry next batch.
+        }
+      }
       if (batch.empty()) continue;
+      if (hard) {
+        for (Request& r : batch) {
+          resolve_cancelled(r, "request cancelled: engine drained before it could run");
+        }
+        continue;
+      }
+
+      // The batch runs under one token armed with the LATEST member
+      // deadline: the batch aborts only once every member's budget is gone
+      // (any member without a deadline keeps the token deadline-free; drain
+      // escalation can still cancel it explicitly).
+      auto latest = std::chrono::steady_clock::time_point::min();
+      bool unbounded = false;
+      for (const Request& r : batch) {
+        if (r.deadline == kNoDeadline) {
+          unbounded = true;
+        } else {
+          latest = std::max(latest, r.deadline);
+        }
+      }
+      const core::CancelToken token =
+          unbounded ? core::CancelToken::cancellable()
+                    : core::CancelToken::with_deadline(latest);
+      {
+        core::MutexLock lock(mu_);
+        batch_tokens_[static_cast<std::size_t>(widx)] = token;
+        // Drain may have escalated between the pop and this registration;
+        // cancelling here (instead of re-classifying) keeps one code path.
+        if (drain_hard_) token.cancel();
+      }
 
       const std::int64_t n = static_cast<std::int64_t>(batch.size());
       inputs.clear();
@@ -168,29 +385,80 @@ struct Engine::Impl {
       batches.add();
       batch_images.add(static_cast<std::uint64_t>(n));
       batch_size_hist.record(static_cast<std::uint64_t>(n));
-      telemetry::TraceSpan batch_span("serve.batch", "serve", n);
-
-      try {
-        BF_FAILPOINT("serve.infer");
-        const std::span<const float> scores = net.infer_batch(inputs, ctx);
-        for (std::int64_t b = 0; b < n; ++b) {
-          resolve_ok(batch[static_cast<std::size_t>(b)], scores.data() + b * out_size,
-                     out_size);
-        }
-      } catch (...) {
-        // Exception firewall: the batch is poisoned, but which member is at
-        // fault?  Rerun each alone so only the faulty request fails and the
-        // rest still get scores; the worker keeps serving either way.
-        for (Request& r : batch) {
-          try {
-            BF_FAILPOINT("serve.infer");
-            const Tensor* one = &r.input;
-            const std::span<const float> scores = net.infer_batch({&one, 1}, ctx);
-            resolve_ok(r, scores.data(), out_size);
-          } catch (...) {
-            resolve_error(r, map_infer_error());
+      const auto t0 = std::chrono::steady_clock::now();
+      bool worker_failed = false;
+      {
+        telemetry::TraceSpan batch_span("serve.batch", "serve", n);
+        try {
+          BF_FAILPOINT("serve.infer");
+          const std::span<const float> scores = my_net->infer_batch(inputs, *ctx, token);
+          for (std::int64_t b = 0; b < n; ++b) {
+            resolve_ok(batch[static_cast<std::size_t>(b)], scores.data() + b * out_size_,
+                       out_size_);
+          }
+        } catch (const core::CancelledError&) {
+          // The whole batch stopped at a checkpoint; no rerun — the members
+          // are expired or cancelled, not poisoned.
+          for (Request& r : batch) resolve_abandoned(r);
+        } catch (...) {
+          // Exception firewall: the batch is poisoned, but which member is
+          // at fault?  Rerun each alone so only the faulty request fails and
+          // the rest still get scores; the worker keeps serving either way.
+          for (Request& r : batch) {
+            try {
+              BF_FAILPOINT("serve.infer");
+              const Tensor* one = &r.input;
+              const std::span<const float> scores =
+                  my_net->infer_batch({&one, 1}, *ctx, token);
+              resolve_ok(r, scores.data(), out_size_);
+            } catch (const core::CancelledError&) {
+              resolve_abandoned(r);
+            } catch (...) {
+              Status st = map_infer_error();
+              if (st.code() == ErrorCode::kWorkerFailure) worker_failed = true;
+              resolve_error(r, std::move(st));
+            }
           }
         }
+      }
+      {
+        core::MutexLock lock(mu_);
+        batch_tokens_[static_cast<std::size_t>(widx)] = core::CancelToken{};
+      }
+
+      // Feed the admission-control estimate: per-request service time EWMA
+      // (alpha = 1/4) over this batch.
+      const std::int64_t wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const std::int64_t sample = wall_ns / n;
+      // Ordering contract: relaxed — see ewma_request_ns_ declaration.
+      const std::int64_t prev = static_cast<std::int64_t>(
+          ewma_request_ns_.load(std::memory_order_relaxed));
+      const std::int64_t next = prev == 0 ? sample : prev + (sample - prev) / 4;
+      // Ordering contract: relaxed — see ewma_request_ns_ declaration.
+      ewma_request_ns_.store(static_cast<std::uint64_t>(std::max<std::int64_t>(next, 1)),
+                             std::memory_order_relaxed);
+
+      // Circuit breaker: only genuine worker-pool failures count (an
+      // injected kInternal or a bad request is not a sick worker).
+      bool trip = false;
+      if (cfg.breaker_threshold > 0) {
+        if (worker_failed) {
+          trip = ++consecutive_failures >= cfg.breaker_threshold;
+        } else {
+          consecutive_failures = 0;
+        }
+      }
+      try {
+        if (BF_FAILPOINT_TRIGGERED("serve.worker_quarantine")) trip = true;
+      } catch (...) {
+        trip = true;  // the failpoint's error action also forces a trip
+      }
+      if (trip) {
+        consecutive_failures = 0;
+        quarantine();
       }
     }
   }
@@ -217,20 +485,30 @@ core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
   if (cfg.net.num_threads < 1) {
     return Status{ErrorCode::kBadInput, "EngineConfig: net.num_threads must be >= 1"};
   }
+  if (cfg.breaker_threshold < 0) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: breaker_threshold must be >= 0"};
+  }
+  if (cfg.breaker_backoff.count() < 0) {
+    return Status{ErrorCode::kBadInput, "EngineConfig: breaker_backoff must be >= 0"};
+  }
   if (cfg.net.max_isa.has_value() && !simd::cpu_features().supports(*cfg.net.max_isa)) {
     return Status{ErrorCode::kUnsupportedIsa,
                   "requested max_isa " + std::string(simd::isa_name(*cfg.net.max_isa)) +
                       " is not executable on this CPU"};
   }
   try {
-    graph::BinaryNetwork net = model.instantiate(cfg.net);
+    auto net = std::make_shared<const graph::BinaryNetwork>(model.instantiate(cfg.net));
     auto impl = std::make_unique<Impl>(cfg, std::move(net));
     // Contexts are created inside each worker thread (first thing it does),
     // so their allocation cost is paid off the caller's critical path.
     impl->threads.reserve(static_cast<std::size_t>(cfg.workers));
     Impl* ip = impl.get();  // Impl address is stable across Engine moves
     for (int w = 0; w < cfg.workers; ++w) {
-      impl->threads.emplace_back([ip] { ip->worker_main(); });
+      impl->threads.emplace_back([ip, w] { ip->worker_main(w); });
+    }
+    {
+      core::MutexLock lock(ip->mu_);
+      ip->state_ = EngineState::kServing;
     }
     return Engine(std::move(impl));
   } catch (...) {
@@ -248,28 +526,33 @@ core::Result<Engine> Engine::open(const std::string& path, EngineConfig cfg) {
 }
 
 std::future<core::Result<std::vector<float>>> Engine::submit(Tensor input) {
-  return submit(std::move(input), impl_->cfg.default_deadline);
+  return submit(std::move(input), impl_->cfg.default_deadline, Priority::kNormal);
+}
+
+std::future<core::Result<std::vector<float>>> Engine::submit(Tensor input,
+                                                             Priority priority) {
+  return submit(std::move(input), impl_->cfg.default_deadline, priority);
 }
 
 std::future<core::Result<std::vector<float>>> Engine::submit(
-    Tensor input, std::chrono::milliseconds deadline) {
+    Tensor input, std::chrono::milliseconds deadline, Priority priority) {
   Impl& im = *impl_;
   Request r;
   r.input = std::move(input);
+  r.priority = priority;
   std::future<core::Result<std::vector<float>>> fut = r.promise.get_future();
 
   // Validate before admission: a shape mismatch is the caller's fault and
   // must not consume queue capacity.
-  const graph::TensorDesc want = im.net.input_desc();
-  if (r.input.height() != want.h || r.input.width() != want.w ||
-      r.input.channels() != want.c) {
+  if (r.input.height() != im.in_desc_.h || r.input.width() != im.in_desc_.w ||
+      r.input.channels() != im.in_desc_.c) {
     im.rejected.add();
     r.promise.set_value(Status{
         ErrorCode::kBadInput,
         "submit: input is " + std::to_string(r.input.height()) + "x" +
             std::to_string(r.input.width()) + "x" + std::to_string(r.input.channels()) +
-            ", network wants " + std::to_string(want.h) + "x" + std::to_string(want.w) + "x" +
-            std::to_string(want.c)});
+            ", network wants " + std::to_string(im.in_desc_.h) + "x" +
+            std::to_string(im.in_desc_.w) + "x" + std::to_string(im.in_desc_.c)});
     return fut;
   }
 
@@ -284,10 +567,81 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
     return fut;
   }
 
+  // Shed failpoint evaluated outside the lifecycle lock (its stall action
+  // must not wedge every submitter); a site action forces the shed branch,
+  // an error action maps straight to kResourceExhausted.
+  bool force_shed = false;
+  try {
+    force_shed = BF_FAILPOINT_TRIGGERED("serve.shed");
+  } catch (...) {
+    im.shed.add();
+    im.rejected.add();
+    r.promise.set_value(map_infer_error());
+    return fut;
+  }
+
+  // Lifecycle gate + adaptive shedding + in-flight admission, one lock.
+  std::uint64_t est_wait_ns = 0;
+  {
+    core::MutexLock lock(im.mu_);
+    if (im.closing_) {
+      im.rejected.add();
+      r.promise.set_value(
+          Status{ErrorCode::kResourceExhausted, "submit: engine is shut down"});
+      return fut;
+    }
+    if (im.state_ == EngineState::kDraining || im.state_ == EngineState::kDrained) {
+      im.rejected.add();
+      r.promise.set_value(Status{
+          ErrorCode::kUnavailable,
+          "submit: engine is " + std::string(engine_state_name(im.state_)) +
+              " and not accepting new requests"});
+      return fut;
+    }
+    bool do_shed = force_shed;
+    if (!do_shed && im.cfg.adaptive_shedding && priority == Priority::kNormal &&
+        deadline.count() > 0) {
+      // Shed formula: expected wait = in-flight work / drain rate, i.e.
+      // in_flight * EWMA(service time per request) / workers.  The request
+      // is admitted only while that wait fits in HALF its budget: the other
+      // half is headroom for the service time itself and for estimator lag
+      // (the EWMA trails the queue by a batch).  Admitting right up to the
+      // full budget puts every admitted request at the expiry margin — the
+      // classic overload failure where work is accepted, queued for its
+      // whole deadline, then thrown away.
+      // Ordering contract: relaxed — see ewma_request_ns_ declaration.
+      const std::uint64_t ewma = im.ewma_request_ns_.load(std::memory_order_relaxed);
+      if (ewma > 0) {
+        est_wait_ns = static_cast<std::uint64_t>(im.in_flight_) * ewma /
+                      static_cast<std::uint64_t>(im.cfg.workers);
+        const std::uint64_t budget_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(deadline).count());
+        do_shed = est_wait_ns > budget_ns / 2;
+      }
+    }
+    if (do_shed) {
+      im.shed.add();
+      im.rejected.add();
+      r.promise.set_value(Status{
+          ErrorCode::kResourceExhausted,
+          "submit: shed by overload control (estimated queue delay " +
+              std::to_string(est_wait_ns / 1000) + " us exceeds the " +
+              std::to_string(deadline.count()) + " ms deadline budget)"});
+      return fut;
+    }
+    // Count the request in flight BEFORE the push: a worker may pop and
+    // resolve it before try_push even returns.
+    ++im.in_flight_;
+  }
+
   r.enqueue_time = std::chrono::steady_clock::now();
   if (deadline.count() > 0) r.deadline = r.enqueue_time + deadline;
 
   if (!im.queue.try_push(r)) {
+    {
+      core::MutexLock lock(im.mu_);
+      if (im.in_flight_ > 0 && --im.in_flight_ == 0) im.idle_cv_.notify_all();
+    }
     im.rejected.add();
     im.queue_overflow.add();
     r.promise.set_value(Status{
@@ -305,12 +659,102 @@ core::Result<std::vector<float>> Engine::infer(Tensor input) {
   return submit(std::move(input)).get();
 }
 
+core::Status Engine::drain(std::chrono::milliseconds timeout) {
+  Impl& im = *impl_;
+  telemetry::TraceSpan span("serve.drain", "serve");
+  // Drain error boundary: an injected fault models an orchestrator-visible
+  // drain refusal (kUnavailable via the serve.drain mapping).
+  try {
+    BF_FAILPOINT("serve.drain");
+  } catch (...) {
+    return map_infer_error();
+  }
+  {
+    core::MutexLock lock(im.mu_);
+    if (im.state_ == EngineState::kDrained) return Status::ok();  // idempotent
+    if (im.closing_ || im.state_ != EngineState::kServing) {
+      return Status{ErrorCode::kUnavailable,
+                    "drain: engine is " + std::string(engine_state_name(im.state_)) +
+                        (im.closing_ ? " (shutting down)" : "") +
+                        "; only a serving engine can start a drain"};
+    }
+    im.state_ = EngineState::kDraining;
+  }
+  im.drains.add();
+  {
+    core::MutexLock lock(im.mu_);
+    if (timeout.count() > 0) {
+      const auto escalate_at = std::chrono::steady_clock::now() + timeout;
+      while (im.in_flight_ != 0) {
+        if (im.idle_cv_.wait_until(lock, escalate_at) == std::cv_status::timeout) break;
+      }
+      if (im.in_flight_ != 0) {
+        // Timeout: cancel running batches at their next cooperative
+        // checkpoint and fast-fail everything still queued.  The second
+        // wait below is unbounded but now bounded in practice by one layer
+        // of inference per worker.
+        im.drain_hard_ = true;
+        for (core::CancelToken& t : im.batch_tokens_) t.cancel();
+        im.state_cv_.notify_all();  // quarantined workers: wake and drain
+      }
+    }
+    while (im.in_flight_ != 0) im.idle_cv_.wait(lock);
+    im.state_ = EngineState::kDrained;
+  }
+  return Status::ok();
+}
+
+core::Status Engine::reload(const io::Model& model) {
+  Impl& im = *impl_;
+  telemetry::TraceSpan span("serve.reload", "serve");
+  {
+    core::MutexLock lock(im.mu_);
+    if (im.closing_ || im.state_ != EngineState::kServing) {
+      return Status{ErrorCode::kUnavailable,
+                    "reload: engine is " + std::string(engine_state_name(im.state_)) +
+                        (im.closing_ ? " (shutting down)" : "") +
+                        "; only a serving engine can reload"};
+    }
+    im.state_ = EngineState::kReloading;  // admission continues in this state
+  }
+  Status result = Status::ok();
+  try {
+    // The expensive part — instantiate + finalize — happens off every
+    // serving path; workers keep batching on the old generation meanwhile.
+    graph::BinaryNetwork nn = model.instantiate(im.cfg.net);
+    if (nn.input_desc() != im.in_desc_ || nn.output_size() != im.out_size_) {
+      result = Status{
+          ErrorCode::kInvalidModel,
+          "reload: replacement network shape differs from the serving one "
+          "(input/output shapes must be stable across reloads; drain and "
+          "start a new engine instead)"};
+    } else {
+      auto fresh = std::make_shared<const graph::BinaryNetwork>(std::move(nn));
+      core::MutexLock lock(im.mu_);
+      im.net_ = std::move(fresh);
+      ++im.net_gen_;
+    }
+  } catch (...) {
+    result = map_open_error();
+  }
+  if (result.is_ok()) im.reloads.add();
+  {
+    core::MutexLock lock(im.mu_);
+    im.state_ = EngineState::kServing;
+  }
+  return result;
+}
+
 void Engine::shutdown() {
   Impl& im = *impl_;
   std::call_once(im.shutdown_once, [&im] {
-    // Workers observe shutdown through the closed queue alone: close() wakes
-    // every blocked pop, next_batch() drains and returns false.  No separate
-    // stop flag — one fewer thing to keep coherent.
+    {
+      core::MutexLock lock(im.mu_);
+      im.closing_ = true;
+    }
+    im.state_cv_.notify_all();  // quarantined workers exit their backoff
+    // Workers observe shutdown through the closed queue: close() wakes
+    // every blocked pop, next_batch() drains and returns false.
     im.queue.close();
     for (std::thread& t : im.threads) {
       if (t.joinable()) t.join();
@@ -323,11 +767,26 @@ EngineStats Engine::stats() const {
   EngineStats s;
   s.accepted = im.accepted.value();
   s.rejected = im.rejected.value();
+  s.shed = im.shed.value();
   s.expired = im.expired.value();
   s.completed = im.completed.value();
   s.failed = im.failed.value();
+  s.cancelled = im.cancelled.value();
   s.batches = im.batches.value();
+  s.reloads = im.reloads.value();
+  s.drains = im.drains.value();
+  s.quarantines = im.quarantines.value();
   s.queue_depth = im.queue.size();
+  {
+    core::MutexLock lock(im.mu_);
+    s.state = im.state_;
+    s.in_flight = im.in_flight_;
+    s.quarantined_workers = static_cast<std::size_t>(im.quarantined_);
+  }
+  s.degraded = s.quarantined_workers * 2 > static_cast<std::size_t>(im.cfg.workers);
+  // Ordering contract: relaxed — see ewma_request_ns_ declaration.
+  s.ewma_service_ms =
+      static_cast<double>(im.ewma_request_ns_.load(std::memory_order_relaxed)) / 1e6;
   // Rebuild the exact per-size counts from the linear registry histogram:
   // buckets 0..max_batch are exact (the overflow bucket is unreachable since
   // no batch exceeds max_batch).
@@ -339,9 +798,21 @@ EngineStats Engine::stats() const {
   return s;
 }
 
-graph::TensorDesc Engine::input_desc() const { return impl_->net.input_desc(); }
-std::int64_t Engine::output_size() const { return impl_->net.output_size(); }
-const std::vector<graph::LayerInfo>& Engine::layers() const { return impl_->net.layers(); }
+EngineState Engine::state() const {
+  core::MutexLock lock(impl_->mu_);
+  return impl_->state_;
+}
+
+graph::TensorDesc Engine::input_desc() const { return impl_->in_desc_; }
+std::int64_t Engine::output_size() const { return impl_->out_size_; }
+std::vector<graph::LayerInfo> Engine::layers() const {
+  std::shared_ptr<const graph::BinaryNetwork> net;
+  {
+    core::MutexLock lock(impl_->mu_);
+    net = impl_->net_;
+  }
+  return net->layers();
+}
 int Engine::workers() const noexcept { return impl_->cfg.workers; }
 std::int64_t Engine::max_batch() const noexcept { return impl_->cfg.max_batch; }
 

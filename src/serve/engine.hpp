@@ -3,24 +3,45 @@
 // replicated inference context.
 //
 //   callers ── submit() ──► RequestQueue ──► Batcher ──► worker 0 (ctx 0)
-//                 (bounded, admission       (coalesce ≤ ├─► worker 1 (ctx 1)
-//                  control, deadline)        max_batch)  └─► ...
+//                 (two-lane, admission      (coalesce ≤ ├─► worker 1 (ctx 1)
+//                  control, shedding)        max_batch)  └─► ...
 //
 // Concurrency model: the network is finalized once and immutable; each
 // worker owns a private graph::InferenceContext (buffers + thread pool), so
 // workers never alias mutable state (see the contract in graph/network.hpp).
 // Batches run through the fused batch-N kernels — N requests cost one
 // fork/join per layer and are bit-exact with N separate batch-1 runs.
+// reload() swaps the network between *generations*: each request runs
+// entirely on the generation that was current when its batch started, so a
+// reload under load is linearizable (no request sees two networks).
+//
+// Lifecycle state machine (see DESIGN.md §"Request lifecycle"):
+//
+//   Starting ──► Serving ◄──► Reloading
+//                  │
+//                drain()
+//                  ▼
+//               Draining ──► Drained ──(shutdown)──► joined
 //
 // Error contract (the exception firewall of serve/session.hpp, extended):
-//   * admission: a full queue (or armed serve.queue_admit failpoint) fails
+//   * admission: a full lane (or armed serve.queue_admit failpoint) fails
 //     the request with kResourceExhausted — callers never block or throw;
-//   * deadline: a request whose queue wait exceeds its deadline fails with
-//     kDeadlineExceeded.  The deadline covers queue time only; once a batch
-//     starts, it runs to completion (no mid-inference preemption);
+//     adaptive load shedding additionally rejects (kResourceExhausted) a
+//     normal-priority deadline request whose estimated queue delay already
+//     exceeds its budget, so doomed work is refused instead of admitted;
+//   * deadline: the deadline covers the WHOLE request.  A request whose
+//     deadline lapses in queue fails with kDeadlineExceeded before wasting
+//     a batch slot; a batch whose every member has lapsed aborts at the
+//     network's next layer-boundary cancellation checkpoint and each member
+//     fails with kDeadlineExceeded (core/cancel.hpp);
 //   * poisoned batch: if a batch throws, the worker reruns each member
 //     individually so only the faulty request fails; the worker and engine
-//     keep serving;
+//     keep serving.  A worker whose batches keep failing with
+//     kWorkerFailure trips a circuit breaker and self-quarantines for a
+//     backoff before re-probing (stats().degraded reports quorum loss);
+//   * drain: stops admission (kUnavailable) and waits for in-flight work;
+//     past the timeout it cancels the remainder (kCancelled) — every
+//     admitted future still resolves;
 //   * shutdown: the queue closes, workers drain every admitted request
 //     (every future resolves — no broken_promise), then exit.
 #pragma once
@@ -35,6 +56,7 @@
 #include "core/status.hpp"
 #include "graph/network.hpp"
 #include "io/model.hpp"
+#include "serve/request_queue.hpp"
 #include "tensor/tensor.hpp"
 
 namespace bitflow::serve {
@@ -50,15 +72,39 @@ struct EngineConfig {
   std::int64_t max_batch = 8;
   /// How long a worker waits for a batch to fill after its first request.
   std::chrono::microseconds batch_timeout{2000};
-  /// Admission-queue capacity; submissions beyond it are rejected.
+  /// Admission capacity *per priority lane*; submissions beyond it are
+  /// rejected (the hard backpressure bound behind adaptive shedding).
   std::size_t queue_capacity = 64;
-  /// Default per-request queue-wait budget; zero = no deadline.
+  /// Default per-request end-to-end budget; zero = no deadline.
   std::chrono::milliseconds default_deadline{0};
+  /// Adaptive load shedding: reject a normal-priority deadline request at
+  /// admission when its estimated queue delay (EWMA of per-request service
+  /// time x requests in flight / workers) already exceeds its budget.
+  /// High-priority requests bypass this (hard capacity still applies).
+  bool adaptive_shedding = true;
+  /// Consecutive kWorkerFailure batches that trip a worker's circuit
+  /// breaker (self-quarantine); 0 disables the breaker.
+  int breaker_threshold = 3;
+  /// How long a tripped worker sits out before re-probing.
+  std::chrono::milliseconds breaker_backoff{100};
 };
+
+/// Lifecycle state of an Engine (guarded internally; stats().state snapshots
+/// it).  Serving <-> Reloading admit requests; Draining/Drained refuse with
+/// kUnavailable.
+enum class EngineState : std::uint8_t {
+  kStarting = 0,
+  kServing = 1,
+  kReloading = 2,
+  kDraining = 3,
+  kDrained = 4,
+};
+
+[[nodiscard]] const char* engine_state_name(EngineState s) noexcept;
 
 /// Counter snapshot for benchmarking and monitoring.  All request counters
 /// are cumulative since create(); accepted = completed + failed + expired +
-/// the requests currently in flight.
+/// cancelled + the requests currently in flight.
 ///
 /// This is a compatibility view: the engine's instruments live in the
 /// process-wide telemetry registry (telemetry::registry()) under
@@ -67,12 +113,26 @@ struct EngineConfig {
 /// monitoring consumers.
 struct EngineStats {
   std::uint64_t accepted = 0;   ///< admitted into the queue
-  std::uint64_t rejected = 0;   ///< refused at admission (backpressure/fault)
-  std::uint64_t expired = 0;    ///< deadline lapsed while queued
+  std::uint64_t rejected = 0;   ///< refused at admission (backpressure/shed/fault)
+  std::uint64_t shed = 0;       ///< subset of rejected: adaptive overload shedding
+  std::uint64_t expired = 0;    ///< deadline lapsed (in queue or mid-inference)
   std::uint64_t completed = 0;  ///< finished with OK scores
   std::uint64_t failed = 0;     ///< finished with a non-OK Status
+  std::uint64_t cancelled = 0;  ///< abandoned at a cancellation checkpoint (drain)
   std::size_t queue_depth = 0;  ///< requests queued at snapshot time
+  std::size_t in_flight = 0;    ///< admitted but not yet resolved
   std::uint64_t batches = 0;    ///< micro-batches executed
+  std::uint64_t reloads = 0;    ///< successful reload() generation swaps
+  std::uint64_t drains = 0;     ///< drain() calls that entered Draining
+  /// Per-request service-time EWMA feeding the shed estimate (ms); 0 until
+  /// the first batch completes.
+  double ewma_service_ms = 0.0;
+  std::uint64_t quarantines = 0;     ///< circuit-breaker trips (cumulative)
+  std::size_t quarantined_workers = 0;  ///< workers sitting out right now
+  /// True when quarantined workers outnumber live ones (quorum lost): the
+  /// engine still serves, but capacity is at least halved.
+  bool degraded = false;
+  EngineState state = EngineState::kStarting;
   /// batch_size_hist[n] = number of micro-batches that ran with n requests
   /// (index 0 unused; size max_batch + 1).
   std::vector<std::uint64_t> batch_size_hist;
@@ -88,7 +148,8 @@ struct EngineStats {
 };
 
 /// A running serving engine.  Move-only; all public methods are thread-safe
-/// (submit/infer may be called from any number of caller threads).
+/// (submit/infer may be called from any number of caller threads, and
+/// drain/reload/shutdown may race with submitters).
 class Engine {
  public:
   /// Builds the network from an in-memory model and starts the workers.
@@ -104,15 +165,41 @@ class Engine {
 
   /// Submits one request with the config's default deadline.  Never throws
   /// and never blocks on inference: the future resolves to the scores or a
-  /// Status (kResourceExhausted on rejection, kDeadlineExceeded on expiry,
-  /// the mapped error on a worker fault).
+  /// Status (kResourceExhausted on rejection/shed, kDeadlineExceeded on
+  /// expiry, kCancelled on drain cancellation, kUnavailable while
+  /// draining/drained, the mapped error on a worker fault).
   [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(Tensor input);
-  /// Same with an explicit queue-wait deadline (<= 0 disables it).
+  /// Same with an explicit scheduling class.
+  [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(Tensor input,
+                                                                     Priority priority);
+  /// Same with an explicit end-to-end deadline (<= 0 disables it).
   [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(
-      Tensor input, std::chrono::milliseconds deadline);
+      Tensor input, std::chrono::milliseconds deadline,
+      Priority priority = Priority::kNormal);
 
   /// Blocking convenience: submit + wait.
   [[nodiscard]] core::Result<std::vector<float>> infer(Tensor input);
+
+  /// Graceful drain: stops admission (subsequent submits fail with
+  /// kUnavailable), then waits until every already-admitted request has
+  /// resolved.  If they are not done within `timeout` (<= 0 waits
+  /// unboundedly), the remainder is cancelled through the cooperative
+  /// checkpoints (kCancelled / kDeadlineExceeded) and drain() returns once
+  /// every future has still resolved.  Terminal: a drained engine only
+  /// accepts shutdown().  Returns kUnavailable when the engine is not in a
+  /// drainable state (already draining elsewhere, reloading, or shut
+  /// down); ok() once drained (idempotent on an already-drained engine).
+  [[nodiscard]] core::Status drain(std::chrono::milliseconds timeout);
+
+  /// Hot-swaps the served network to `model` without dropping admitted
+  /// requests: builds and finalizes the replacement off the serving path,
+  /// then atomically publishes it as a new generation — workers pick it up
+  /// at their next batch boundary, and every request runs entirely on one
+  /// generation.  Admission continues throughout.  The replacement must
+  /// keep the same input shape and output size (kInvalidModel otherwise —
+  /// the old generation keeps serving).  Returns kUnavailable unless the
+  /// engine is Serving.
+  [[nodiscard]] core::Status reload(const io::Model& model);
 
   /// Stops admission, drains queued requests, joins the workers.
   /// Idempotent; called by the destructor.  submit() after shutdown is
@@ -122,9 +209,12 @@ class Engine {
   // --- introspection ---------------------------------------------------------
 
   [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] EngineState state() const;
   [[nodiscard]] graph::TensorDesc input_desc() const;
   [[nodiscard]] std::int64_t output_size() const;
-  [[nodiscard]] const std::vector<graph::LayerInfo>& layers() const;
+  /// Layer descriptors of the CURRENT generation (a snapshot by value:
+  /// reload() may retire the generation while the caller is still reading).
+  [[nodiscard]] std::vector<graph::LayerInfo> layers() const;
   [[nodiscard]] int workers() const noexcept;
   [[nodiscard]] std::int64_t max_batch() const noexcept;
 

@@ -3,6 +3,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "core/failpoint.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -15,8 +16,14 @@ ErrorCode code_for_failpoint(std::string_view point) {
   if (point.starts_with("io.")) return ErrorCode::kInvalidModel;
   if (point.starts_with("alloc.")) return ErrorCode::kResourceExhausted;
   if (point.starts_with("runtime.")) return ErrorCode::kWorkerFailure;
-  // serve.queue_admit models admission rejection, not an internal bug.
-  if (point == "serve.queue_admit") return ErrorCode::kResourceExhausted;
+  // serve.queue_admit and serve.shed model admission rejection, not an
+  // internal bug; serve.cancel_checkpoint models a cooperative cancellation;
+  // serve.drain models a lifecycle refusal.
+  if (point == "serve.queue_admit" || point == "serve.shed") {
+    return ErrorCode::kResourceExhausted;
+  }
+  if (point == "serve.cancel_checkpoint") return ErrorCode::kCancelled;
+  if (point == "serve.drain") return ErrorCode::kUnavailable;
   return ErrorCode::kInternal;
 }
 
@@ -42,6 +49,12 @@ Status map_open_error() {
 Status map_infer_error() {
   try {
     throw;
+  } catch (const core::CancelledError& e) {
+    // Cooperative checkpoint fired mid-inference: a lapsed deadline keeps
+    // the deadline vocabulary; an explicit cancel (drain) maps to kCancelled.
+    return {e.reason() == core::CancelReason::kDeadline ? ErrorCode::kDeadlineExceeded
+                                                        : ErrorCode::kCancelled,
+            e.what()};
   } catch (const failpoint::FaultInjected& e) {
     return {code_for_failpoint(e.point()), e.what()};
   } catch (const runtime::WorkerFailure& e) {

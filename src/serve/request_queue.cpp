@@ -12,40 +12,42 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 bool RequestQueue::try_push(Request& r) {
   {
     core::MutexLock lock(mu_);
-    if (closed_ || q_.size() >= capacity_) return false;
-    q_.push_back(std::move(r));
+    std::deque<Request>& lane = r.priority == Priority::kHigh ? hq_ : q_;
+    if (closed_ || lane.size() >= capacity_) return false;
+    lane.push_back(std::move(r));
   }
   ready_.notify_one();
   return true;
 }
 
+Request RequestQueue::pop_front_locked() {
+  std::deque<Request>& lane = hq_.empty() ? q_ : hq_;
+  Request r = std::move(lane.front());
+  lane.pop_front();
+  return r;
+}
+
 std::optional<Request> RequestQueue::pop() {
   core::MutexLock lock(mu_);
-  while (!closed_ && q_.empty()) ready_.wait(lock);
-  if (q_.empty()) return std::nullopt;  // closed and drained
-  Request r = std::move(q_.front());
-  q_.pop_front();
-  return r;
+  while (!closed_ && hq_.empty() && q_.empty()) ready_.wait(lock);
+  if (hq_.empty() && q_.empty()) return std::nullopt;  // closed and drained
+  return pop_front_locked();
 }
 
 std::optional<Request> RequestQueue::pop_until(std::chrono::steady_clock::time_point tp) {
   core::MutexLock lock(mu_);
-  while (!closed_ && q_.empty()) {
+  while (!closed_ && hq_.empty() && q_.empty()) {
     if (ready_.wait_until(lock, tp) == std::cv_status::timeout) break;
   }
   // Timeout with nothing queued, or closed and drained.
-  if (q_.empty()) return std::nullopt;
-  Request r = std::move(q_.front());
-  q_.pop_front();
-  return r;
+  if (hq_.empty() && q_.empty()) return std::nullopt;
+  return pop_front_locked();
 }
 
 std::optional<Request> RequestQueue::try_pop() {
   core::MutexLock lock(mu_);
-  if (q_.empty()) return std::nullopt;
-  Request r = std::move(q_.front());
-  q_.pop_front();
-  return r;
+  if (hq_.empty() && q_.empty()) return std::nullopt;
+  return pop_front_locked();
 }
 
 void RequestQueue::close() {
@@ -62,6 +64,11 @@ bool RequestQueue::closed() const {
 }
 
 std::size_t RequestQueue::size() const {
+  core::MutexLock lock(mu_);
+  return hq_.size() + q_.size();
+}
+
+std::size_t RequestQueue::normal_size() const {
   core::MutexLock lock(mu_);
   return q_.size();
 }

@@ -1,16 +1,23 @@
-// Bounded MPMC request queue: the admission-control stage of serve::Engine.
+// Bounded two-lane MPMC request queue: the admission-control stage of
+// serve::Engine.
 //
 // Producers are caller threads in Engine::submit(); consumers are the
 // engine's worker threads (through serve::Batcher).  The queue enforces
 // backpressure by capacity — try_push() refuses instead of blocking, so an
 // overloaded engine rejects with kResourceExhausted rather than building an
-// unbounded latency backlog.  close() starts shutdown: no new requests are
-// admitted, but pops keep draining whatever is queued so every accepted
-// request's promise resolves before the workers exit.
+// unbounded latency backlog.  Two lanes implement the engine's overload
+// policy: the high-priority lane is always drained first, so latency-critical
+// traffic keeps its queue-wait bounded by the depth of its own lane even
+// when the normal lane is saturated.  Each lane is bounded by the same
+// capacity independently — a flood of either class cannot starve admission
+// of the other.  close() starts shutdown: no new requests are admitted, but
+// pops keep draining whatever is queued so every accepted request's promise
+// resolves before the workers exit.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <optional>
@@ -23,30 +30,42 @@
 
 namespace bitflow::serve {
 
+/// Scheduling class of a request.  kHigh requests are popped before any
+/// kNormal request and bypass *adaptive* load shedding (they remain subject
+/// to the hard per-lane capacity bound — nothing is unbounded).
+enum class Priority : std::uint8_t { kNormal = 0, kHigh = 1 };
+
 /// One queued inference request.  The promise is the single point of
 /// resolution: exactly one of {scores, Status} is set, by whichever stage
-/// finishes the request (admission rejection, in-queue expiry, or a worker).
+/// finishes the request (admission rejection, in-queue expiry, a worker, or
+/// drain-timeout cancellation).
 struct Request {
   Tensor input;
   std::promise<core::Result<std::vector<float>>> promise;
   std::chrono::steady_clock::time_point enqueue_time{};
-  /// Absolute queue-wait deadline; time_point::max() = no deadline.  The
-  /// deadline covers time *in queue* only — once a worker starts the batch,
-  /// the request runs to completion (no mid-inference preemption).
+  /// Absolute end-to-end deadline; time_point::max() = no deadline.  Covers
+  /// the whole request: queue wait (the batcher fails lapsed requests with
+  /// kDeadlineExceeded before they consume a batch slot) *and* execution
+  /// (the batch runs under a CancelToken armed with the batch's latest
+  /// member deadline; the network aborts at its next layer-boundary
+  /// checkpoint once every member has lapsed).
   std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
+  Priority priority = Priority::kNormal;
 };
 
-/// Bounded multi-producer/multi-consumer FIFO of Requests.
+/// Bounded multi-producer/multi-consumer two-lane FIFO of Requests.
+/// FIFO order holds within a lane; the high lane is drained first.
 class RequestQueue {
  public:
   explicit RequestQueue(std::size_t capacity);
 
-  /// Admits `r` unless the queue is full or closed; returns whether the
-  /// request was admitted (on false the caller still owns `r`).
+  /// Admits `r` into its priority lane unless that lane is full or the
+  /// queue is closed; returns whether the request was admitted (on false
+  /// the caller still owns `r`).
   [[nodiscard]] bool try_push(Request& r);
 
-  /// Blocks until a request is available and pops it, or returns nullopt
-  /// once the queue is closed *and* drained.
+  /// Blocks until a request is available and pops it (high lane first), or
+  /// returns nullopt once the queue is closed *and* both lanes are drained.
   [[nodiscard]] std::optional<Request> pop();
 
   /// Like pop(), but gives up at `tp`; nullopt on timeout or closed+empty.
@@ -59,16 +78,27 @@ class RequestQueue {
   void close();
 
   [[nodiscard]] bool closed() const;
+  /// Total queued requests across both lanes.
   [[nodiscard]] std::size_t size() const;
+  /// Queued requests in the normal lane only (the lane adaptive shedding
+  /// reasons about: high-lane traffic is drained first, so it does not add
+  /// to a normal request's expected wait the way lane-mates do).
+  [[nodiscard]] std::size_t normal_size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  // mu_ guards the FIFO and the closed flag; ready_ signals "q_ non-empty or
-  // closed".  Consumers re-check both conditions in explicit wait loops.
+  /// Pops the front of the highest non-empty lane.  REQUIRES: at least one
+  /// lane is non-empty and mu_ is held.
+  [[nodiscard]] Request pop_front_locked() BF_REQUIRES(mu_);
+
+  // mu_ guards both lanes and the closed flag; ready_ signals "some lane
+  // non-empty or closed".  Consumers re-check both conditions in explicit
+  // wait loops.
   const std::size_t capacity_;
   mutable core::Mutex mu_;
   core::CondVar ready_;
-  std::deque<Request> q_ BF_GUARDED_BY(mu_);
+  std::deque<Request> hq_ BF_GUARDED_BY(mu_);  // high lane: popped first
+  std::deque<Request> q_ BF_GUARDED_BY(mu_);   // normal lane
   bool closed_ BF_GUARDED_BY(mu_) = false;
 };
 

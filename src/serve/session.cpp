@@ -1,11 +1,11 @@
 #include "serve/session.hpp"
 
-#include <future>
 #include <istream>
 #include <new>
 #include <stdexcept>
 #include <utility>
 
+#include "core/cancel.hpp"
 #include "core/failpoint.hpp"
 #include "serve/error_map.hpp"
 #include "simd/cpu_features.hpp"
@@ -18,30 +18,28 @@ using core::Status;
 struct InferenceSession::Impl {
   SessionConfig cfg;
   graph::BinaryNetwork net;
-
-  // Watchdog state (deadline mode only).  The task owns nothing: it reads
-  // task_input and writes task_scores, both Impl members, so a straggler
-  // stays valid for as long as the Impl lives — and the Impl address is
-  // stable across session moves.
-  std::future<Status> straggler;
-  Tensor task_input;
-  std::vector<float> task_scores;
+  // The session's private inference stream (batch 1).  Owning a context —
+  // instead of the network's shared default one — keeps every piece of
+  // mutable state inside the Impl, which is what lets a cancelled request
+  // leave the session immediately reusable.
+  graph::InferenceContext ctx;
 
   std::uint64_t ok_count = 0;
   std::uint64_t error_count = 0;
 
-  Impl(SessionConfig c, graph::BinaryNetwork n) : cfg(c), net(std::move(n)) {}
+  Impl(SessionConfig c, graph::BinaryNetwork n)
+      : cfg(c), net(std::move(n)), ctx(net.make_context(1)) {}
 
-  ~Impl() {
-    if (straggler.valid()) straggler.wait();
-  }
-
-  /// One guarded inference: every failure becomes a Status, `out` is only
-  /// written on success.
-  Status run_once(const Tensor& input, std::vector<float>& out) {
+  /// One guarded inference under `cancel`: every failure becomes a Status,
+  /// `out` is only written on success.  A deadline armed on the token makes
+  /// the network abort at its next cooperative checkpoint once it lapses
+  /// (mapped to kDeadlineExceeded by map_infer_error).
+  Status run_once(const Tensor& input, std::vector<float>& out,
+                  const core::CancelToken& cancel) {
     try {
       BF_FAILPOINT("serve.infer");
-      const std::span<const float> s = net.infer(input);
+      const Tensor* in = &input;
+      const std::span<const float> s = net.infer_batch({&in, 1}, ctx, cancel);
       out.assign(s.begin(), s.end());
       return Status::ok();
     } catch (...) {
@@ -95,16 +93,8 @@ core::Result<InferenceSession> InferenceSession::open(const std::string& path,
 core::Status InferenceSession::infer(const Tensor& input_hwc, std::vector<float>& scores) {
   Impl& im = *impl_;
 
-  // A previous request missed its deadline and is still draining: await it
-  // before touching the shared buffers.  Its (late) result is discarded —
-  // the caller was already told kDeadlineExceeded.
-  if (im.straggler.valid()) {
-    im.straggler.wait();
-    (void)im.straggler.get();
-  }
-
   // Validate the request before any work; a shape mismatch must not count
-  // against the network or reach the watchdog.
+  // against the network.
   const graph::TensorDesc want = im.net.input_desc();
   if (input_hwc.height() != want.h || input_hwc.width() != want.w ||
       input_hwc.channels() != want.c) {
@@ -117,28 +107,17 @@ core::Status InferenceSession::infer(const Tensor& input_hwc, std::vector<float>
                 std::to_string(want.c)};
   }
 
-  Status st;
-  if (im.cfg.deadline.count() <= 0) {
-    st = im.run_once(input_hwc, scores);
-  } else {
-    // Watchdog: run on a separate thread and wait up to the deadline.  The
-    // task reads an Impl-owned copy of the input (the caller's tensor may
-    // die the moment we time out) and writes an Impl-owned score buffer.
-    im.task_input = input_hwc;
-    Impl* impl = &im;
-    std::future<Status> fut = std::async(std::launch::async, [impl] {
-      return impl->run_once(impl->task_input, impl->task_scores);
-    });
-    if (fut.wait_for(im.cfg.deadline) == std::future_status::timeout) {
-      im.straggler = std::move(fut);
-      ++im.error_count;
-      return {ErrorCode::kDeadlineExceeded,
-              "infer: deadline of " + std::to_string(im.cfg.deadline.count()) +
-                  " ms exceeded; the request keeps draining in the background"};
-    }
-    st = fut.get();
-    if (st.is_ok()) scores = im.task_scores;
-  }
+  // End-to-end deadline via cooperative cancellation: the request runs
+  // inline, and a lapsed deadline aborts it at the network's next
+  // layer-boundary checkpoint (kDeadlineExceeded).  No watchdog thread —
+  // when run_once returns, nothing is still running, so the session is
+  // immediately ready for the next request.
+  const core::CancelToken cancel =
+      im.cfg.deadline.count() > 0
+          ? core::CancelToken::with_deadline(std::chrono::steady_clock::now() +
+                                             im.cfg.deadline)
+          : core::CancelToken{};
+  const Status st = im.run_once(input_hwc, scores, cancel);
 
   if (st.is_ok()) {
     ++im.ok_count;

@@ -13,10 +13,15 @@
 //     request leaves the session fully usable for the next one (the
 //     pre-allocated buffers are written before they are read, so a request
 //     abandoned mid-flight cannot poison its successor);
-//   * with a deadline configured, a wedged inference degrades to
-//     kDeadlineExceeded instead of hanging the caller: the request runs on
-//     a watchdog thread, and a straggler is awaited (not abandoned) at the
-//     start of the next request so two inferences never overlap.
+//   * with a deadline configured, a slow or wedged inference degrades to
+//     kDeadlineExceeded through *cooperative cancellation* (core/cancel.hpp):
+//     the request runs inline under a CancelToken armed with the end-to-end
+//     deadline, and the network aborts at its next layer-boundary checkpoint
+//     once the deadline lapses — no watchdog thread, no straggler, and the
+//     session is immediately ready for the next request.  The bound is
+//     cooperative: a worker wedged *inside* one kernel chunk delays the
+//     abort until that chunk returns (the serve::Engine shares exactly the
+//     same semantics).
 //
 // Exception → Status mapping (see session.cpp): std::bad_alloc →
 // kResourceExhausted; runtime::WorkerFailure → kWorkerFailure;
@@ -42,8 +47,10 @@ namespace bitflow::serve {
 /// Configuration of one serving session.
 struct SessionConfig {
   graph::NetworkConfig net{};
-  /// Per-request wall-clock budget for infer(); zero disables the watchdog
-  /// (requests run inline on the calling thread).
+  /// End-to-end wall-clock budget for one infer() call; zero = no deadline.
+  /// Enforced by cooperative cancellation checkpoints (same vocabulary as
+  /// serve::EngineConfig::default_deadline — one deadline means one thing
+  /// everywhere: the whole request, not a single phase of it).
   std::chrono::milliseconds deadline{0};
 };
 
@@ -64,7 +71,7 @@ class InferenceSession {
 
   InferenceSession(InferenceSession&&) noexcept;
   InferenceSession& operator=(InferenceSession&&) noexcept;
-  ~InferenceSession();  ///< awaits a straggling deadline-missed request
+  ~InferenceSession();
 
   /// Runs one batch-1 inference.  On success, `scores` holds the last
   /// layer's float outputs.  On failure, `scores` is untouched and the

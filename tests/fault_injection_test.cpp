@@ -9,11 +9,18 @@
 //   3. the session/file remains usable afterwards: an immediately
 //      following un-faulted request succeeds bit-exactly.
 // Also unit-tests the failpoint framework itself (triggers, spec parsing,
-// env activation) and the deadline watchdog.
+// env activation) and the end-to-end deadline (cooperative cancellation).
+//
+// CatalogIsExhaustivelyCovered pins the full failpoint catalog against the
+// union of points exercised here and in the engine-level suites
+// (engine_test, lifecycle_test, chaos_test): adding a failpoint without
+// extending a fault matrix is a test failure, not a silent gap.
 #include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
+#include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -159,6 +166,9 @@ TEST_F(FaultMatrixTest, InferPhaseFailpointsMapToStatusAndSessionSurvives) {
       {"runtime.worker", Action::kError, ErrorCode::kWorkerFailure},
       {"serve.infer", Action::kError, ErrorCode::kInternal},
       {"serve.infer", Action::kBadAlloc, ErrorCode::kResourceExhausted},
+      // Site-fault at the layer-boundary checkpoint: the network abandons
+      // the run as if the request had been cancelled mid-inference.
+      {"serve.cancel_checkpoint", Action::kSite, ErrorCode::kCancelled},
   };
   auto r = InferenceSession::open(path_, session_cfg());
   ASSERT_TRUE(r.is_ok());
@@ -270,6 +280,35 @@ TEST_F(FailpointFrameworkTest, CatalogIsFixedAndUnknownNamesAreRejected) {
   EXPECT_THROW(failpoint::arm("no.such.point", Config{}), std::invalid_argument);
   EXPECT_THROW(failpoint::disarm("no.such.point"), std::invalid_argument);
   EXPECT_THROW((void)failpoint::armed("no.such.point"), std::invalid_argument);
+}
+
+/// The catalog stays provably exhaustive: this is the union of every
+/// failpoint exercised by a fault matrix somewhere in the suite, and it
+/// must equal the catalog exactly.  Adding an injection site without
+/// wiring it into a matrix (and listing it here with where it is covered)
+/// fails this test instead of leaving a silent coverage hole.
+TEST_F(FailpointFrameworkTest, CatalogIsExhaustivelyCovered) {
+  const std::set<std::string> covered = {
+      "io.open",                  // open-phase matrix above
+      "io.read_header",           // open-phase matrix above
+      "io.read_weights",          // open-phase matrix above
+      "alloc.buffer",             // open-phase matrix above; chaos_test
+      "runtime.worker",           // infer-phase matrix above; lifecycle_test breaker
+      "runtime.worker_stall",     // InjectedStallDegradesToDeadlineExceeded
+      "serve.infer",              // infer-phase matrix above; engine_test
+      "serve.queue_admit",        // engine_test admission fault; chaos_test
+      "serve.shed",               // lifecycle_test forced shed; chaos_test
+      "serve.cancel_checkpoint",  // infer-phase matrix above; lifecycle_test
+      "serve.drain",              // lifecycle_test drain fault
+      "serve.worker_quarantine",  // lifecycle_test forced quarantine; chaos_test
+      "simd.force_fallback",      // ForcedIsaFallbackKeepsResultsBitExact
+  };
+  std::set<std::string> catalog_names;
+  for (const failpoint::PointInfo& p : failpoint::catalog()) {
+    catalog_names.insert(std::string(p.name));
+  }
+  EXPECT_EQ(catalog_names, covered)
+      << "failpoint catalog and fault-matrix coverage diverged";
 }
 
 TEST_F(FailpointFrameworkTest, OnceFiresExactlyOnceThenDisarms) {
