@@ -640,6 +640,14 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
   // so the fault matrix can force a cancellation deterministically.  Inert
   // token: one null check + one relaxed load per layer.
   cx.pool.set_cancel_token(cancel);
+  // The pool borrows the token only for the duration of this call: a latched
+  // cancelled token left installed would make any later parallel_for on this
+  // pool silently skip every chunk, so restore the inert token on every exit
+  // path (normal return or throw).
+  struct PoolTokenGuard {
+    runtime::ThreadPool& pool;
+    ~PoolTokenGuard() { pool.set_cancel_token(core::CancelToken{}); }
+  } pool_token_guard{cx.pool};
   const auto checkpoint = [&cancel] {
     cancel.throw_if_cancelled();
     if (BF_FAILPOINT_TRIGGERED("serve.cancel_checkpoint")) {
@@ -805,6 +813,12 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
       t0 = t1;
     }
   }
+  // Final checkpoint: a token that fired during the last stage's parallel_for
+  // made the pool skip chunks, leaving cx.scores unwritten (or stale from a
+  // previous batch).  Re-checking here upholds cancel.hpp's "partial results
+  // never escape" — the scores span is returned only by a run no checkpoint
+  // interrupted.
+  checkpoint();
   return {cx.scores.data(), static_cast<std::size_t>(n * out_size)};
 }
 

@@ -307,6 +307,26 @@ struct Engine::Impl {
       try {
         ctx.emplace(my_net->make_context(cfg.max_batch, cfg.net.num_threads));
       } catch (...) {
+        // Retrying is right for transient pressure, but a drain escalation
+        // must not wait on a worker that cannot build a context: under
+        // drain_hard_ this worker could not run anything anyway, so
+        // fast-fail whatever is queued (covering requests that slipped in
+        // after the drain thread's own queue sweep) so in_flight_ reaches
+        // zero and drain() completes.
+        bool hard = false;
+        {
+          core::MutexLock lock(mu_);
+          hard = drain_hard_;
+        }
+        if (hard) {
+          while (std::optional<Request> r = queue.try_pop()) {
+            if (r->deadline <= std::chrono::steady_clock::now()) {
+              resolve_expired(*r);
+            } else {
+              resolve_cancelled(*r, "request cancelled: engine drained before it could run");
+            }
+          }
+        }
         if (queue.closed() && queue.size() == 0) return;
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
@@ -681,6 +701,7 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
     im.state_ = EngineState::kDraining;
   }
   im.drains.add();
+  bool escalated = false;
   {
     core::MutexLock lock(im.mu_);
     if (timeout.count() > 0) {
@@ -690,14 +711,33 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
       }
       if (im.in_flight_ != 0) {
         // Timeout: cancel running batches at their next cooperative
-        // checkpoint and fast-fail everything still queued.  The second
-        // wait below is unbounded but now bounded in practice by one layer
-        // of inference per worker.
+        // checkpoint; everything still queued is fast-failed below.
         im.drain_hard_ = true;
         for (core::CancelToken& t : im.batch_tokens_) t.cancel();
         im.state_cv_.notify_all();  // quarantined workers: wake and drain
+        escalated = true;
       }
     }
+  }
+  if (escalated) {
+    // Fast-fail queued requests from THIS thread instead of waiting for a
+    // worker to pop them: a worker can be wedged outside the batcher loop
+    // (e.g. retrying a persistently failing context build), so the wait
+    // below must be bounded by one layer of inference per running batch,
+    // never by worker recovery.  Races with concurrent batcher pops are
+    // benign — whoever pops a request under drain_hard_ cancels it.  A
+    // member whose own deadline already lapsed keeps the deadline
+    // vocabulary, exactly as the batcher's lapsed-request path would.
+    while (std::optional<Request> r = im.queue.try_pop()) {
+      if (r->deadline <= std::chrono::steady_clock::now()) {
+        im.resolve_expired(*r);
+      } else {
+        im.resolve_cancelled(*r, "request cancelled: engine drained before it could run");
+      }
+    }
+  }
+  {
+    core::MutexLock lock(im.mu_);
     while (im.in_flight_ != 0) im.idle_cv_.wait(lock);
     im.state_ = EngineState::kDrained;
   }
@@ -793,8 +833,11 @@ EngineStats Engine::stats() const {
   const telemetry::Histogram::Snapshot bh = im.batch_size_hist.snapshot();
   s.batch_size_hist.assign(bh.buckets.begin(),
                            bh.buckets.begin() + im.cfg.max_batch + 1);
-  s.latency_p50_ms = quantile_ms(im.latency_us_hist.snapshot(), 0.50);
-  s.latency_p99_ms = quantile_ms(im.latency_us_hist.snapshot(), 0.99);
+  // One snapshot for both quantiles: two snapshots under concurrent load
+  // could report p50 and p99 from inconsistent views of the histogram.
+  const telemetry::Histogram::Snapshot lat = im.latency_us_hist.snapshot();
+  s.latency_p50_ms = quantile_ms(lat, 0.50);
+  s.latency_p99_ms = quantile_ms(lat, 0.99);
   return s;
 }
 

@@ -28,8 +28,10 @@
 #include <gtest/gtest.h>
 
 #include "bitpack/packer.hpp"
+#include "core/cancel.hpp"
 #include "core/failpoint.hpp"
 #include "core/status.hpp"
+#include "graph/network.hpp"
 #include "io/model.hpp"
 #include "models/vgg.hpp"
 #include "serve/engine.hpp"
@@ -178,6 +180,54 @@ TEST_F(LifecycleTest, CancelCheckpointFailpointMapsToCancelled) {
   EXPECT_TRUE(engine.infer(make_input(2)).is_ok());
 }
 
+TEST_F(LifecycleTest, CancellationAfterTheLastStageDoesNotLeakStaleScores) {
+  // The checkpoint catalog for the 3-stage test model: one before the input
+  // pack, one per stage, one after the last stage = 5 sites per request.
+  // Firing the 5th proves the FINAL checkpoint exists: a token that fires
+  // during the last layer's parallel_for leaves the scores buffer unwritten
+  // (or stale from a previous batch), so infer_batch must raise instead of
+  // returning it as a normal result.
+  const io::Model model = make_model();
+  Engine engine = make_engine({}, model);
+  failpoint::arm("serve.cancel_checkpoint", Config{Action::kSite, Trigger::kEveryNth, 5});
+  auto r = engine.infer(make_input(1));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kCancelled) << r.status().to_string();
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  failpoint::disarm_all();
+  EXPECT_TRUE(engine.infer(make_input(2)).is_ok());
+}
+
+TEST_F(LifecycleTest, CancelledTokenDoesNotOutliveInferBatch) {
+  // infer_batch installs the batch token on the context's thread pool; a
+  // latched cancelled token left installed after an aborted call would make
+  // every parallel_for chunk of the NEXT call silently skip, returning the
+  // previous batch's scores.  The clean run after the abort must be
+  // bit-exact against an independent reference.
+  const io::Model model = make_model();
+  graph::NetworkConfig nc;
+  nc.num_threads = 2;
+  const graph::BinaryNetwork net = model.instantiate(nc);
+  graph::InferenceContext ctx = net.make_context(1, 2);
+
+  const Tensor a = make_input(1);
+  const Tensor b = make_input(2);
+  const Tensor* ap = &a;
+  const Tensor* bp = &b;
+  const std::span<const float> sa = net.infer_batch({&ap, 1}, ctx);
+  const std::vector<float> ref_a(sa.begin(), sa.end());
+
+  core::CancelToken token = core::CancelToken::cancellable();
+  token.cancel();
+  EXPECT_THROW(static_cast<void>(net.infer_batch({&bp, 1}, ctx, token)),
+               core::CancelledError);
+
+  const std::span<const float> sb = net.infer_batch({&bp, 1}, ctx);
+  const std::vector<float> got_b(sb.begin(), sb.end());
+  EXPECT_NE(got_b, ref_a) << "scores are stale: the pool kept the cancelled token";
+  EXPECT_EQ(got_b, reference_scores(model, b));
+}
+
 // --- drain ------------------------------------------------------------------
 
 TEST_F(LifecycleTest, DrainCompletesInFlightThenRefusesNewWork) {
@@ -251,6 +301,47 @@ TEST_F(LifecycleTest, DrainTimeoutCancelsWedgedWorkButEveryFutureResolves) {
   EXPECT_EQ(cancelled, 4);
   const EngineStats s = engine.stats();
   EXPECT_EQ(s.cancelled, 4u);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
+TEST_F(LifecycleTest, DrainEscalationFastFailsQueuedWorkFromTheDrainThread) {
+  // After escalation the drain thread itself fast-fails queued requests: if
+  // it waited for a worker to pop them, drain's completion would be bounded
+  // by worker recovery (e.g. a worker stuck retrying a failing context
+  // build never pops at all), not by one layer of inference.  Here the lone
+  // worker sits in a 2 s stall; the queued requests must resolve ~30 ms
+  // after drain starts, long before the worker comes back.
+  const io::Model model = make_model();
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 1;
+  cfg.batch_timeout = 0us;
+  Engine engine = make_engine(cfg, model);
+
+  Config stall;
+  stall.action = Action::kStall;
+  stall.trigger = Trigger::kOnce;
+  stall.stall_ms = 2000;  // far beyond every latency assertion below
+  failpoint::arm("serve.infer", stall);
+
+  auto wedged = engine.submit(make_input(1));  // popped, then stalls 2 s
+  std::this_thread::sleep_for(50ms);
+  auto q1 = engine.submit(make_input(2));
+  auto q2 = engine.submit(make_input(3));
+
+  core::Status drain_status = core::Status::ok();
+  std::thread drainer([&] { drain_status = engine.drain(30ms); });
+  ASSERT_EQ(q1.wait_for(500ms), std::future_status::ready);
+  ASSERT_EQ(q2.wait_for(500ms), std::future_status::ready);
+  EXPECT_EQ(q1.get().status().code(), ErrorCode::kCancelled);
+  EXPECT_EQ(q2.get().status().code(), ErrorCode::kCancelled);
+
+  drainer.join();  // returns once the wedged batch hits its first checkpoint
+  EXPECT_TRUE(drain_status.is_ok()) << drain_status.to_string();
+  EXPECT_EQ(engine.state(), EngineState::kDrained);
+  EXPECT_EQ(wedged.get().status().code(), ErrorCode::kCancelled);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.cancelled, 3u);
   EXPECT_EQ(s.in_flight, 0u);
 }
 
