@@ -1,0 +1,143 @@
+// The wire front-end: a net::Server over a sharded serving tier.
+//
+//   $ ./examples/serving_server
+//
+// Where serving_engine.cpp submits requests in-process, this example puts
+// the full production tier on a TCP socket:
+//   1. build a model and share ONE finalized network across two engine
+//      shards behind a ShardRouter (power-of-two-choices routing, zero-copy
+//      weights — N shards cost N activation buffers, not N weight copies);
+//   2. start net::Server on an ephemeral loopback port — one poll loop
+//      speaking the length-prefixed BitFlow framing protocol, with a
+//      minimal HTTP/1.1 path for health and metrics probes;
+//   3. drive it with net::Client: single requests, a pipelined burst, and
+//      a request carrying a deadline the server enforces end to end;
+//   4. probe the HTTP endpoints a load balancer or Prometheus would hit:
+//      GET /healthz, /varz, /metrics;
+//   5. drain and stop — /healthz flips unhealthy first, so an external
+//      balancer stops sending traffic before the socket closes.
+//
+// The framing protocol (see src/net/frame.hpp): a 24-byte little-endian
+// header — magic "BF01", type, priority, request id, deadline_ms, payload
+// length — then an HWC float tensor.  Anything that fails to parse gets
+// one machine-readable error frame and the connection is closed.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bitflow.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/shard_router.hpp"
+
+int main() {
+  using namespace bitflow;
+
+  // 1. A small conv->pool->fc model, served from memory by two shards.
+  io::Model model(graph::TensorDesc{16, 16, 8});
+  model.add_conv("c1", bitpack::pack_filters(models::random_filters(32, 3, 3, 8, 7)), 1, 1,
+                 std::vector<float>(32, 0.0f));
+  model.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  model.add_fc("f1", bitpack::pack_transpose_fc_weights(
+                         models::random_fc_weights(8 * 8 * 32, 10, 8).data(), 8 * 8 * 32, 10));
+
+  serve::RouterConfig rcfg;
+  rcfg.shards = 2;
+  rcfg.engine.workers = 1;
+  rcfg.engine.max_batch = 8;
+  rcfg.engine.net.num_threads = 1;
+  auto routed = serve::ShardRouter::create(model, rcfg);
+  if (!routed.is_ok()) {
+    std::printf("router create failed: %s\n", routed.status().to_string().c_str());
+    return 1;
+  }
+  serve::ShardRouter router = std::move(routed).value();
+
+  // 2. The front-end.  port=0 asks the kernel for an ephemeral port; a real
+  // deployment would pin cfg.port and put the printed address in service
+  // discovery.
+  net::ServerConfig scfg;
+  scfg.host = "127.0.0.1";
+  scfg.port = 0;
+  auto started = net::Server::start(router, scfg);
+  if (!started.is_ok()) {
+    std::printf("server start failed: %s\n", started.status().to_string().c_str());
+    return 1;
+  }
+  net::Server server = std::move(started).value();
+  std::printf("serving on 127.0.0.1:%u (2 shards, zero-copy weights)\n", server.port());
+
+  // 3. A client.  infer() frames the tensor, writes it, and decodes the
+  // response or error frame — the same bytes any other language could send.
+  auto connected = net::Client::connect("127.0.0.1", server.port());
+  if (!connected.is_ok()) {
+    std::printf("connect failed: %s\n", connected.status().to_string().c_str());
+    return 1;
+  }
+  net::Client client = std::move(connected).value();
+
+  Tensor input = Tensor::hwc(16, 16, 8);
+  fill_uniform(input, 42);
+  net::RequestFrame req;
+  req.id = 1;
+  req.deadline_ms = 250;  // enforced server-side: expire in queue, not on the wire
+  req.h = 16;
+  req.w = 16;
+  req.c = 8;
+  req.data.assign(input.elements().begin(), input.elements().end());
+  auto scores = client.infer(req, std::chrono::milliseconds(2000));
+  if (!scores.is_ok()) {
+    std::printf("infer failed: %s\n", scores.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("request 1: %zu scores, argmax %zu\n", scores.value().size(),
+              static_cast<std::size_t>(
+                  std::max_element(scores.value().begin(), scores.value().end()) -
+                  scores.value().begin()));
+
+  // Pipelining: many frames on the wire before the first response — the
+  // server's shards batch whatever arrives together.
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    net::RequestFrame burst = req;
+    burst.id = static_cast<std::uint64_t>(2 + i);
+    if (auto sent = client.send(burst); !sent.is_ok()) {
+      std::printf("send failed: %s\n", sent.to_string().c_str());
+      return 1;
+    }
+  }
+  int answered = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto frame = client.recv(std::chrono::milliseconds(2000));
+    if (frame.is_ok()) ++answered;
+  }
+  std::printf("pipelined burst: %d/%d answered\n", answered, kBurst);
+
+  // 4. The operational surface.  /healthz gates load balancers, /varz is
+  // for humans, /metrics is Prometheus text exposition (PR 5 format).
+  for (const char* target : {"/healthz", "/varz"}) {
+    auto body = net::Client::http_get("127.0.0.1", server.port(), target);
+    if (body.is_ok()) {
+      std::printf("GET %s ->\n%s", target, body.value().c_str());
+    }
+  }
+  auto metrics = net::Client::http_get("127.0.0.1", server.port(), "/metrics");
+  if (metrics.is_ok()) {
+    int lines = 0;
+    for (char ch : metrics.value()) lines += ch == '\n' ? 1 : 0;
+    std::printf("GET /metrics -> %d lines (serve_shard_*, net_* families)\n", lines);
+  }
+
+  // 5. Graceful exit: drain resolves every admitted request and flips
+  // /healthz to 503 so a balancer stops routing here, then stop() joins the
+  // poll loop and closes the socket.
+  if (auto drained = router.drain(std::chrono::milliseconds(2000)); !drained.is_ok()) {
+    std::printf("drain: %s\n", drained.to_string().c_str());
+  }
+  auto health = net::Client::http_get("127.0.0.1", server.port(), "/healthz");
+  std::printf("post-drain /healthz healthy=%s\n", health.is_ok() ? "yes" : "no");
+  server.stop();
+  std::printf("server stopped cleanly\n");
+  return 0;
+}

@@ -17,7 +17,7 @@ namespace {
 // Fixed catalog of every injection site compiled into the library.  Names
 // are namespaced by subsystem; the serving boundary maps a FaultInjected
 // back to a Status code by this prefix (serve/session.cpp).
-constexpr std::array<PointInfo, 13> kCatalog{{
+constexpr std::array<PointInfo, 15> kCatalog{{
     {"io.open", "Model::load(path) after the file was opened"},
     {"io.read_header", "Model::load(istream) after magic/version were read"},
     {"io.read_weights", "Model::load(istream) before each layer weight payload"},
@@ -33,6 +33,8 @@ constexpr std::array<PointInfo, 13> kCatalog{{
     {"serve.worker_quarantine",
      "Engine worker breaker evaluation: site-fault forces a quarantine trip"},
     {"simd.force_fallback", "finalize() ISA clamp: site-fault lowers every layer to u64"},
+    {"net.accept", "Server poll loop, accepting a new connection"},
+    {"net.frame_decode", "Server binary input path, before buffered frames are decoded"},
 }};
 
 struct PointState {

@@ -1,0 +1,56 @@
+// net::Client — a small blocking client for the BitFlow wire protocol,
+// used by the loopback tests and the SLO load harness.  One socket, one
+// thread at a time per direction: send() and recv() may run on two
+// different threads concurrently (the load generator pipelines that way),
+// but neither is reentrant.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/status.hpp"
+#include "net/frame.hpp"
+
+namespace bitflow::net {
+
+class Client {
+ public:
+  [[nodiscard]] static core::Result<Client> connect(const std::string& host,
+                                                    std::uint16_t port);
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Writes one request frame (blocking until the kernel accepted it all).
+  [[nodiscard]] core::Status send(const RequestFrame& req);
+
+  /// Blocks for the next frame from the server, up to `timeout`
+  /// (kDeadlineExceeded), connection close (kUnavailable), or a protocol
+  /// violation (kBadInput, fail closed).
+  [[nodiscard]] core::Result<DecodedFrame> recv(std::chrono::milliseconds timeout);
+
+  /// send + recv for callers that don't pipeline.  The response id must
+  /// echo the request's.
+  [[nodiscard]] core::Result<std::vector<float>> infer(const RequestFrame& req,
+                                                       std::chrono::milliseconds timeout);
+
+  void close();
+
+  /// One-shot HTTP GET against the same front-end (separate connection):
+  /// returns the response body on HTTP 200, an error otherwise.
+  [[nodiscard]] static core::Result<std::string> http_get(const std::string& host,
+                                                          std::uint16_t port,
+                                                          const std::string& target);
+
+ private:
+  explicit Client(int fd);
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace bitflow::net

@@ -1,0 +1,71 @@
+#include "net/http.hpp"
+
+namespace bitflow::net {
+
+using core::ErrorCode;
+using core::Status;
+
+namespace {
+
+/// Bound on the request head (request line + headers): observability GETs
+/// are tiny; anything bigger is a client bug or an attack, not a request.
+constexpr std::size_t kMaxHead = 8 * 1024;
+
+}  // namespace
+
+bool looks_like_http(std::string_view prefix) {
+  // Every method we could ever meet starts with 2+ upper-case letters; the
+  // binary magic starts "BF01" — 'B','F' are upper-case too, so check
+  // against the magic explicitly before the letter test.
+  if (prefix.size() >= 4 && prefix.substr(0, 4) == "BF01") return false;
+  std::size_t letters = 0;
+  for (char ch : prefix) {
+    if (ch >= 'A' && ch <= 'Z') {
+      ++letters;
+      continue;
+    }
+    return ch == ' ' && letters >= 2;  // "GET /…", "HEAD …", "POST …"
+  }
+  return false;  // all letters so far: undecidable, wait for more bytes
+}
+
+core::Result<std::optional<HttpRequest>> parse_http_request(std::string_view in) {
+  const std::size_t end = in.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    if (in.size() > kMaxHead) {
+      return Status{ErrorCode::kBadInput, "http: request head exceeds 8 KiB"};
+    }
+    return std::optional<HttpRequest>{};  // incomplete: buffer more
+  }
+  const std::size_t line_end = in.find("\r\n");
+  std::string_view line = in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).substr(0, 5) != "HTTP/") {
+    return Status{ErrorCode::kBadInput, "http: malformed request line"};
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    return Status{ErrorCode::kBadInput, "http: malformed request line"};
+  }
+  return std::optional<HttpRequest>{std::move(req)};
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type, std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace bitflow::net

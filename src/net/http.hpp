@@ -1,0 +1,44 @@
+// Minimal HTTP/1.1 surface for the serving front-end's observability
+// endpoints (GET /healthz, /varz, /metrics).
+//
+// This is deliberately NOT an HTTP server: one request per connection,
+// GET only, headers ignored, response always `Connection: close`.  The
+// front-end sniffs the first bytes of each connection — the binary magic
+// selects the frame codec, an HTTP method token selects this parser — so
+// curl and a BitFlow client can share one port.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+
+namespace bitflow::net {
+
+/// A parsed request line.  Headers are consumed but not retained (none of
+/// the served endpoints need them).
+struct HttpRequest {
+  std::string method;  ///< e.g. "GET"
+  std::string target;  ///< e.g. "/metrics"
+};
+
+/// True when the first buffered bytes can only be an HTTP request (an
+/// upper-case method token).  Callers need at most 4 bytes to distinguish
+/// this from the binary magic.
+[[nodiscard]] bool looks_like_http(std::string_view prefix);
+
+/// Parses one request once the terminating blank line ("\r\n\r\n") has
+/// arrived.  Returns nullopt while incomplete (buffer more), the request
+/// when complete, or kBadInput for a malformed/oversized head (fail
+/// closed — the connection must be dropped).
+[[nodiscard]] core::Result<std::optional<HttpRequest>> parse_http_request(
+    std::string_view in);
+
+/// Serializes a complete response with Content-Length and
+/// `Connection: close`.
+[[nodiscard]] std::string http_response(int status, std::string_view reason,
+                                        std::string_view content_type,
+                                        std::string_view body);
+
+}  // namespace bitflow::net

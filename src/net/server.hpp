@@ -1,0 +1,80 @@
+// net::Server — the TCP front-end of the serving tier.
+//
+//   clients ──► poll loop ──► FrameReader ──► ShardRouter::submit(callback)
+//                  ▲                               │ (engine worker thread)
+//                  │ self-pipe wake                ▼
+//                  └──────────── per-connection Outbox ◄── encoded response
+//
+// Threading model: ONE poll thread owns every socket, every FrameReader,
+// and every connection's read/write buffers — no locking on the byte-
+// shuffling paths.  The only cross-thread surface is the per-connection
+// Outbox: engine workers complete requests by locking the outbox, queuing
+// the encoded response frame, and writing one byte to the self-pipe; the
+// poll thread wakes, drains outboxes into kernel buffers, and re-polls.
+// A connection that dies with requests in flight marks its outbox dead
+// under the same lock, so late completions drop their frame harmlessly —
+// completion callbacks never touch a socket.
+//
+// Protocol sniffing: the first bytes of each connection select the binary
+// frame codec (magic "BF01") or the minimal HTTP/1.1 parser (GET /healthz,
+// /varz, /metrics) — one port serves both the data plane and observability.
+//
+// Fail-closed: any codec violation (see net/frame.hpp) or armed
+// net.frame_decode failpoint sends ONE machine-readable Error frame
+// (id 0 — the offending frame's id is untrusted) and closes after flush.
+// Backpressure: a connection may have at most cfg.max_inflight_per_conn
+// requests outstanding; excess requests are answered with a
+// kResourceExhausted Error frame without touching the router.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/status.hpp"
+#include "serve/shard_router.hpp"
+
+namespace bitflow::net {
+
+struct ServerConfig {
+  /// Listen address; tests and the bench bind loopback.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (kernel-assigned; read it back with port()).
+  std::uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 256;
+  /// Per-connection outstanding-request bound (wire-level backpressure,
+  /// in front of the router's own admission control).
+  std::size_t max_inflight_per_conn = 64;
+};
+
+/// The front-end.  start() spawns the poll thread; stop() (or the
+/// destructor) closes every socket and joins, after every in-flight
+/// request's completion callback has run.  The router must outlive the
+/// server.
+class Server {
+ public:
+  [[nodiscard]] static core::Result<Server> start(serve::ShardRouter& router,
+                                                  ServerConfig cfg = {});
+
+  Server(Server&&) noexcept;
+  Server& operator=(Server&&) noexcept;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The bound port (the kernel's choice when cfg.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Stops accepting, closes every connection, joins the poll thread, and
+  /// waits for every in-flight completion callback.  Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitflow::net

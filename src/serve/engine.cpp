@@ -208,6 +208,68 @@ struct Engine::Impl {
     if (in_flight_ > 0 && --in_flight_ == 0) idle_cv_.notify_all();
   }
 
+  /// The single completion point: every outcome flows through here exactly
+  /// once, on whichever channel the submitter chose (callback or future).
+  /// Callbacks run on the resolving thread and must not throw (contract in
+  /// request_queue.hpp); a violation here would unwind a worker, so it is
+  /// deliberately not firewalled — it is a caller bug, not an engine fault.
+  static void deliver(Request& r, core::Result<std::vector<float>>&& outcome) {
+    if (r.done) {
+      r.done(std::move(outcome));
+    } else {
+      r.promise.set_value(std::move(outcome));
+    }
+  }
+
+  /// Shared admission path behind every public submit overload (future- and
+  /// callback-form).  `r` must carry its completion channel already; every
+  /// rejection resolves it inline via deliver() before returning.
+  void do_submit(Request r, std::chrono::milliseconds deadline) BF_EXCLUDES(mu_);
+
+  /// Shared reload state machine: enter kReloading, obtain the replacement
+  /// generation from `build` (which runs off every serving path — workers
+  /// keep batching on the old generation meanwhile), validate its shape
+  /// against the serving contract, swap under mu_, return to kServing.  On
+  /// any failure the old generation keeps serving untouched.
+  core::Status reload_with(
+      const std::function<
+          core::Result<std::shared_ptr<const graph::BinaryNetwork>>()>& build)
+      BF_EXCLUDES(mu_) {
+    telemetry::TraceSpan span("serve.reload", "serve");
+    {
+      core::MutexLock lock(mu_);
+      if (closing_ || state_ != EngineState::kServing) {
+        return Status{ErrorCode::kUnavailable,
+                      "reload: engine is " + std::string(engine_state_name(state_)) +
+                          (closing_ ? " (shutting down)" : "") +
+                          "; only a serving engine can reload"};
+      }
+      state_ = EngineState::kReloading;  // admission continues in this state
+    }
+    Status result = Status::ok();
+    core::Result<std::shared_ptr<const graph::BinaryNetwork>> fresh = build();
+    if (!fresh.is_ok()) {
+      result = fresh.status();
+    } else if (fresh.value()->input_desc() != in_desc_ ||
+               fresh.value()->output_size() != out_size_) {
+      result = Status{
+          ErrorCode::kInvalidModel,
+          "reload: replacement network shape differs from the serving one "
+          "(input/output shapes must be stable across reloads; drain and "
+          "start a new engine instead)"};
+    } else {
+      core::MutexLock lock(mu_);
+      net_ = std::move(fresh.value());
+      ++net_gen_;
+    }
+    if (result.is_ok()) reloads.add();
+    {
+      core::MutexLock lock(mu_);
+      state_ = EngineState::kServing;
+    }
+    return result;
+  }
+
   void resolve_ok(Request& r, const float* scores, std::int64_t count) {
     const auto now = std::chrono::steady_clock::now();
     // The deadline is a contract on the WHOLE request: a member that rode a
@@ -219,8 +281,8 @@ struct Engine::Impl {
     if (now > r.deadline) {
       expired.add();
       trace_request(r);
-      r.promise.set_value(Status{ErrorCode::kDeadlineExceeded,
-                                 "request completed past its deadline"});
+      deliver(r, Status{ErrorCode::kDeadlineExceeded,
+                        "request completed past its deadline"});
       finish_one();
       return;
     }
@@ -231,30 +293,29 @@ struct Engine::Impl {
     completed.add();
     latency_us_hist.record(us);
     trace_request(r);
-    r.promise.set_value(std::vector<float>(scores, scores + count));
+    deliver(r, std::vector<float>(scores, scores + count));
     finish_one();
   }
 
   void resolve_error(Request& r, Status st) {
     failed.add();
     trace_request(r);
-    r.promise.set_value(std::move(st));
+    deliver(r, std::move(st));
     finish_one();
   }
 
   void resolve_expired(Request& r) {
     expired.add();
     trace_request(r);
-    r.promise.set_value(Status{
-        ErrorCode::kDeadlineExceeded,
-        "request expired after waiting in queue beyond its deadline"});
+    deliver(r, Status{ErrorCode::kDeadlineExceeded,
+                      "request expired after waiting in queue beyond its deadline"});
     finish_one();
   }
 
   void resolve_cancelled(Request& r, const char* why) {
     cancelled.add();
     trace_request(r);
-    r.promise.set_value(Status{ErrorCode::kCancelled, why});
+    deliver(r, Status{ErrorCode::kCancelled, why});
     finish_one();
   }
 
@@ -265,9 +326,8 @@ struct Engine::Impl {
     if (r.deadline <= std::chrono::steady_clock::now()) {
       expired.add();
       trace_request(r);
-      r.promise.set_value(Status{
-          ErrorCode::kDeadlineExceeded,
-          "deadline expired at a mid-inference cancellation checkpoint"});
+      deliver(r, Status{ErrorCode::kDeadlineExceeded,
+                        "deadline expired at a mid-inference cancellation checkpoint"});
       finish_one();
     } else {
       resolve_cancelled(r, "request cancelled at a cooperative checkpoint (drain)");
@@ -492,7 +552,12 @@ Engine::~Engine() {
   if (impl_) shutdown();
 }
 
-core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
+namespace {
+
+/// Config sanity shared by both create() entry points.  `check_isa` is false
+/// when the caller hands in an already-instantiated network: its kernels were
+/// chosen when IT was built, so cfg.net.max_isa is not consulted.
+Status validate_engine_config(const EngineConfig& cfg, bool check_isa) {
   if (cfg.workers < 1) {
     return Status{ErrorCode::kBadInput, "EngineConfig: workers must be >= 1"};
   }
@@ -511,13 +576,24 @@ core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
   if (cfg.breaker_backoff.count() < 0) {
     return Status{ErrorCode::kBadInput, "EngineConfig: breaker_backoff must be >= 0"};
   }
-  if (cfg.net.max_isa.has_value() && !simd::cpu_features().supports(*cfg.net.max_isa)) {
+  if (check_isa && cfg.net.max_isa.has_value() &&
+      !simd::cpu_features().supports(*cfg.net.max_isa)) {
     return Status{ErrorCode::kUnsupportedIsa,
                   "requested max_isa " + std::string(simd::isa_name(*cfg.net.max_isa)) +
                       " is not executable on this CPU"};
   }
+  return Status::ok();
+}
+
+}  // namespace
+
+core::Result<Engine> Engine::create(std::shared_ptr<const graph::BinaryNetwork> net,
+                                    EngineConfig cfg) {
+  if (!net) {
+    return Status{ErrorCode::kBadInput, "Engine::create: network must be non-null"};
+  }
+  if (Status st = validate_engine_config(cfg, /*check_isa=*/false); !st.is_ok()) return st;
   try {
-    auto net = std::make_shared<const graph::BinaryNetwork>(model.instantiate(cfg.net));
     auto impl = std::make_unique<Impl>(cfg, std::move(net));
     // Contexts are created inside each worker thread (first thing it does),
     // so their allocation cost is paid off the caller's critical path.
@@ -531,6 +607,16 @@ core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
       ip->state_ = EngineState::kServing;
     }
     return Engine(std::move(impl));
+  } catch (...) {
+    return map_open_error();
+  }
+}
+
+core::Result<Engine> Engine::create(const io::Model& model, EngineConfig cfg) {
+  if (Status st = validate_engine_config(cfg, /*check_isa=*/true); !st.is_ok()) return st;
+  try {
+    auto net = std::make_shared<const graph::BinaryNetwork>(model.instantiate(cfg.net));
+    return create(std::move(net), cfg);
   } catch (...) {
     return map_open_error();
   }
@@ -556,24 +642,37 @@ std::future<core::Result<std::vector<float>>> Engine::submit(Tensor input,
 
 std::future<core::Result<std::vector<float>>> Engine::submit(
     Tensor input, std::chrono::milliseconds deadline, Priority priority) {
-  Impl& im = *impl_;
   Request r;
   r.input = std::move(input);
   r.priority = priority;
   std::future<core::Result<std::vector<float>>> fut = r.promise.get_future();
+  impl_->do_submit(std::move(r), deadline);
+  return fut;
+}
 
+void Engine::submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
+                    ResponseCallback done) {
+  Request r;
+  r.input = std::move(input);
+  r.priority = priority;
+  r.done = std::move(done);
+  impl_->do_submit(std::move(r), deadline);
+}
+
+void Engine::Impl::do_submit(Request r, std::chrono::milliseconds deadline) {
+  Impl& im = *this;
   // Validate before admission: a shape mismatch is the caller's fault and
   // must not consume queue capacity.
   if (r.input.height() != im.in_desc_.h || r.input.width() != im.in_desc_.w ||
       r.input.channels() != im.in_desc_.c) {
     im.rejected.add();
-    r.promise.set_value(Status{
+    deliver(r, Status{
         ErrorCode::kBadInput,
         "submit: input is " + std::to_string(r.input.height()) + "x" +
             std::to_string(r.input.width()) + "x" + std::to_string(r.input.channels()) +
             ", network wants " + std::to_string(im.in_desc_.h) + "x" +
             std::to_string(im.in_desc_.w) + "x" + std::to_string(im.in_desc_.c)});
-    return fut;
+    return;
   }
 
   // Admission-control failpoint: an injected fault here models the queue
@@ -583,8 +682,8 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
     BF_FAILPOINT("serve.queue_admit");
   } catch (...) {
     im.rejected.add();
-    r.promise.set_value(map_infer_error());
-    return fut;
+    deliver(r, map_infer_error());
+    return;
   }
 
   // Shed failpoint evaluated outside the lifecycle lock (its stall action
@@ -596,8 +695,8 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
   } catch (...) {
     im.shed.add();
     im.rejected.add();
-    r.promise.set_value(map_infer_error());
-    return fut;
+    deliver(r, map_infer_error());
+    return;
   }
 
   // Lifecycle gate + adaptive shedding + in-flight admission, one lock.
@@ -606,20 +705,19 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
     core::MutexLock lock(im.mu_);
     if (im.closing_) {
       im.rejected.add();
-      r.promise.set_value(
-          Status{ErrorCode::kResourceExhausted, "submit: engine is shut down"});
-      return fut;
+      deliver(r, Status{ErrorCode::kResourceExhausted, "submit: engine is shut down"});
+      return;
     }
     if (im.state_ == EngineState::kDraining || im.state_ == EngineState::kDrained) {
       im.rejected.add();
-      r.promise.set_value(Status{
+      deliver(r, Status{
           ErrorCode::kUnavailable,
           "submit: engine is " + std::string(engine_state_name(im.state_)) +
               " and not accepting new requests"});
-      return fut;
+      return;
     }
     bool do_shed = force_shed;
-    if (!do_shed && im.cfg.adaptive_shedding && priority == Priority::kNormal &&
+    if (!do_shed && im.cfg.adaptive_shedding && r.priority == Priority::kNormal &&
         deadline.count() > 0) {
       // Shed formula: expected wait = in-flight work / drain rate, i.e.
       // in_flight * EWMA(service time per request) / workers.  The request
@@ -642,12 +740,12 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
     if (do_shed) {
       im.shed.add();
       im.rejected.add();
-      r.promise.set_value(Status{
+      deliver(r, Status{
           ErrorCode::kResourceExhausted,
           "submit: shed by overload control (estimated queue delay " +
               std::to_string(est_wait_ns / 1000) + " us exceeds the " +
               std::to_string(deadline.count()) + " ms deadline budget)"});
-      return fut;
+      return;
     }
     // Count the request in flight BEFORE the push: a worker may pop and
     // resolve it before try_push even returns.
@@ -664,15 +762,14 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
     }
     im.rejected.add();
     im.queue_overflow.add();
-    r.promise.set_value(Status{
+    deliver(r, Status{
         ErrorCode::kResourceExhausted,
         im.queue.closed()
             ? std::string("submit: engine is shut down")
             : "submit: queue full (capacity " + std::to_string(im.queue.capacity()) + ")"});
-    return fut;
+    return;
   }
   im.accepted.add();
-  return fut;
 }
 
 core::Result<std::vector<float>> Engine::infer(Tensor input) {
@@ -746,43 +843,26 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
 
 core::Status Engine::reload(const io::Model& model) {
   Impl& im = *impl_;
-  telemetry::TraceSpan span("serve.reload", "serve");
-  {
-    core::MutexLock lock(im.mu_);
-    if (im.closing_ || im.state_ != EngineState::kServing) {
-      return Status{ErrorCode::kUnavailable,
-                    "reload: engine is " + std::string(engine_state_name(im.state_)) +
-                        (im.closing_ ? " (shutting down)" : "") +
-                        "; only a serving engine can reload"};
+  return im.reload_with([&im, &model]()
+                            -> core::Result<std::shared_ptr<const graph::BinaryNetwork>> {
+    try {
+      // The expensive part — instantiate + finalize — happens off every
+      // serving path.
+      return std::make_shared<const graph::BinaryNetwork>(model.instantiate(im.cfg.net));
+    } catch (...) {
+      return map_open_error();
     }
-    im.state_ = EngineState::kReloading;  // admission continues in this state
+  });
+}
+
+core::Status Engine::reload(std::shared_ptr<const graph::BinaryNetwork> net) {
+  if (!net) {
+    return Status{ErrorCode::kBadInput, "reload: network must be non-null"};
   }
-  Status result = Status::ok();
-  try {
-    // The expensive part — instantiate + finalize — happens off every
-    // serving path; workers keep batching on the old generation meanwhile.
-    graph::BinaryNetwork nn = model.instantiate(im.cfg.net);
-    if (nn.input_desc() != im.in_desc_ || nn.output_size() != im.out_size_) {
-      result = Status{
-          ErrorCode::kInvalidModel,
-          "reload: replacement network shape differs from the serving one "
-          "(input/output shapes must be stable across reloads; drain and "
-          "start a new engine instead)"};
-    } else {
-      auto fresh = std::make_shared<const graph::BinaryNetwork>(std::move(nn));
-      core::MutexLock lock(im.mu_);
-      im.net_ = std::move(fresh);
-      ++im.net_gen_;
-    }
-  } catch (...) {
-    result = map_open_error();
-  }
-  if (result.is_ok()) im.reloads.add();
-  {
-    core::MutexLock lock(im.mu_);
-    im.state_ = EngineState::kServing;
-  }
-  return result;
+  return impl_->reload_with(
+      [&net]() -> core::Result<std::shared_ptr<const graph::BinaryNetwork>> {
+        return std::move(net);
+      });
 }
 
 void Engine::shutdown() {
@@ -844,6 +924,13 @@ EngineStats Engine::stats() const {
 EngineState Engine::state() const {
   core::MutexLock lock(impl_->mu_);
   return impl_->state_;
+}
+
+std::size_t Engine::queue_depth() const { return impl_->queue.size(); }
+
+std::shared_ptr<const graph::BinaryNetwork> Engine::network() const {
+  core::MutexLock lock(impl_->mu_);
+  return impl_->net_;
 }
 
 graph::TensorDesc Engine::input_desc() const { return impl_->in_desc_; }

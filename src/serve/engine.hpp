@@ -158,6 +158,16 @@ class Engine {
   /// Same, loading a .bflow file first.
   [[nodiscard]] static core::Result<Engine> open(const std::string& path,
                                                  EngineConfig cfg = {});
+  /// Starts the workers over an ALREADY-finalized network owned elsewhere.
+  /// This is the zero-copy sharding entry point (serve::ShardRouter): N
+  /// engines created from the same shared_ptr serve one set of packed
+  /// weights — only the per-worker scratch contexts are replicated.  The
+  /// network must be finalized and must outlive nothing (the shared_ptr
+  /// keeps it alive past reload()/shutdown() as long as any batch runs).
+  /// cfg.net.num_threads still sizes the per-worker context pools;
+  /// cfg.net's graph-construction fields are ignored (the network exists).
+  [[nodiscard]] static core::Result<Engine> create(
+      std::shared_ptr<const graph::BinaryNetwork> net, EngineConfig cfg = {});
 
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
@@ -176,6 +186,17 @@ class Engine {
   [[nodiscard]] std::future<core::Result<std::vector<float>>> submit(
       Tensor input, std::chrono::milliseconds deadline,
       Priority priority = Priority::kNormal);
+
+  /// Callback-completion submit: `done` is invoked exactly once with the
+  /// outcome, on whichever thread resolves the request — an engine worker
+  /// for served requests, the CALLING thread (inline, before this returns)
+  /// for admission rejections.  The callback must not throw and must not
+  /// re-enter this engine (submit/drain/reload from inside it deadlocks by
+  /// design, like re-entering the registry from a callback gauge).  This is
+  /// the wire front-end's path: the poll loop hands the socket response
+  /// directly to the worker that produced the scores, with no future churn.
+  void submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
+              ResponseCallback done);
 
   /// Blocking convenience: submit + wait.
   [[nodiscard]] core::Result<std::vector<float>> infer(Tensor input);
@@ -201,6 +222,12 @@ class Engine {
   /// engine is Serving.
   [[nodiscard]] core::Status reload(const io::Model& model);
 
+  /// Same, but publishing an ALREADY-finalized network built elsewhere: the
+  /// router's fan-out path, where one replacement is instantiated once and
+  /// every shard swaps to the same shared weights (zero copies, N pointer
+  /// swaps).  Same shape contract and state rules as reload(model).
+  [[nodiscard]] core::Status reload(std::shared_ptr<const graph::BinaryNetwork> net);
+
   /// Stops admission, drains queued requests, joins the workers.
   /// Idempotent; called by the destructor.  submit() after shutdown is
   /// rejected with kResourceExhausted.
@@ -210,6 +237,13 @@ class Engine {
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] EngineState state() const;
+  /// Queued-but-unpopped requests right now (both lanes).  Cheap — one queue
+  /// lock, no histogram snapshots — so routing layers may poll it per
+  /// request; stats() is the full (heavier) snapshot.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// The CURRENT network generation (shared: reload() may retire it while
+  /// the caller holds the pointer; the weights stay valid regardless).
+  [[nodiscard]] std::shared_ptr<const graph::BinaryNetwork> network() const;
   [[nodiscard]] graph::TensorDesc input_desc() const;
   [[nodiscard]] std::int64_t output_size() const;
   /// Layer descriptors of the CURRENT generation (a snapshot by value:

@@ -24,6 +24,12 @@ ErrorCode code_for_failpoint(std::string_view point) {
   }
   if (point == "serve.cancel_checkpoint") return ErrorCode::kCancelled;
   if (point == "serve.drain") return ErrorCode::kUnavailable;
+  // net.accept models the front-end refusing a connection (the peer sees a
+  // closed socket, an orchestrator sees kUnavailable); net.frame_decode
+  // models a malformed frame — the same fail-closed kBadInput a real codec
+  // violation produces.
+  if (point == "net.accept") return ErrorCode::kUnavailable;
+  if (point == "net.frame_decode") return ErrorCode::kBadInput;
   return ErrorCode::kInternal;
 }
 

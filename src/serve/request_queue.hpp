@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <optional>
 #include <vector>
@@ -35,13 +36,21 @@ namespace bitflow::serve {
 /// to the hard per-lane capacity bound — nothing is unbounded).
 enum class Priority : std::uint8_t { kNormal = 0, kHigh = 1 };
 
-/// One queued inference request.  The promise is the single point of
-/// resolution: exactly one of {scores, Status} is set, by whichever stage
-/// finishes the request (admission rejection, in-queue expiry, a worker, or
-/// drain-timeout cancellation).
+/// Completion callback alternative to the future channel: invoked exactly
+/// once with the request's outcome, on whichever thread resolves it (an
+/// engine worker, or the submitter itself for admission rejections).  Must
+/// not throw and must not re-enter the engine that invoked it.
+using ResponseCallback = std::function<void(core::Result<std::vector<float>>&&)>;
+
+/// One queued inference request.  Resolution happens exactly once, by
+/// whichever stage finishes the request (admission rejection, in-queue
+/// expiry, a worker, or drain-timeout cancellation): through `done` when
+/// set (the wire front-end's completion path — no future churn on the
+/// poll loop), through `promise` otherwise.
 struct Request {
   Tensor input;
   std::promise<core::Result<std::vector<float>>> promise;
+  ResponseCallback done;  ///< when set, `promise` is never touched
   std::chrono::steady_clock::time_point enqueue_time{};
   /// Absolute end-to-end deadline; time_point::max() = no deadline.  Covers
   /// the whole request: queue wait (the batcher fails lapsed requests with

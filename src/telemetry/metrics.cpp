@@ -270,15 +270,29 @@ void append_type(std::string& out, const std::string& name, const char* type,
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
   std::string last_typed;
-  for (const CounterSample& c : counters) {
+  // Group each family's series behind ONE "# TYPE" line: registration order
+  // interleaves same-named instruments from different owners (e.g. one
+  // queue-depth gauge per engine shard), so sort by the SANITIZED family
+  // name — distinct raw names may collapse to one family after sanitizing.
+  const auto family_order = [](const auto& a, const auto& b) {
+    const std::string fa = sanitize(a.name), fb = sanitize(b.name);
+    return fa != fb ? fa < fb : a.labels < b.labels;
+  };
+  std::vector<CounterSample> sorted_counters(counters);
+  std::sort(sorted_counters.begin(), sorted_counters.end(), family_order);
+  std::vector<GaugeSample> sorted_gauges(gauges);
+  std::sort(sorted_gauges.begin(), sorted_gauges.end(), family_order);
+  std::vector<HistogramSample> sorted_hists(histograms);
+  std::sort(sorted_hists.begin(), sorted_hists.end(), family_order);
+  for (const CounterSample& c : sorted_counters) {
     append_type(out, c.name, "counter", last_typed);
     append_series(out, c.name, c.labels, "", "", static_cast<double>(c.value));
   }
-  for (const GaugeSample& g : gauges) {
+  for (const GaugeSample& g : sorted_gauges) {
     append_type(out, g.name, "gauge", last_typed);
     append_series(out, g.name, g.labels, "", "", g.value);
   }
-  for (const HistogramSample& h : histograms) {
+  for (const HistogramSample& h : sorted_hists) {
     append_type(out, h.name, "histogram", last_typed);
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h.hist.buckets.size(); ++i) {

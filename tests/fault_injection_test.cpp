@@ -302,6 +302,8 @@ TEST_F(FailpointFrameworkTest, CatalogIsExhaustivelyCovered) {
       "serve.drain",              // lifecycle_test drain fault
       "serve.worker_quarantine",  // lifecycle_test forced quarantine; chaos_test
       "simd.force_fallback",      // ForcedIsaFallbackKeepsResultsBitExact
+      "net.accept",               // server_test accept fault matrix
+      "net.frame_decode",         // server_test decode fault matrix; net_codec_test
   };
   std::set<std::string> catalog_names;
   for (const failpoint::PointInfo& p : failpoint::catalog()) {

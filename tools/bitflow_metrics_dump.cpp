@@ -6,14 +6,24 @@
 // engine, thread pool and failpoint catalog register — counters, callback
 // gauges, linear and log2 histograms — so the lint sees a representative
 // exposition, not a hand-written fixture.
+//
+// --via-server exercises the serving tier's OTHER exposition path instead:
+// a ShardRouter behind net::Server, traffic through real loopback sockets,
+// and the dump fetched over HTTP GET /metrics — what a Prometheus scraper
+// would actually see, per-shard gauges and net.* counters included.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
 #include "bitpack/packer.hpp"
 #include "io/model.hpp"
 #include "models/vgg.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/engine.hpp"
+#include "serve/shard_router.hpp"
 #include "telemetry/metrics.hpp"
 #include "tensor/util.hpp"
 
@@ -38,9 +48,62 @@ Tensor make_input(std::uint64_t seed) {
   return t;
 }
 
+/// The scraper's view: router + server, loopback traffic, GET /metrics.
+int dump_via_server() {
+  serve::RouterConfig cfg;
+  cfg.shards = 2;
+  cfg.engine.workers = 1;
+  cfg.engine.max_batch = 4;
+  cfg.engine.net.num_threads = 1;
+  auto r = serve::ShardRouter::create(make_model(), cfg);
+  if (!r.is_ok()) {
+    std::fprintf(stderr, "router creation failed: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  serve::ShardRouter router = std::move(r.value());
+  auto s = net::Server::start(router);
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.status().to_string().c_str());
+    return 1;
+  }
+  net::Server server = std::move(s.value());
+
+  auto conn = net::Client::connect("127.0.0.1", server.port());
+  if (!conn.is_ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  net::Client client = std::move(conn.value());
+  for (int i = 0; i < 16; ++i) {
+    const Tensor t = make_input(static_cast<std::uint64_t>(i));
+    net::RequestFrame req;
+    req.id = static_cast<std::uint64_t>(i) + 1;
+    req.h = 8;
+    req.w = 8;
+    req.c = 8;
+    req.data.assign(t.elements().begin(), t.elements().end());
+    auto got = client.infer(req, std::chrono::milliseconds(5000));
+    if (!got.is_ok()) {
+      std::fprintf(stderr, "request failed: %s\n", got.status().to_string().c_str());
+      return 1;
+    }
+  }
+  auto body = net::Client::http_get("127.0.0.1", server.port(), "/metrics");
+  if (!body.is_ok()) {
+    std::fprintf(stderr, "GET /metrics failed: %s\n", body.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(body.value().c_str(), stdout);
+  server.stop();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--via-server") == 0) {
+    return dump_via_server();
+  }
   const io::Model model = make_model();
   serve::EngineConfig cfg;
   cfg.workers = 2;

@@ -20,6 +20,8 @@ The layering (leaves first):
     graph             -> baseline, bitpack, kernels, telemetry, ...
     models, ops, io   -> graph, ...
     serve             -> graph, io, ...
+    net               -> serve, core, telemetry (the wire front-end; it may
+                         NOT reach around the router into graph/kernels)
     train             -> graph, io, data, bitpack
     gpuref            — self-contained reference, includes nothing
 
@@ -58,6 +60,7 @@ DIRECT_DEPS: dict[str, set[str]] = {
     "ops": {"baseline", "bitpack", "graph", "kernels", "runtime", "tensor"},
     "io": {"core", "graph", "kernels", "tensor"},
     "serve": {"core", "graph", "io", "runtime", "simd", "telemetry", "tensor"},
+    "net": {"core", "serve", "telemetry"},
     "train": {"bitpack", "data", "graph", "io"},
     "gpuref": set(),
 }

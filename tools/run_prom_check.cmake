@@ -1,6 +1,9 @@
 # ctest glue for the prom_format test: run the metrics demo, capture its
 # exposition dump to a file, and feed it through check_prom_format.py.
-execute_process(COMMAND ${DUMP} OUTPUT_FILE ${OUT} RESULT_VARIABLE dump_rc)
+# DUMP_ARGS (optional) selects the dump mode, e.g. --via-server for the
+# HTTP GET /metrics path through the serving front-end.
+separate_arguments(dump_args NATIVE_COMMAND "${DUMP_ARGS}")
+execute_process(COMMAND ${DUMP} ${dump_args} OUTPUT_FILE ${OUT} RESULT_VARIABLE dump_rc)
 if(NOT dump_rc EQUAL 0)
   message(FATAL_ERROR "bitflow_metrics_dump failed with ${dump_rc}")
 endif()
