@@ -12,6 +12,7 @@
 #include "core/failpoint.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
+#include "tune/tuner.hpp"
 
 namespace bitflow::graph {
 
@@ -406,6 +407,23 @@ void BinaryNetwork::finalize(TensorDesc input) {
   // Pass 3: lower layers to stages, pack weights, record the buffer plan.
   // plan.acts[i] holds the packed input of stage i (for conv/pool stages);
   // contexts allocate one copy per batch slot.
+  //
+  // With auto-tuning on, each conv/fc layer's plan (tiled vs untiled, tile
+  // width, parallel grain) comes from tune::decide() — a cache hit commits
+  // the remembered plan instantly, a miss microbenchmarks the candidates on
+  // the layer's real shapes.  Off, the static default_decision() reproduces
+  // the historical heuristic exactly.  Either way every candidate is
+  // bit-exact, so this pass picks speed, never values.
+  tune::TuneCache tune_cache;
+  std::string tune_path;
+  bool tune_searched_any = false;
+  std::unique_ptr<runtime::ThreadPool> tune_pool;
+  if (im.cfg.auto_tune) {
+    tune_path = im.cfg.tune_cache_path.empty() ? tune::default_cache_path()
+                                               : im.cfg.tune_cache_path;
+    if (!tune_path.empty()) tune_cache.load(tune_path);
+    tune_pool = std::make_unique<runtime::ThreadPool>(im.cfg.num_threads);
+  }
   TensorDesc flow = input;
   for (std::size_t i = 0; i < n_layers; ++i) {
     PendingLayer& l = im.pending[i];
@@ -431,20 +449,46 @@ void BinaryNetwork::finalize(TensorDesc input) {
           PackedFilterBank bank =
               l.prepacked ? std::move(l.conv_packed) : bitpack::pack_filters(l.conv_weights);
           im.weight_bytes += bank.num_filters() * bank.words_per_filter() * 8;
-          const std::int64_t tile = kernels::weight_tile_width(info.isa);
-          if (im.cfg.tile_weights && bank.num_filters() >= tile) {
+          tune::LayerWorkload wl;
+          wl.kind = 0;
+          wl.isa = info.isa;
+          wl.vpopcnt = info.isa == simd::IsaLevel::kAvx512 && hw.avx512vpopcntdq;
+          wl.threads = im.cfg.num_threads;
+          wl.in_h = info.in.h + 2 * l.pad;  // the padded buffer the kernel reads
+          wl.in_w = info.in.w + 2 * l.pad;
+          wl.c = info.in.c;
+          wl.k = bank.num_filters();
+          wl.kh = l.conv_spec.kernel_h;
+          wl.kw = l.conv_spec.kernel_w;
+          wl.stride = l.conv_spec.stride;
+          wl.fused_binarize = !s.is_last;
+          tune::Decision dec;
+          if (im.cfg.auto_tune) {
+            bool searched = false;
+            dec = tune::decide(wl, tune_cache, *tune_pool, im.cfg.tile_weights, &searched);
+            tune_searched_any = tune_searched_any || searched;
+          } else {
+            dec = tune::default_decision(wl, im.cfg.tile_weights);
+          }
+          s.conv_spec.par_grain = dec.par_grain;
+          if (dec.tiled) {
             // Re-lay into the interleaved register-tile layout and drop the
             // filter-major bank (same word count, permuted order).
-            s.filters_tiled = bitpack::tile_filters(bank, tile);
+            s.filters_tiled = bitpack::tile_filters(bank, dec.tile);
             s.tiled = true;
-            s.conv_bin_tiled = kernels::conv_binarize_tiled_batch_kernel(info.isa);
-            s.conv_dot_tiled = kernels::conv_dot_tiled_batch_kernel(info.isa);
+            s.conv_bin_tiled =
+                kernels::conv_binarize_tiled_batch_kernel(info.isa, wl.vpopcnt, dec.tile);
+            s.conv_dot_tiled =
+                kernels::conv_dot_tiled_batch_kernel(info.isa, wl.vpopcnt, dec.tile);
             info.layout = kernels::WeightLayout::kInterleaved;
+            info.tile = dec.tile;
           } else {
             s.filters = std::move(bank);
-            s.conv_bin = kernels::conv_binarize_batch_kernel(info.isa);
-            s.conv_dot = kernels::conv_dot_batch_kernel(info.isa);
+            s.conv_bin = kernels::conv_binarize_batch_kernel(info.isa, wl.vpopcnt);
+            s.conv_dot = kernels::conv_dot_batch_kernel(info.isa, wl.vpopcnt);
           }
+          info.par_grain = dec.par_grain;
+          info.tune_source = tune::decision_source_name(dec.source);
         }
         l.conv_weights = FilterBank();  // drop the float weights
         break;
@@ -459,18 +503,36 @@ void BinaryNetwork::finalize(TensorDesc input) {
                              : bitpack::pack_transpose_fc_weights(l.fc_weights.data(), l.fc_n,
                                                                   l.fc_k);
         im.weight_bytes += w.rows() * w.words_per_row() * 8;
-        const std::int64_t tile = kernels::weight_tile_width(info.isa);
-        if (im.cfg.tile_weights && w.rows() >= tile) {
-          s.fc_tiled = bitpack::tile_fc_weights(w, tile);
+        tune::LayerWorkload wl;
+        wl.kind = 1;
+        wl.isa = info.isa;
+        wl.vpopcnt = info.isa == simd::IsaLevel::kAvx512 && hw.avx512vpopcntdq;
+        wl.threads = im.cfg.num_threads;
+        wl.c = w.cols();  // input neurons
+        wl.k = w.rows();  // output neurons
+        wl.fused_binarize = !s.is_last;
+        tune::Decision dec;
+        if (im.cfg.auto_tune) {
+          bool searched = false;
+          dec = tune::decide(wl, tune_cache, *tune_pool, im.cfg.tile_weights, &searched);
+          tune_searched_any = tune_searched_any || searched;
+        } else {
+          dec = tune::default_decision(wl, im.cfg.tile_weights);
+        }
+        if (dec.tiled) {
+          s.fc_tiled = bitpack::tile_fc_weights(w, dec.tile);
           s.tiled = true;
-          s.fc_dot_tiled = kernels::bgemm_rows_tiled_kernel(info.isa);
-          s.fc_bin_tiled = kernels::bgemm_binarize_rows_tiled_kernel(info.isa);
+          s.fc_dot_tiled = kernels::bgemm_rows_tiled_kernel(info.isa, wl.vpopcnt, dec.tile);
+          s.fc_bin_tiled =
+              kernels::bgemm_binarize_rows_tiled_kernel(info.isa, wl.vpopcnt, dec.tile);
           info.layout = kernels::WeightLayout::kInterleaved;
+          info.tile = dec.tile;
         } else {
           s.fc_weights = std::move(w);
-          s.fc_dot = kernels::bgemm_rows_kernel(info.isa);
-          s.fc_bin = kernels::bgemm_binarize_rows_kernel(info.isa);
+          s.fc_dot = kernels::bgemm_rows_kernel(info.isa, wl.vpopcnt);
+          s.fc_bin = kernels::bgemm_binarize_rows_kernel(info.isa, wl.vpopcnt);
         }
+        info.tune_source = tune::decision_source_name(dec.source);
         l.fc_weights.clear();
         l.fc_weights.shrink_to_fit();
         break;
@@ -519,6 +581,12 @@ void BinaryNetwork::finalize(TensorDesc input) {
   im.plan.scores_size = flow.num_elements();
   im.pending.clear();
   im.pending.shrink_to_fit();
+  if (im.cfg.auto_tune && tune_searched_any && !tune_path.empty()) {
+    // Persist merged decisions so the next finalize is a pure cache walk.
+    // A failed save is only a lost warm start (already counted by
+    // tune.cache_io_error) — never a reason to fail finalize.
+    (void)tune_cache.save(tune_path);
+  }
 
   // Profiler metadata: interned span names, the kernel each stage will
   // actually dispatch, and the static per-image cost model each profiled
@@ -571,6 +639,16 @@ void BinaryNetwork::finalize(TensorDesc input) {
     if (!s.full_precision) {
       kernel += '[';
       kernel += simd::isa_name(s.isa);
+      // Surface the committed plan: ",t8" = register-tile width, ",g18" =
+      // parallel grain (omitted at the pixel-level default of 1).
+      if (s.tiled) {
+        kernel += ",t";
+        kernel += std::to_string(info.tile);
+      }
+      if (s.kind == LayerKind::kConv && s.conv_spec.par_grain > 1) {
+        kernel += ",g";
+        kernel += std::to_string(s.conv_spec.par_grain);
+      }
       kernel += ']';
     }
     im.kernel_names.push_back(std::move(kernel));

@@ -77,6 +77,15 @@ struct LayerInfo {
   /// kInterleaved when the register-tiled kernels run it, kFilterMajor when
   /// it fell back (tiling disabled, K < tile width, or no weights at all).
   kernels::WeightLayout layout = kernels::WeightLayout::kFilterMajor;
+  /// Committed register-tile width T (0 = filter-major kernels) and
+  /// parallel-axis grain of the fused spatial range — the execution plan the
+  /// stage will dispatch.  With auto-tuning off these mirror the static
+  /// heuristic (weight_tile_width / grain 1).
+  std::int64_t tile = 0;
+  std::int64_t par_grain = 1;
+  /// Provenance of the plan: "default" (static heuristic), "search"
+  /// (measured at this finalize) or "cache" (loaded from the tuning cache).
+  std::string tune_source = "default";
 };
 
 /// One row of a per-layer profile (see BinaryNetwork::profile_report()).
@@ -125,6 +134,18 @@ struct NetworkConfig {
   /// filter-major path; same weight bytes).  Layers with fewer outputs than
   /// the tile width keep the filter-major layout either way.
   bool tile_weights = true;
+  /// Run the finalize-time auto-tuner (tune/tuner.hpp): microbenchmark each
+  /// conv/fc layer's kernel candidates (tiled vs untiled x tile width x
+  /// parallel grain) on its real shapes and commit the fastest.  Every
+  /// candidate is bit-exact, so tuning changes latency only.  Decisions are
+  /// read from / written to the tuning cache (below) so warm starts skip the
+  /// search.
+  bool auto_tune = false;
+  /// Path of the persistent tuning cache.  Empty (the default) falls back to
+  /// $BITFLOW_TUNE_CACHE; if that is unset too, decisions are not persisted.
+  /// A missing, corrupt or stale cache silently re-searches — it can never
+  /// produce a wrong plan.
+  std::string tune_cache_path;
 };
 
 class BinaryNetwork;

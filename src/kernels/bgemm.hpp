@@ -79,13 +79,21 @@ using BgemmBinarizeRowsTiledFn = void (*)(const PackedMatrix& a, std::int64_t m_
 [[nodiscard]] BgemmBinarizeRowsFn bgemm_binarize_rows_kernel(simd::IsaLevel isa,
                                                              bool use_vpopcntdq);
 
-/// Register-tiled kernel getters (interleaved weight layout, tile =
-/// weight_tile_width(isa)).
+/// Register-tiled kernel getters (interleaved weight layout).  Overloads
+/// without an explicit `tile` return the weight_tile_width(isa) default.
 [[nodiscard]] BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa);
 [[nodiscard]] BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa);
 [[nodiscard]] BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa, bool use_vpopcntdq);
 [[nodiscard]] BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa,
                                                                         bool use_vpopcntdq);
+
+/// Tile-parameterized getters for the auto-tuner: `tile` must be one of
+/// supported_tile_widths(isa) (throws std::invalid_argument otherwise).
+[[nodiscard]] BgemmRowsTiledFn bgemm_rows_tiled_kernel(simd::IsaLevel isa, bool use_vpopcntdq,
+                                                       std::int64_t tile);
+[[nodiscard]] BgemmBinarizeRowsTiledFn bgemm_binarize_rows_tiled_kernel(simd::IsaLevel isa,
+                                                                        bool use_vpopcntdq,
+                                                                        std::int64_t tile);
 
 /// Dispatching wrappers (widest hardware ISA).
 void bgemm(const PackedMatrix& a, const PackedMatrix& w, runtime::ThreadPool& pool, float* y);

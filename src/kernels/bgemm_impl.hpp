@@ -114,15 +114,17 @@ void bgemm_binarize_impl(const PackedMatrix& a, const PackedMatrix& w, const flo
 //
 // The untiled kernels' 4-way K blocking reads four strided weight rows per
 // activation word; after the finalize-time interleave (bitpack::
-// tile_fc_weights) the T = Ops::Tile::kWidth matching weight words are one
+// tile_fc_weights) the T = Tile::kWidth matching weight words are one
 // contiguous line, and the T neuron counters stay in registers across the
 // whole activation row.  Remainder neurons (K % T) stayed row-major in the
 // tiled matrix and take the word-run path.
+//
+// Tile is an explicit template parameter (not Ops::Tile) so each per-ISA TU
+// can stamp one entry point per supported width — the auto-tuner's T axis.
 
-template <typename Ops>
+template <typename Ops, typename Tile>
 void bgemm_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows, const TiledBitMatrix& w,
                            runtime::ThreadPool& pool, float* y) {
-  using Tile = typename Ops::Tile;
   constexpr std::int64_t kT = Tile::kWidth;
   if (w.tile() != kT) {
     throw std::invalid_argument("bgemm tiled: matrix tile width does not match kernel");
@@ -166,11 +168,10 @@ void bgemm_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows, const Til
   });
 }
 
-template <typename Ops>
+template <typename Ops, typename Tile>
 void bgemm_binarize_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows,
                                     const TiledBitMatrix& w, const float* thresholds,
                                     runtime::ThreadPool& pool, PackedMatrix& out) {
-  using Tile = typename Ops::Tile;
   constexpr std::int64_t kT = Tile::kWidth;
   static_assert(64 % Tile::kWidth == 0, "neuron tiles must not straddle output words");
   if (w.tile() != kT) {
@@ -252,14 +253,20 @@ void bgemm_binarize_rows_tiled_impl(const PackedMatrix& a, std::int64_t m_rows,
                                     runtime::ThreadPool& pool, PackedMatrix& out) {             \
     impl::bgemm_binarize_rows_impl<OPS>(a, m_rows, w, thresholds, pool, out);                   \
   }                                                                                             \
+  }  // namespace bitflow::kernels::detail
+
+/// Stamps out the register-tiled bgemm entry points for one (ISA policy,
+/// tile accumulator) pair — one invocation per supported tile width.
+#define BITFLOW_INSTANTIATE_BGEMM_TILED(SUFFIX, OPS, TILE)                                      \
+  namespace bitflow::kernels::detail {                                                          \
   void bgemm_rows_tiled_##SUFFIX(const PackedMatrix& a, std::int64_t m_rows,                    \
                                  const TiledBitMatrix& w, runtime::ThreadPool& pool,            \
                                  float* y) {                                                    \
-    impl::bgemm_rows_tiled_impl<OPS>(a, m_rows, w, pool, y);                                    \
+    impl::bgemm_rows_tiled_impl<OPS, TILE>(a, m_rows, w, pool, y);                              \
   }                                                                                             \
   void bgemm_binarize_rows_tiled_##SUFFIX(const PackedMatrix& a, std::int64_t m_rows,           \
                                           const TiledBitMatrix& w, const float* thresholds,     \
                                           runtime::ThreadPool& pool, PackedMatrix& out) {       \
-    impl::bgemm_binarize_rows_tiled_impl<OPS>(a, m_rows, w, thresholds, pool, out);             \
+    impl::bgemm_binarize_rows_tiled_impl<OPS, TILE>(a, m_rows, w, thresholds, pool, out);       \
   }                                                                                             \
   }  // namespace bitflow::kernels::detail

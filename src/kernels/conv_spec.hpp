@@ -7,6 +7,7 @@
 // margin.  Padding bits are 0, which decode to -1 under the BNN encoding.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 
@@ -39,8 +40,31 @@ enum class WeightLayout : std::uint8_t {
 /// 64-bit popcnt chains), 8 on AVX2/AVX-512 (qword lanes of one or two
 /// vector accumulators).  T always divides 64, so filter tiles never
 /// straddle a 64-bit output word in the fused-binarize kernels.
+///
+/// This is the *default* width — what finalize() commits when auto-tuning is
+/// off.  The tuner searches over supported_tile_widths() instead.
 [[nodiscard]] constexpr std::int64_t weight_tile_width(simd::IsaLevel isa) noexcept {
   return isa >= simd::IsaLevel::kAvx2 ? 8 : 4;
+}
+
+/// The register-tile widths an ISA has kernel instantiations for — the
+/// auto-tuner's candidate set.  Scalar/SSE stamp T in {4, 8} (independent
+/// popcnt chains); AVX2/AVX-512 add T = 16 (two/four vector accumulators).
+/// Every width divides 64 (tiles never straddle an output word).
+struct TileWidthSet {
+  std::array<std::int64_t, 3> widths{};
+  std::int64_t count = 0;
+  [[nodiscard]] bool contains(std::int64_t t) const noexcept {
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (widths[static_cast<std::size_t>(i)] == t) return true;
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] constexpr TileWidthSet supported_tile_widths(simd::IsaLevel isa) noexcept {
+  if (isa >= simd::IsaLevel::kAvx2) return TileWidthSet{{4, 8, 16}, 3};
+  return TileWidthSet{{4, 8, 0}, 2};
 }
 
 /// Geometry of one convolution: filter extents and stride.  Output extents
@@ -49,6 +73,13 @@ struct ConvSpec {
   std::int64_t kernel_h = 3;
   std::int64_t kernel_w = 3;
   std::int64_t stride = 1;
+  /// Parallel-axis granularity for the fused n*out_h*out_w parallel_for
+  /// range: static block boundaries are rounded to multiples of this, so
+  /// e.g. par_grain = out_w splits work by whole output rows instead of by
+  /// pixels.  1 (the default) reproduces the pixel-level split exactly.  A
+  /// tuner knob only — the partition never changes any output bit, just
+  /// which worker computes which pixel.
+  std::int64_t par_grain = 1;
 
   /// Contract check on the geometry itself (independent of any input):
   /// positive filter extents and stride.
@@ -56,6 +87,7 @@ struct ConvSpec {
     BF_CHECK(kernel_h >= 1 && kernel_w >= 1, "ConvSpec: filter extents ", kernel_h, "x",
              kernel_w);
     BF_CHECK(stride >= 1, "ConvSpec: stride ", stride);
+    BF_CHECK(par_grain >= 1, "ConvSpec: par_grain ", par_grain);
   }
 
   [[nodiscard]] std::int64_t out_h(std::int64_t in_h) const {

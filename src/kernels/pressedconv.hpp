@@ -93,15 +93,26 @@ using ConvBinarizeTiledBatchFn = void (*)(const PackedTensor* const* in, std::in
 [[nodiscard]] ConvBinarizeBatchFn conv_binarize_batch_kernel(simd::IsaLevel isa,
                                                              bool use_vpopcntdq);
 
-/// Register-tiled kernel getters (interleaved weight layout).  The bank must
-/// have been tiled with weight_tile_width(isa); single-image callers pass
-/// n = 1 — the batch entry points are the only tiled entry points.
+/// Register-tiled kernel getters (interleaved weight layout).  The bank's
+/// tile width must match the kernel's; the overloads without an explicit
+/// `tile` return the weight_tile_width(isa) default, and single-image
+/// callers pass n = 1 — the batch entry points are the only tiled entry
+/// points.
 [[nodiscard]] ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa);
 [[nodiscard]] ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa);
 [[nodiscard]] ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa,
                                                               bool use_vpopcntdq);
 [[nodiscard]] ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa,
                                                                         bool use_vpopcntdq);
+
+/// Tile-parameterized getters for the auto-tuner: `tile` must be one of
+/// supported_tile_widths(isa) (throws std::invalid_argument otherwise).
+[[nodiscard]] ConvDotTiledBatchFn conv_dot_tiled_batch_kernel(simd::IsaLevel isa,
+                                                              bool use_vpopcntdq,
+                                                              std::int64_t tile);
+[[nodiscard]] ConvBinarizeTiledBatchFn conv_binarize_tiled_batch_kernel(simd::IsaLevel isa,
+                                                                        bool use_vpopcntdq,
+                                                                        std::int64_t tile);
 
 /// Variant-pinned overloads: at kAvx512, `use_vpopcntdq` selects between the
 /// byte-LUT TU and the native-VPOPCNTDQ TU instead of deferring to CPUID (the

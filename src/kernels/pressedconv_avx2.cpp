@@ -7,7 +7,6 @@
 
 namespace {
 struct OpsAvx2 {
-  using Tile = bitflow::simd::inl::TileAcc8Avx2;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_avx2(a, b, n);
@@ -17,3 +16,11 @@ struct OpsAvx2 {
 
 BITFLOW_INSTANTIATE_PRESSEDCONV(avx2, OpsAvx2)
 BITFLOW_INSTANTIATE_BGEMM(avx2, OpsAvx2)
+
+// Auto-tuner tile-width candidates: scalar 4-chain, vector 8 and 16.
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx2_t4, OpsAvx2, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx2_t8, OpsAvx2, bitflow::simd::inl::TileAcc8Avx2)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx2_t16, OpsAvx2, bitflow::simd::inl::TileAcc16Avx2)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx2_t4, OpsAvx2, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx2_t8, OpsAvx2, bitflow::simd::inl::TileAcc8Avx2)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx2_t16, OpsAvx2, bitflow::simd::inl::TileAcc16Avx2)

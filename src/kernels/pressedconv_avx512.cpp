@@ -7,7 +7,6 @@
 
 namespace {
 struct OpsAvx512Lut {
-  using Tile = bitflow::simd::inl::TileAcc8Avx512;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_avx512(a, b, n);
@@ -17,3 +16,15 @@ struct OpsAvx512Lut {
 
 BITFLOW_INSTANTIATE_PRESSEDCONV(avx512, OpsAvx512Lut)
 BITFLOW_INSTANTIATE_BGEMM(avx512, OpsAvx512Lut)
+
+// Auto-tuner tile-width candidates: scalar 4-chain, one or two 512-bit
+// accumulators (popcount lowers to the byte-LUT in this TU's -m flags).
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512_t4, OpsAvx512Lut,
+                                      bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512_t8, OpsAvx512Lut,
+                                      bitflow::simd::inl::TileAcc8Avx512)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512_t16, OpsAvx512Lut,
+                                      bitflow::simd::inl::TileAcc16Avx512)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512_t4, OpsAvx512Lut, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512_t8, OpsAvx512Lut, bitflow::simd::inl::TileAcc8Avx512)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512_t16, OpsAvx512Lut, bitflow::simd::inl::TileAcc16Avx512)

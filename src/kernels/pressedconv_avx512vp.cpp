@@ -8,9 +8,6 @@
 
 namespace {
 struct OpsAvx512Vp {
-  // TileAcc8Avx512's popcount_epi64_512 lowers to native VPOPCNTDQ in this
-  // TU's -m flags — same struct, different instruction selection.
-  using Tile = bitflow::simd::inl::TileAcc8Avx512;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_avx512(a, b, n);
@@ -20,3 +17,17 @@ struct OpsAvx512Vp {
 
 BITFLOW_INSTANTIATE_PRESSEDCONV(avx512vp, OpsAvx512Vp)
 BITFLOW_INSTANTIATE_BGEMM(avx512vp, OpsAvx512Vp)
+
+// Auto-tuner tile-width candidates; the TileAcc*Avx512 popcount_epi64_512
+// lowers to native VPOPCNTDQ in this TU's -m flags — same structs as the
+// LUT TU, different instruction selection.
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512vp_t4, OpsAvx512Vp,
+                                      bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512vp_t8, OpsAvx512Vp,
+                                      bitflow::simd::inl::TileAcc8Avx512)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(avx512vp_t16, OpsAvx512Vp,
+                                      bitflow::simd::inl::TileAcc16Avx512)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512vp_t4, OpsAvx512Vp, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512vp_t8, OpsAvx512Vp, bitflow::simd::inl::TileAcc8Avx512)
+BITFLOW_INSTANTIATE_BGEMM_TILED(avx512vp_t16, OpsAvx512Vp,
+                                bitflow::simd::inl::TileAcc16Avx512)

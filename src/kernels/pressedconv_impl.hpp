@@ -52,7 +52,7 @@ inline void conv_dot_3x3_w1_batch(const PackedTensor* const* in, std::int64_t n,
   const std::int64_t stride = spec.stride;
   const std::uint64_t* f_words = filters.words();
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -102,7 +102,7 @@ void conv_dot_batch_impl(const PackedTensor* const* in, std::int64_t n,
   const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -160,7 +160,7 @@ inline void conv_binarize_3x3_w1_batch(const PackedTensor* const* in, std::int64
   const std::int64_t stride = spec.stride;
   const std::uint64_t* f_words = filters.words();
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -220,7 +220,7 @@ void conv_binarize_batch_impl(const PackedTensor* const* in, std::int64_t n,
   const std::int64_t in_w = in[0]->width();
   const std::int64_t stride = spec.stride;
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -262,19 +262,21 @@ void conv_binarize_impl(const PackedTensor& in, const PackedFilterBank& filters,
 // --- register-tiled variants over the interleaved weight layout --------------
 //
 // Activation-stationary dataflow (YFlows): the filter loop is tiled by
-// T = Ops::Tile::kWidth, and inside a tile the roles invert — each packed
+// T = Tile::kWidth, and inside a tile the roles invert — each packed
 // activation word is loaded once, broadcast, and XOR+popcounted against the T
 // matching filter words, which the finalize-time interleave
 // (bitpack::tile_filters) made contiguous.  T per-filter counters live in
 // registers across the whole kh*kw*pc word walk and spill exactly once per
 // tile.  The K % T remainder filters were left filter-major by the repack and
 // take the word-run path of the untiled kernel.
+//
+// Tile is an explicit template parameter (not Ops::Tile) so each per-ISA TU
+// can stamp one entry point per supported width — the auto-tuner's T axis.
 
-template <typename Ops>
+template <typename Ops, typename Tile>
 void conv_dot_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
                                const TiledFilterBank& filters, const ConvSpec& spec,
                                runtime::ThreadPool& pool, Tensor* const* out) {
-  using Tile = typename Ops::Tile;
   constexpr std::int64_t kT = Tile::kWidth;
   if (filters.tile() != kT) {
     throw std::invalid_argument("PressedConv tiled: bank tile width does not match kernel");
@@ -292,7 +294,7 @@ void conv_dot_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
   const TiledBitMatrix& bank = filters.rows();
   const std::int64_t full_tiles = bank.full_tiles();
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -331,12 +333,11 @@ void conv_dot_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
   });
 }
 
-template <typename Ops>
+template <typename Ops, typename Tile>
 void conv_binarize_tiled_batch_impl(const PackedTensor* const* in, std::int64_t n,
                                     const TiledFilterBank& filters, const ConvSpec& spec,
                                     const float* thresholds, runtime::ThreadPool& pool,
                                     PackedTensor* const* out, std::int64_t margin) {
-  using Tile = typename Ops::Tile;
   constexpr std::int64_t kT = Tile::kWidth;
   static_assert(64 % Tile::kWidth == 0, "filter tiles must not straddle output words");
   if (filters.tile() != kT) {
@@ -355,7 +356,7 @@ void conv_binarize_tiled_batch_impl(const PackedTensor* const* in, std::int64_t 
   const TiledBitMatrix& bank = filters.rows();
   const std::int64_t full_tiles = bank.full_tiles();
 
-  pool.parallel_for(n * pixels, [&](runtime::Range r, int) {
+  pool.parallel_for(n * pixels, spec.par_grain, [&](runtime::Range r, int) {
     for (std::int64_t idx = r.begin; idx < r.end; ++idx) {
       const std::int64_t img = idx / pixels;
       const std::int64_t pix = idx - img * pixels;
@@ -437,16 +438,23 @@ void conv_binarize_tiled_batch_impl(const PackedTensor* const* in, std::int64_t 
                                     PackedTensor* const* out, std::int64_t margin) {            \
     impl::conv_binarize_batch_impl<OPS>(in, n, filters, spec, thresholds, pool, out, margin);   \
   }                                                                                             \
+  }  // namespace bitflow::kernels::detail
+
+/// Stamps out the register-tiled entry points for one (ISA policy, tile
+/// accumulator) pair.  A TU invokes this once per tile width it supports;
+/// SUFFIX conventionally appends the width, e.g. avx2_t8.
+#define BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(SUFFIX, OPS, TILE)                                \
+  namespace bitflow::kernels::detail {                                                          \
   void conv_dot_tiled_batch_##SUFFIX(const PackedTensor* const* in, std::int64_t n,             \
                                      const TiledFilterBank& filters, const ConvSpec& spec,      \
                                      runtime::ThreadPool& pool, Tensor* const* out) {           \
-    impl::conv_dot_tiled_batch_impl<OPS>(in, n, filters, spec, pool, out);                      \
+    impl::conv_dot_tiled_batch_impl<OPS, TILE>(in, n, filters, spec, pool, out);                \
   }                                                                                             \
   void conv_binarize_tiled_batch_##SUFFIX(                                                      \
       const PackedTensor* const* in, std::int64_t n, const TiledFilterBank& filters,            \
       const ConvSpec& spec, const float* thresholds, runtime::ThreadPool& pool,                 \
       PackedTensor* const* out, std::int64_t margin) {                                          \
-    impl::conv_binarize_tiled_batch_impl<OPS>(in, n, filters, spec, thresholds, pool, out,      \
-                                              margin);                                          \
+    impl::conv_binarize_tiled_batch_impl<OPS, TILE>(in, n, filters, spec, thresholds, pool,     \
+                                                    out, margin);                               \
   }                                                                                             \
   }  // namespace bitflow::kernels::detail

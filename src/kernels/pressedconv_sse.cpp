@@ -7,9 +7,6 @@
 
 namespace {
 struct OpsSse {
-  // 128-bit SSE has no profitable qword popcount fan-out; the scalar 4-lane
-  // tile (which still uses hardware popcnt) is the widest win here.
-  using Tile = bitflow::simd::inl::TileAcc4Scalar;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_sse(a, b, n);
@@ -19,3 +16,10 @@ struct OpsSse {
 
 BITFLOW_INSTANTIATE_PRESSEDCONV(sse, OpsSse)
 BITFLOW_INSTANTIATE_BGEMM(sse, OpsSse)
+
+// 128-bit SSE has no profitable qword popcount fan-out, so both tile-width
+// candidates use scalar hardware-popcnt chains (4 or 8 of them).
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(sse_t4, OpsSse, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(sse_t8, OpsSse, bitflow::simd::inl::TileAcc8Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(sse_t4, OpsSse, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(sse_t8, OpsSse, bitflow::simd::inl::TileAcc8Scalar)

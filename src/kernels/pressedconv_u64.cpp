@@ -7,7 +7,6 @@
 
 namespace {
 struct OpsU64 {
-  using Tile = bitflow::simd::inl::TileAcc4Scalar;
   static std::uint64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                                     std::int64_t n) {
     return bitflow::simd::inl::xor_popcount_u64(a, b, n);
@@ -17,3 +16,9 @@ struct OpsU64 {
 
 BITFLOW_INSTANTIATE_PRESSEDCONV(u64, OpsU64)
 BITFLOW_INSTANTIATE_BGEMM(u64, OpsU64)
+
+// Auto-tuner tile-width candidates: 4 and 8 independent popcnt chains.
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(u64_t4, OpsU64, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_PRESSEDCONV_TILED(u64_t8, OpsU64, bitflow::simd::inl::TileAcc8Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(u64_t4, OpsU64, bitflow::simd::inl::TileAcc4Scalar)
+BITFLOW_INSTANTIATE_BGEMM_TILED(u64_t8, OpsU64, bitflow::simd::inl::TileAcc8Scalar)

@@ -352,4 +352,17 @@ std::int64_t ShardRouter::output_size() const {
   return impl_->engines_.front().output_size();
 }
 
+std::string plan_varz_text(const ShardRouter& router) {
+  const std::shared_ptr<const graph::BinaryNetwork> net = router.network();
+  if (net == nullptr) return {};
+  std::string out;
+  for (const auto& l : net->layers()) {
+    if (l.kind != graph::LayerKind::kConv && l.kind != graph::LayerKind::kFc) continue;
+    out += "layer." + l.name + ".plan isa=" + std::string(simd::isa_name(l.isa)) +
+           " tile=" + std::to_string(l.tile) + " grain=" + std::to_string(l.par_grain) +
+           " source=" + l.tune_source + "\n";
+  }
+  return out;
+}
+
 }  // namespace bitflow::serve

@@ -145,4 +145,13 @@ class ShardRouter {
   std::unique_ptr<Impl> impl_;
 };
 
+/// One "/varz" line per weight layer of the served generation, exposing the
+/// committed execution plan:
+///   layer.<name>.plan isa=<isa> tile=<T> grain=<G> source=<provenance>
+/// tile 0 means the filter-major kernels; source is "default" (static
+/// heuristic), "search" (tuned at finalize) or "cache" (tuning cache hit).
+/// Lives here, not in net/, so the wire front-end reads the plan through the
+/// router instead of reaching into graph.
+[[nodiscard]] std::string plan_varz_text(const ShardRouter& router);
+
 }  // namespace bitflow::serve

@@ -48,6 +48,38 @@ struct TileAcc4Scalar {
   }
 };
 
+/// 8-filter tile in eight scalar popcnt chains.  Wider than the port count
+/// of any x86 core, so whether it beats TileAcc4Scalar depends on how much
+/// the loop bottlenecks on the activation reload instead — exactly the kind
+/// of question the finalize-time auto-tuner answers by measuring, which is
+/// why both widths are candidates on the scalar/SSE paths.
+struct TileAcc8Scalar {
+  static constexpr std::int64_t kWidth = 8;
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0, c4 = 0, c5 = 0, c6 = 0, c7 = 0;
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    c0 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[0]));
+    c1 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[1]));
+    c2 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[2]));
+    c3 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[3]));
+    c4 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[4]));
+    c5 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[5]));
+    c6 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[6]));
+    c7 += static_cast<std::uint64_t>(__builtin_popcountll(a ^ f[7]));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    out[0] = c0;
+    out[1] = c1;
+    out[2] = c2;
+    out[3] = c3;
+    out[4] = c4;
+    out[5] = c5;
+    out[6] = c6;
+    out[7] = c7;
+  }
+};
+
 #ifdef __AVX2__
 
 /// 8-filter tile in two 256-bit qword accumulators: one broadcast activation
@@ -77,6 +109,43 @@ struct TileAcc8Avx2 {
   }
 };
 
+/// 16-filter tile in four 256-bit qword accumulators: same vertical
+/// popcount-and-add scheme as TileAcc8Avx2 over twice the filter fan-out.
+/// Doubles the activation-word reuse at the cost of four live accumulator
+/// registers — whether that wins over T = 8 depends on the layer's word
+/// count per filter, which is what the auto-tuner measures.
+struct TileAcc16Avx2 {
+  static constexpr std::int64_t kWidth = 16;
+  __m256i c0 = _mm256_setzero_si256();
+  __m256i c1 = _mm256_setzero_si256();
+  __m256i c2 = _mm256_setzero_si256();
+  __m256i c3 = _mm256_setzero_si256();
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    const __m256i va = _mm256_set1_epi64x(static_cast<long long>(a));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i f0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f));
+    const __m256i f1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f + 4));
+    const __m256i f2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f + 8));
+    const __m256i f3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f + 12));
+    c0 = _mm256_add_epi64(
+        c0, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f0)), zero));
+    c1 = _mm256_add_epi64(
+        c1, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f1)), zero));
+    c2 = _mm256_add_epi64(
+        c2, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f2)), zero));
+    c3 = _mm256_add_epi64(
+        c3, _mm256_sad_epu8(popcount_bytes_256(_mm256_xor_si256(va, f3)), zero));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), c0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), c1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), c2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 12), c3);
+  }
+};
+
 #endif  // __AVX2__
 
 #ifdef __AVX512BW__
@@ -97,6 +166,29 @@ struct TileAcc8Avx512 {
 
   inline void reduce(std::uint64_t* out) const noexcept {
     _mm512_storeu_si512(out, acc);
+  }
+};
+
+/// 16-filter tile in two 512-bit qword accumulators: one broadcast against
+/// two cache lines of interleaved filter words.  Twice the activation reuse
+/// of TileAcc8Avx512 per broadcast; the tuner decides per shape whether the
+/// extra live registers pay off.
+struct TileAcc16Avx512 {
+  static constexpr std::int64_t kWidth = 16;
+  __m512i lo = _mm512_setzero_si512();
+  __m512i hi = _mm512_setzero_si512();
+
+  inline void accumulate(std::uint64_t a, const std::uint64_t* f) noexcept {
+    const __m512i va = _mm512_set1_epi64(static_cast<long long>(a));
+    const __m512i f0 = _mm512_loadu_si512(f);
+    const __m512i f1 = _mm512_loadu_si512(f + 8);
+    lo = _mm512_add_epi64(lo, popcount_epi64_512(_mm512_xor_si512(va, f0)));
+    hi = _mm512_add_epi64(hi, popcount_epi64_512(_mm512_xor_si512(va, f1)));
+  }
+
+  inline void reduce(std::uint64_t* out) const noexcept {
+    _mm512_storeu_si512(out, lo);
+    _mm512_storeu_si512(out + 8, hi);
   }
 };
 

@@ -235,6 +235,11 @@ TEST_F(ServerTest, HttpEndpointsServeHealthVarzAndMetrics) {
   EXPECT_NE(varz.value().find("router.state serving"), std::string::npos) << varz.value();
   EXPECT_NE(varz.value().find("router.shards 2"), std::string::npos);
   EXPECT_NE(varz.value().find("shard.1.queue_depth"), std::string::npos);
+  // Per-layer execution plan of the served generation (tuning provenance
+  // included; this server runs untuned, so the source is the heuristic).
+  EXPECT_NE(varz.value().find("layer.c1.plan isa="), std::string::npos) << varz.value();
+  EXPECT_NE(varz.value().find("layer.f1.plan isa="), std::string::npos);
+  EXPECT_NE(varz.value().find("source=default"), std::string::npos);
 
   // One request over the wire so the counters are visibly nonzero.
   {

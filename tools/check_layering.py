@@ -54,8 +54,10 @@ DIRECT_DEPS: dict[str, set[str]] = {
     "bitpack": {"core", "runtime", "simd", "tensor"},
     "kernels": {"core", "runtime", "simd", "tensor"},
     "baseline": {"kernels", "runtime", "simd", "tensor"},
+    "tune": {"bitpack", "core", "kernels", "runtime", "simd", "telemetry",
+             "tensor"},
     "graph": {"baseline", "bitpack", "core", "kernels", "runtime", "simd",
-              "telemetry", "tensor"},
+              "telemetry", "tensor", "tune"},
     "models": {"graph", "tensor"},
     "ops": {"baseline", "bitpack", "graph", "kernels", "runtime", "tensor"},
     "io": {"core", "graph", "kernels", "tensor"},
