@@ -1,6 +1,7 @@
 #include "graph/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "bitpack/packer.hpp"
 #include "core/ait.hpp"
 #include "core/failpoint.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "tune/tuner.hpp"
@@ -130,6 +132,31 @@ struct BinaryNetwork::Impl {
   // array so recording through a const Impl& is well-formed.
   std::unique_ptr<telemetry::SpanStats[]> span_stats;
 
+  /// Hardware-counter accumulators, indexed like span_stats ([0] = input
+  /// pack).  Summed deltas from each profiled context's PerfSampler.
+  struct PerfStage {
+    // Ordering contract: relaxed fetch_add/load/store everywhere — these are
+    // independently monotonic sums (SpanStats discipline): a reader may see
+    // a torn cross-field view, acceptable for a diagnostic ratio, and no
+    // other state is published through them.
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> instructions{0};
+    std::atomic<std::uint64_t> llc_misses{0};
+    std::atomic<std::uint64_t> samples{0};
+  };
+  std::unique_ptr<PerfStage[]> perf_stats;
+
+  /// Folds one stage's counter delta into the shared accumulators.
+  void record_perf(std::size_t row, const telemetry::PerfCounts& d) const {
+    if (!d.valid) return;
+    PerfStage& p = perf_stats[row];
+    // Ordering contract: relaxed — see PerfStage declaration.
+    p.cycles.fetch_add(d.cycles, std::memory_order_relaxed);
+    p.instructions.fetch_add(d.instructions, std::memory_order_relaxed);
+    p.llc_misses.fetch_add(d.llc_misses, std::memory_order_relaxed);
+    p.samples.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Default context backing the batch-1 infer() convenience API.  This is
   // the only mutable member after finalize(), and only infer() touches it.
   std::unique_ptr<InferenceContext> default_ctx;
@@ -162,6 +189,13 @@ struct InferenceContext::Impl {
   std::vector<Tensor*> dot_ptrs;
 
   std::vector<double> profile_ms;
+
+  /// Hardware-counter sampler, opened lazily on the first profiled
+  /// infer_batch so the group covers the thread actually driving the stage
+  /// loop (only known then) plus this context's pool workers.  A context is
+  /// one inference stream — no concurrent access, so plain members suffice.
+  telemetry::PerfSampler perf;
+  bool perf_open_attempted = false;
 
   Impl(const BinaryNetwork::Impl* n, std::int64_t mb, int threads)
       : net(n), max_batch(mb), pool(threads) {
@@ -656,6 +690,7 @@ void BinaryNetwork::finalize(TensorDesc input) {
     im.stage_ait.push_back(ait);
   }
   im.span_stats = std::make_unique<telemetry::SpanStats[]>(n_layers + 1);
+  im.perf_stats = std::make_unique<Impl::PerfStage[]>(n_layers + 1);
 
   im.finalized = true;
   // The default context backs the legacy batch-1 infer(); creating it here
@@ -711,6 +746,21 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
   cx.profile_ms.clear();
   telemetry::TraceSpan whole_span("graph.infer_batch", "graph", n);
   std::uint64_t t0 = profile ? telemetry::trace_now_ns() : 0;
+  // Hardware-counter attribution rides the same stage boundaries as the
+  // wall-clock profile.  When perf_event_open is unavailable (CI containers,
+  // perf_event_paranoid, BITFLOW_NO_PERF) the sampler stays inactive and
+  // every profile row keeps the calibrated-peak roofline (source=calibrated).
+  if (profile && !cx.perf_open_attempted) {
+    cx.perf_open_attempted = true;
+    if (telemetry::PerfSampler::available()) {
+      std::vector<int> tids = cx.pool.worker_tids();
+      tids.push_back(0);  // the calling thread drives the stage loop
+      (void)cx.perf.open(tids);
+    }
+  }
+  const bool perf_on = profile && cx.perf.active();
+  telemetry::PerfCounts perf_prev;
+  if (perf_on) perf_prev = cx.perf.read();
 
   // Cooperative-cancellation checkpoints: the token rides the context's pool
   // (chunk-level skips inside parallel_for) and is polled here at every
@@ -764,6 +814,11 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
     cx.profile_ms.push_back(static_cast<double>(t1 - t0) / 1e6);
     im.span_stats[0].record(t1 - t0, static_cast<std::uint64_t>(n));
     t0 = t1;
+    if (perf_on) {
+      const telemetry::PerfCounts now = cx.perf.read();
+      im.record_perf(0, now - perf_prev);
+      perf_prev = now;
+    }
   }
 
   const std::int64_t out_size = im.plan.scores_size;
@@ -889,6 +944,11 @@ std::span<const float> BinaryNetwork::infer_batch(std::span<const Tensor* const>
       cx.profile_ms.push_back(static_cast<double>(t1 - t0) / 1e6);
       im.span_stats[i + 1].record(t1 - t0, static_cast<std::uint64_t>(n));
       t0 = t1;
+      if (perf_on) {
+        const telemetry::PerfCounts now = cx.perf.read();
+        im.record_perf(i + 1, now - perf_prev);
+        perf_prev = now;
+      }
     }
   }
   // Final checkpoint: a token that fired during the last stage's parallel_for
@@ -950,6 +1010,21 @@ ProfileReport BinaryNetwork::profile_report() const {
         row.roof_gops = telemetry::roofline_peak_gops(im.stages[i - 1].isa);
       }
     }
+    // Measured hardware-counter attribution, when the sampler ran for this
+    // stage; otherwise the row keeps perf_source = "calibrated" and the
+    // calibrated-peak roofline above is the only evidence.
+    const Impl::PerfStage& p = im.perf_stats[i];
+    // Ordering contract: relaxed — see PerfStage declaration.
+    if (p.samples.load(std::memory_order_relaxed) > 0) {
+      const std::uint64_t cyc = p.cycles.load(std::memory_order_relaxed);
+      const std::uint64_t ins = p.instructions.load(std::memory_order_relaxed);
+      const std::uint64_t miss = p.llc_misses.load(std::memory_order_relaxed);
+      if (cyc > 0) row.ipc = static_cast<double>(ins) / static_cast<double>(cyc);
+      if (ins > 0) {
+        row.llc_mpki = static_cast<double>(miss) * 1000.0 / static_cast<double>(ins);
+      }
+      row.perf_source = "measured";
+    }
     rep.rows.push_back(std::move(row));
   }
   return rep;
@@ -958,31 +1033,47 @@ ProfileReport BinaryNetwork::profile_report() const {
 void BinaryNetwork::reset_profile() {
   Impl& im = *impl_;
   if (!im.finalized) return;
-  for (std::size_t i = 0; i < im.stages.size() + 1; ++i) im.span_stats[i].reset();
+  for (std::size_t i = 0; i < im.stages.size() + 1; ++i) {
+    im.span_stats[i].reset();
+    Impl::PerfStage& p = im.perf_stats[i];
+    // Ordering contract: relaxed — see PerfStage declaration.
+    p.cycles.store(0, std::memory_order_relaxed);
+    p.instructions.store(0, std::memory_order_relaxed);
+    p.llc_misses.store(0, std::memory_order_relaxed);
+    p.samples.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string ProfileReport::to_table() const {
   std::string out;
-  char line[192];
-  std::snprintf(line, sizeof line, "%-14s %-30s %7s %7s %9s %9s %9s %8s %14s %6s\n", "layer",
+  char line[224];
+  std::snprintf(line, sizeof line,
+                "%-14s %-30s %7s %7s %9s %9s %9s %8s %14s %6s %5s %7s %10s\n", "layer",
                 "kernel", "calls", "images", "mean_ms", "p50_ms", "p99_ms", "gops",
-                "roof(gops)", "ait");
+                "roof(gops)", "ait", "ipc", "mpki", "src");
   out += line;
-  out.append(118, '-');
+  out.append(143, '-');
   out += '\n';
   for (const LayerProfile& r : rows) {
     char roof[24] = "n/a";
     char ait_s[16] = "n/a";
+    char ipc_s[16] = "n/a";
+    char mpki_s[16] = "n/a";
     if (r.roof_gops > 0.0) {
       std::snprintf(roof, sizeof roof, "%6.1f (%3.0f%%)", r.roof_gops,
                     100.0 * r.gops / r.roof_gops);
     }
     if (r.ait > 0.0) std::snprintf(ait_s, sizeof ait_s, "%.1f", r.ait);
-    std::snprintf(line, sizeof line, "%-14s %-30s %7llu %7llu %9.4f %9.4f %9.4f %8.1f %14s %6s\n",
+    if (r.perf_source == "measured") {
+      std::snprintf(ipc_s, sizeof ipc_s, "%.2f", r.ipc);
+      std::snprintf(mpki_s, sizeof mpki_s, "%.2f", r.llc_mpki);
+    }
+    std::snprintf(line, sizeof line,
+                  "%-14s %-30s %7llu %7llu %9.4f %9.4f %9.4f %8.1f %14s %6s %5s %7s %10s\n",
                   r.name.c_str(), r.kernel.c_str(),
                   static_cast<unsigned long long>(r.calls),
                   static_cast<unsigned long long>(r.images), r.mean_ms, r.p50_ms, r.p99_ms,
-                  r.gops, roof, ait_s);
+                  r.gops, roof, ait_s, ipc_s, mpki_s, r.perf_source.c_str());
     out += line;
   }
   return out;

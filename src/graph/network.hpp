@@ -110,6 +110,16 @@ struct LayerProfile {
   /// Arithmetic intensity of the layer's direct binary convolution
   /// (core/ait, ops per memory element); 0 = not applicable.
   double ait = 0.0;
+  /// Measured hardware-counter attribution (telemetry::PerfSampler), when
+  /// perf_event_open could run: instructions per cycle and LLC misses per
+  /// kilo-instruction across this stage's profiled invocations.  0 when the
+  /// stage went unmeasured.
+  double ipc = 0.0;
+  double llc_mpki = 0.0;
+  /// Roofline provenance: "measured" when hardware counters backed this
+  /// row, "calibrated" when only the calibrated-peak model applies (perf
+  /// unavailable: CI containers, perf_event_paranoid, BITFLOW_NO_PERF).
+  std::string perf_source = "calibrated";
 };
 
 /// Aggregated per-layer profile of every profiled inference since finalize()

@@ -13,21 +13,12 @@ namespace {
 // little-endian by definition, the host may not be, and memcpy through
 // uint8_t stays strict-aliasing clean.
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (std::uint32_t{p[1]} << 8));
 }
 
 std::uint32_t get_u32(const std::uint8_t* p) {
@@ -53,11 +44,13 @@ float get_f32(const std::uint8_t* p) {
 }
 
 void put_header(std::vector<std::uint8_t>& out, FrameType type, std::uint8_t priority,
-                std::uint64_t id, std::uint32_t deadline_ms, std::uint32_t length) {
+                std::uint64_t id, std::uint32_t deadline_ms, std::uint32_t length,
+                std::uint8_t flags = 0) {
   put_u32(out, kMagic);
   out.push_back(static_cast<std::uint8_t>(type));
   out.push_back(priority);
-  put_u16(out, 0);  // reserved
+  out.push_back(flags);
+  out.push_back(0);  // reserved
   put_u64(out, id);
   put_u32(out, deadline_ms);
   put_u32(out, length);
@@ -80,7 +73,18 @@ Status validate_header(const std::uint8_t* h) {
     return Status{ErrorCode::kBadInput,
                   "frame: invalid priority " + std::to_string(h[5])};
   }
-  if (get_u16(h + 6) != 0) {
+  // Byte 6 was reserved-must-be-0 before the flags extension, so rejecting
+  // unknown bits (and flags on non-request frames) keeps old decoders and
+  // new encoders mutually safe.
+  const std::uint8_t flags = h[6];
+  if ((flags & static_cast<std::uint8_t>(~kFlagTraceId)) != 0) {
+    return Status{ErrorCode::kBadInput,
+                  "frame: unknown flag bits " + std::to_string(flags)};
+  }
+  if (flags != 0 && type != static_cast<std::uint8_t>(FrameType::kInferRequest)) {
+    return Status{ErrorCode::kBadInput, "frame: flags on a non-request frame"};
+  }
+  if (h[7] != 0) {
     return Status{ErrorCode::kBadInput, "frame: reserved bits set"};
   }
   const std::uint32_t length = get_u32(h + 20);
@@ -110,13 +114,15 @@ core::Result<DecodedFrame> decode_payload(const std::uint8_t* h, const std::uint
       req.h = get_u32(p);
       req.w = get_u32(p + 4);
       req.c = get_u32(p + 8);
+      const std::uint32_t trailer = (h[6] & kFlagTraceId) != 0 ? 8 : 0;
       // Element count re-derives the length: the two must agree exactly, and
       // the product is bounded by kMaxPayload (checked via the length), so
       // the multiplication cannot overflow past the u64 intermediate.
       const std::uint64_t elems =
           std::uint64_t{req.h} * std::uint64_t{req.w} * std::uint64_t{req.c};
-      if (req.h == 0 || req.w == 0 || req.c == 0 || elems > (kMaxPayload - 12) / 4 ||
-          12 + elems * 4 != length) {
+      if (req.h == 0 || req.w == 0 || req.c == 0 ||
+          elems > (kMaxPayload - 12 - trailer) / 4 ||
+          12 + elems * 4 + trailer != length) {
         return Status{ErrorCode::kBadInput,
                       "frame: request dims " + std::to_string(req.h) + "x" +
                           std::to_string(req.w) + "x" + std::to_string(req.c) +
@@ -126,6 +132,7 @@ core::Result<DecodedFrame> decode_payload(const std::uint8_t* h, const std::uint
       for (std::uint64_t i = 0; i < elems; ++i) {
         req.data[static_cast<std::size_t>(i)] = get_f32(p + 12 + i * 4);
       }
+      if (trailer != 0) req.trace_id = get_u64(p + 12 + elems * 4);
       return DecodedFrame{std::move(req)};
     }
     case FrameType::kInferResponse: {
@@ -163,14 +170,17 @@ core::Result<DecodedFrame> decode_payload(const std::uint8_t* h, const std::uint
 }  // namespace
 
 void append_request(std::vector<std::uint8_t>& out, const RequestFrame& req) {
-  const std::uint32_t length =
-      12 + 4 * static_cast<std::uint32_t>(req.data.size());
+  const std::uint8_t flags = req.trace_id != 0 ? kFlagTraceId : 0;
+  const std::uint32_t length = 12 +
+                               4 * static_cast<std::uint32_t>(req.data.size()) +
+                               (flags != 0 ? 8 : 0);
   put_header(out, FrameType::kInferRequest, req.priority, req.id, req.deadline_ms,
-             length);
+             length, flags);
   put_u32(out, req.h);
   put_u32(out, req.w);
   put_u32(out, req.c);
   for (float f : req.data) put_f32(out, f);
+  if (flags != 0) put_u64(out, req.trace_id);
 }
 
 void append_response(std::vector<std::uint8_t>& out, std::uint64_t id,

@@ -10,7 +10,10 @@
 //        0     4  magic "BF01" (0x31304642 LE)
 //        4     1  type      (1=InferRequest, 2=InferResponse, 3=Error)
 //        5     1  priority  (0=normal, 1=high; requests only, else 0)
-//        6     2  reserved  (must be 0)
+//        6     1  flags     (bit 0 = trace-id extension; requests only,
+//                            unknown bits rejected — was reserved, so
+//                            pre-extension frames decode unchanged)
+//        7     1  reserved  (must be 0)
 //        8     8  request id (u64, chosen by the client, echoed back)
 //       16     4  deadline_ms (u32; 0 = no deadline; requests only, else 0)
 //       20     4  length    (u32 payload byte count; <= kMaxPayload)
@@ -21,7 +24,10 @@
 //                  order, i.e. Tensor::hwc index order by (c,h,w) planes is
 //                  the TENSOR's concern — the wire carries the tensor's
 //                  linear buffer verbatim, so client and server agree by
-//                  construction).
+//                  construction).  With the trace-id flag set, a trailing
+//                  u64 client trace id follows the floats (length covers
+//                  it) — the flight recorder joins it to the server-side
+//                  request spans.
 //   InferResponse: n float32 scores (n = length / 4).
 //   Error        : u32 code (core::ErrorCode), then a UTF-8 message.
 //
@@ -60,6 +66,10 @@ enum class FrameType : std::uint8_t {
   kError = 3,
 };
 
+/// Header flag bit 0: the request payload carries a trailing u64 client
+/// trace id (backward-compatible extension of the old reserved byte).
+inline constexpr std::uint8_t kFlagTraceId = 0x01;
+
 /// Decoded InferRequest frame.
 struct RequestFrame {
   std::uint64_t id = 0;
@@ -67,6 +77,8 @@ struct RequestFrame {
   std::uint32_t deadline_ms = 0;
   std::uint32_t h = 0, w = 0, c = 0;
   std::vector<float> data;  ///< h*w*c values, tensor linear-buffer order
+  /// Optional client trace id (0 = absent).  Encoded via kFlagTraceId.
+  std::uint64_t trace_id = 0;
 };
 
 /// Decoded InferResponse frame.

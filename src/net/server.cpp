@@ -25,7 +25,9 @@
 #include "net/frame.hpp"
 #include "net/http.hpp"
 #include "serve/error_map.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bitflow::net {
 
@@ -50,8 +52,11 @@ Status set_nonblocking(int fd) {
   return Status::ok();
 }
 
-/// Plain-text engine/router stats for GET /varz.
-std::string varz_text(const serve::ShardRouter& router) {
+/// Router/plan/roofline stats WITHOUT the flight-recorder status block —
+/// this is also the server's "varz" bundle section, and bundle context
+/// providers run under the flight mutex, so they must not call back into
+/// the recorder (flight_status_text would self-deadlock).
+std::string varz_body(const serve::ShardRouter& router) {
   const serve::RouterStats rs = router.stats();
   std::string out;
   out += "router.state " + std::string(serve::engine_state_name(rs.state)) + "\n";
@@ -68,7 +73,21 @@ std::string varz_text(const serve::ShardRouter& router) {
   // family, tile, grain, tuning provenance) — rendered by the serve layer so
   // the wire front-end never reaches around the router into graph.
   out += serve::plan_varz_text(router);
+  // Roofline attribution per layer (measured IPC / LLC miss rate when
+  // perf_event_open ran, calibrated-peak fallback otherwise).
+  out += serve::profile_varz_text(router);
+  // The trace sink's drop count: how much span evidence the rings lost.
+  out += "telemetry.trace.dropped " +
+         std::to_string(telemetry::trace_dropped_events()) + "\n";
   return out;
+}
+
+/// Plain-text engine/router stats for GET /varz.
+std::string varz_text(const serve::ShardRouter& router) {
+  // Flight-recorder status (armed state, bundle/event counters) so an
+  // operator sees at a glance whether the black box is recording and how
+  // much evidence it has lost.
+  return varz_body(router) + telemetry::flight_status_text();
 }
 
 }  // namespace
@@ -155,7 +174,19 @@ struct Server::Impl {
         frames_errors(telemetry::registry().counter("net.frames.errors", label)),
         decode_errors(telemetry::registry().counter("net.decode.errors", label)),
         http_requests(telemetry::registry().counter("net.http.requests", label)),
-        conns_open(telemetry::registry().gauge("net.connections.open", label)) {}
+        conns_open(telemetry::registry().gauge("net.connections.open", label)) {
+    // Bundle context providers: a triggered diagnostic bundle snapshots the
+    // tier's /varz block and the served generation's profile report next to
+    // the trace.  Callbacks run on the triggering thread and only read
+    // router state (stats/layers) — they never re-enter the recorder.
+    telemetry::flight_add_context(this, "varz", [this] { return varz_body(router); });
+    telemetry::flight_add_context(this, "profile", [this] {
+      const auto net = router.network();
+      return net ? net->profile_report().to_table() : std::string{};
+    });
+  }
+
+  ~Impl() { telemetry::flight_remove_contexts(this); }
 
   /// Nudges the poll loop out of poll().  A full pipe means a wake is
   /// already pending — dropping the byte is correct, not lossy.
@@ -189,6 +220,7 @@ struct Server::Impl {
   /// Protocol violation: one Error frame, then fail closed.
   void fail_closed(Conn& conn, const Status& st) {
     decode_errors.add();
+    telemetry::flight_event("decode_error", st.message().c_str());
     queue_error_frame(conn, 0, st.code(), st.message());
     conn.read_closed = true;
     conn.close_after_flush = true;
@@ -237,12 +269,20 @@ struct Server::Impl {
   }
 
   void handle_request_frame(Conn& conn, RequestFrame&& req) {
+    // The wire-side span of this request: frame receipt through routing (an
+    // inline rejection resolves inside it).  Carries the frame's request id
+    // so the trace joins it to the async serve.request track, the batch
+    // membership instant, and the kernel spans under that worker's batch.
+    telemetry::TraceSpan span("net.request", "net",
+                              static_cast<std::int64_t>(req.data.size()), req.id);
     frames_requests.add();
     {
       core::MutexLock l(conn.outbox->mu);
       if (conn.outbox->inflight >= cfg.max_inflight_per_conn) {
         // Wire-level backpressure, in front of the router's own admission
         // control: answered inline, the router never sees the request.
+        telemetry::flight_event("shed", "wire backpressure: per-connection "
+                                        "in-flight limit reached", req.id);
         queue_error_frame(conn, req.id, ErrorCode::kResourceExhausted,
                           "connection has " + std::to_string(conn.outbox->inflight) +
                               " requests in flight (limit " +
@@ -262,6 +302,7 @@ struct Server::Impl {
     router.submit(
         std::move(t), std::chrono::milliseconds{req.deadline_ms},
         req.priority == 1 ? serve::Priority::kHigh : serve::Priority::kNormal,
+        serve::RequestMeta{req.id, req.trace_id},
         [this, ob = std::move(ob), id](core::Result<std::vector<float>>&& outcome) {
           // Runs on whichever thread resolves the request (an engine
           // worker, or the poll thread itself for inline rejections).

@@ -4,6 +4,11 @@
 #include <chrono>
 #include <stdexcept>
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "core/failpoint.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -57,6 +62,15 @@ void ThreadPool::run_job(const std::function<void(int)>& fn, int worker) {
   g_busy.add(ns);
 }
 
+std::vector<int> ThreadPool::worker_tids() const {
+  std::vector<int> tids;
+  for (int i = 1; i < num_threads_; ++i) {
+    const int tid = tids_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (tid > 0) tids.push_back(tid);
+  }
+  return tids;
+}
+
 PoolStats ThreadPool::stats() const {
   PoolStats s;
   s.workers.resize(static_cast<std::size_t>(num_threads_));
@@ -72,7 +86,10 @@ PoolStats ThreadPool::stats() const {
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads),
       ticks_(num_threads >= 1 ? std::make_unique<Ticks[]>(static_cast<std::size_t>(num_threads))
-                              : nullptr) {
+                              : nullptr),
+      tids_(num_threads >= 1
+                ? std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_threads))
+                : nullptr) {
   if (num_threads < 1) throw std::invalid_argument("ThreadPool needs >= 1 thread");
   threads_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 1; i < num_threads; ++i) {
@@ -90,6 +107,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(int index) {
+#if defined(__linux__)
+  tids_[static_cast<std::size_t>(index)].store(
+      static_cast<int>(::syscall(SYS_gettid)), std::memory_order_relaxed);
+#endif
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

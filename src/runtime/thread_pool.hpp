@@ -161,6 +161,13 @@ class ThreadPool {
   /// totals also feed the process-wide `runtime.pool.*` telemetry counters.
   [[nodiscard]] PoolStats stats() const;
 
+  /// OS thread ids (gettid) of the spawned workers, stamped by each worker
+  /// as its loop starts; worker 0 is the caller and is NOT included (its
+  /// identity changes per dispatch).  A worker that has not stamped yet is
+  /// skipped.  Consumed by the perf-counter sampler to attach per-thread
+  /// counter groups; empty on platforms without gettid.
+  [[nodiscard]] std::vector<int> worker_tids() const;
+
  private:
   void worker_loop(int index);
   /// One worker's share of a job: fault-injection hooks + tick accounting.
@@ -177,6 +184,10 @@ class ThreadPool {
 
   int num_threads_;
   std::unique_ptr<Ticks[]> ticks_;
+  /// Ordering contract: slot i is written once (relaxed) by worker i as its
+  /// loop starts and read racily (relaxed) by worker_tids(); a reader that
+  /// misses a late-starting worker's store just skips the still-zero slot.
+  std::unique_ptr<std::atomic<int>[]> tids_;
   std::vector<std::thread> threads_;
 
   // Fork/join rendezvous state.  mutex_ guards the whole job protocol: the

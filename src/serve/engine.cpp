@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "serve/error_map.hpp"
 #include "serve/request_queue.hpp"
 #include "simd/cpu_features.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -65,6 +67,16 @@ std::string next_engine_label() {
 }
 
 constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// Lifecycle transition breadcrumb: one trace instant + one flight event.
+/// Both sinks copy the name, and both are lock-free, so this is safe from
+/// any engine path (including under mu_).
+void note_state(const char* state_name) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "lifecycle:%s", state_name);
+  telemetry::trace_instant(buf, "lifecycle");
+  telemetry::flight_event("lifecycle", state_name);
+}
 
 }  // namespace
 
@@ -196,8 +208,13 @@ struct Engine::Impl {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               r.enqueue_time.time_since_epoch())
               .count());
+      // The wire request id doubles as the async-pair id so the request's
+      // track carries the client's id space; engine-local submits (no rid)
+      // get a fresh process-unique id instead.
+      const std::uint64_t id =
+          r.meta.rid != 0 ? r.meta.rid : telemetry::trace_next_async_id();
       telemetry::trace_async("serve.request", "request", start_ns,
-                             telemetry::trace_now_ns(), telemetry::trace_next_async_id());
+                             telemetry::trace_now_ns(), id, r.meta.rid);
     }
   }
 
@@ -246,6 +263,7 @@ struct Engine::Impl {
       }
       state_ = EngineState::kReloading;  // admission continues in this state
     }
+    note_state("reloading");
     Status result = Status::ok();
     core::Result<std::shared_ptr<const graph::BinaryNetwork>> fresh = build();
     if (!fresh.is_ok()) {
@@ -262,11 +280,17 @@ struct Engine::Impl {
       net_ = std::move(fresh.value());
       ++net_gen_;
     }
-    if (result.is_ok()) reloads.add();
+    if (result.is_ok()) {
+      reloads.add();
+      telemetry::flight_event("reload", "network generation swapped");
+    } else {
+      telemetry::flight_event("reload", result.message().c_str());
+    }
     {
       core::MutexLock lock(mu_);
       state_ = EngineState::kServing;
     }
+    note_state("serving");
     return result;
   }
 
@@ -281,6 +305,9 @@ struct Engine::Impl {
     if (now > r.deadline) {
       expired.add();
       trace_request(r);
+      telemetry::flight_event("deadline", "request completed past its deadline",
+                              r.meta.rid);
+      telemetry::flight_observe_outcome(/*ok=*/false, /*deadline_breach=*/true);
       deliver(r, Status{ErrorCode::kDeadlineExceeded,
                         "request completed past its deadline"});
       finish_one();
@@ -293,6 +320,7 @@ struct Engine::Impl {
     completed.add();
     latency_us_hist.record(us);
     trace_request(r);
+    telemetry::flight_observe_outcome(/*ok=*/true, /*deadline_breach=*/false);
     deliver(r, std::vector<float>(scores, scores + count));
     finish_one();
   }
@@ -300,6 +328,8 @@ struct Engine::Impl {
   void resolve_error(Request& r, Status st) {
     failed.add();
     trace_request(r);
+    telemetry::flight_event("error", st.message().c_str(), r.meta.rid);
+    telemetry::flight_observe_outcome(/*ok=*/false, /*deadline_breach=*/false);
     deliver(r, std::move(st));
     finish_one();
   }
@@ -307,6 +337,8 @@ struct Engine::Impl {
   void resolve_expired(Request& r) {
     expired.add();
     trace_request(r);
+    telemetry::flight_event("deadline", "request expired waiting in queue", r.meta.rid);
+    telemetry::flight_observe_outcome(/*ok=*/false, /*deadline_breach=*/true);
     deliver(r, Status{ErrorCode::kDeadlineExceeded,
                       "request expired after waiting in queue beyond its deadline"});
     finish_one();
@@ -315,6 +347,8 @@ struct Engine::Impl {
   void resolve_cancelled(Request& r, const char* why) {
     cancelled.add();
     trace_request(r);
+    telemetry::flight_event("cancel", why, r.meta.rid);
+    telemetry::flight_observe_outcome(/*ok=*/false, /*deadline_breach=*/false);
     deliver(r, Status{ErrorCode::kCancelled, why});
     finish_one();
   }
@@ -326,6 +360,9 @@ struct Engine::Impl {
     if (r.deadline <= std::chrono::steady_clock::now()) {
       expired.add();
       trace_request(r);
+      telemetry::flight_event("deadline", "expired at a mid-inference checkpoint",
+                              r.meta.rid);
+      telemetry::flight_observe_outcome(/*ok=*/false, /*deadline_breach=*/true);
       deliver(r, Status{ErrorCode::kDeadlineExceeded,
                         "deadline expired at a mid-inference cancellation checkpoint"});
       finish_one();
@@ -339,6 +376,12 @@ struct Engine::Impl {
   /// re-probe with real traffic.
   void quarantine() BF_EXCLUDES(mu_) {
     quarantines.add();
+    telemetry::trace_instant("quarantine", "lifecycle");
+    telemetry::flight_event("quarantine", "worker circuit breaker tripped");
+    // Trigger BEFORE taking mu_: bundle context providers may re-enter the
+    // engine (stats() under a /varz section takes mu_).
+    telemetry::flight_trigger(telemetry::FlightTrigger::kQuarantine,
+                              "worker circuit breaker quarantined");
     core::MutexLock lock(mu_);
     ++quarantined_;
     const auto until = std::chrono::steady_clock::now() + cfg.breaker_backoff;
@@ -469,6 +512,14 @@ struct Engine::Impl {
       bool worker_failed = false;
       {
         telemetry::TraceSpan batch_span("serve.batch", "serve", n);
+        // Batch membership instants inside the batch span: each carries the
+        // member's rid, joining the wire request to THIS worker's layer and
+        // kernel spans below it.
+        if (telemetry::trace_enabled()) [[unlikely]] {
+          for (const Request& r : batch) {
+            telemetry::trace_instant("serve.batch.member", "serve", r.meta.rid);
+          }
+        }
         try {
           BF_FAILPOINT("serve.infer");
           const std::span<const float> scores = my_net->infer_batch(inputs, *ctx, token);
@@ -606,6 +657,7 @@ core::Result<Engine> Engine::create(std::shared_ptr<const graph::BinaryNetwork> 
       core::MutexLock lock(ip->mu_);
       ip->state_ = EngineState::kServing;
     }
+    note_state("serving");
     return Engine(std::move(impl));
   } catch (...) {
     return map_open_error();
@@ -652,9 +704,15 @@ std::future<core::Result<std::vector<float>>> Engine::submit(
 
 void Engine::submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
                     ResponseCallback done) {
+  submit(std::move(input), deadline, priority, RequestMeta{}, std::move(done));
+}
+
+void Engine::submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
+                    RequestMeta meta, ResponseCallback done) {
   Request r;
   r.input = std::move(input);
   r.priority = priority;
+  r.meta = meta;
   r.done = std::move(done);
   impl_->do_submit(std::move(r), deadline);
 }
@@ -682,6 +740,8 @@ void Engine::Impl::do_submit(Request r, std::chrono::milliseconds deadline) {
     BF_FAILPOINT("serve.queue_admit");
   } catch (...) {
     im.rejected.add();
+    telemetry::flight_event("failpoint", "serve.queue_admit rejected admission",
+                            r.meta.rid);
     deliver(r, map_infer_error());
     return;
   }
@@ -695,6 +755,7 @@ void Engine::Impl::do_submit(Request r, std::chrono::milliseconds deadline) {
   } catch (...) {
     im.shed.add();
     im.rejected.add();
+    telemetry::flight_event("failpoint", "serve.shed forced a rejection", r.meta.rid);
     deliver(r, map_infer_error());
     return;
   }
@@ -740,6 +801,9 @@ void Engine::Impl::do_submit(Request r, std::chrono::milliseconds deadline) {
     if (do_shed) {
       im.shed.add();
       im.rejected.add();
+      telemetry::trace_instant("shed", "lifecycle", r.meta.rid);
+      telemetry::flight_event("shed", "overload control rejected a request",
+                              r.meta.rid);
       deliver(r, Status{
           ErrorCode::kResourceExhausted,
           "submit: shed by overload control (estimated queue delay " +
@@ -784,6 +848,7 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
   try {
     BF_FAILPOINT("serve.drain");
   } catch (...) {
+    telemetry::flight_event("failpoint", "serve.drain refused");
     return map_infer_error();
   }
   {
@@ -797,6 +862,7 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
     }
     im.state_ = EngineState::kDraining;
   }
+  note_state("draining");
   im.drains.add();
   bool escalated = false;
   {
@@ -838,6 +904,10 @@ core::Status Engine::drain(std::chrono::milliseconds timeout) {
     while (im.in_flight_ != 0) im.idle_cv_.wait(lock);
     im.state_ = EngineState::kDrained;
   }
+  note_state("drained");
+  if (escalated) {
+    telemetry::flight_event("drain", "drain escalated: in-flight batches cancelled");
+  }
   return Status::ok();
 }
 
@@ -872,6 +942,7 @@ void Engine::shutdown() {
       core::MutexLock lock(im.mu_);
       im.closing_ = true;
     }
+    note_state("shutdown");
     im.state_cv_.notify_all();  // quarantined workers exit their backoff
     // Workers observe shutdown through the closed queue: close() wakes
     // every blocked pop, next_batch() drains and returns false.

@@ -198,6 +198,14 @@ class Engine {
   void submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
               ResponseCallback done);
 
+  /// Wire-path submit carrying the request's observability identity
+  /// (RequestMeta): the frame's request id and optional client trace id
+  /// ride every span and flight-recorder event this request generates, so
+  /// its wire-to-kernel timeline joins up in one trace.  Identity only —
+  /// scheduling is unaffected.
+  void submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
+              RequestMeta meta, ResponseCallback done);
+
   /// Blocking convenience: submit + wait.
   [[nodiscard]] core::Result<std::vector<float>> infer(Tensor input);
 

@@ -42,6 +42,16 @@ enum class Priority : std::uint8_t { kNormal = 0, kHigh = 1 };
 /// not throw and must not re-enter the engine that invoked it.
 using ResponseCallback = std::function<void(core::Result<std::vector<float>>&&)>;
 
+/// Observability identity of a request, threaded from the wire frame down
+/// to the kernel spans so one trace joins a request's whole timeline.  Both
+/// ids are optional (0 = none): `rid` is the wire frame's u64 request id,
+/// `trace_id` the client-supplied trace id from the frame's flag extension
+/// (net::kFlagTraceId).  Identity only — never used for routing decisions.
+struct RequestMeta {
+  std::uint64_t rid = 0;
+  std::uint64_t trace_id = 0;
+};
+
 /// One queued inference request.  Resolution happens exactly once, by
 /// whichever stage finishes the request (admission rejection, in-queue
 /// expiry, a worker, or drain-timeout cancellation): through `done` when
@@ -60,6 +70,9 @@ struct Request {
   /// checkpoint once every member has lapsed).
   std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
   Priority priority = Priority::kNormal;
+  /// Trace identity (rid/trace_id; 0 = none) carried through every span and
+  /// flight-recorder event this request generates.
+  RequestMeta meta;
 };
 
 /// Bounded multi-producer/multi-consumer two-lane FIFO of Requests.

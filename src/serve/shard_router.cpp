@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <utility>
@@ -10,7 +11,9 @@
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
 #include "serve/error_map.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bitflow::serve {
 
@@ -39,6 +42,15 @@ std::uint64_t next_rand() {
   state ^= state >> 7;
   state ^= state << 17;
   return state;
+}
+
+/// Router lifecycle breadcrumb: one trace instant + one flight event (both
+/// sinks copy the name; both are lock-free, safe under mu_).
+void note_router_state(const char* state_name) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "lifecycle:router-%s", state_name);
+  telemetry::trace_instant(buf, "lifecycle");
+  telemetry::flight_event("lifecycle", buf + sizeof("lifecycle:") - 1);
 }
 
 }  // namespace
@@ -121,11 +133,13 @@ struct ShardRouter::Impl {
   /// already be the request's completion channel; every rejection resolves
   /// it inline before returning.
   void route(Tensor input, std::chrono::milliseconds deadline, Priority priority,
-             ResponseCallback done) BF_EXCLUDES(mu_) {
+             RequestMeta meta, ResponseCallback done) BF_EXCLUDES(mu_) {
     {
       core::MutexLock lock(mu_);
       if (state_ == EngineState::kDraining || state_ == EngineState::kDrained) {
         rejected.add();
+        telemetry::flight_event("shed", "router lifecycle gate rejected a request",
+                                meta.rid);
         done(Status{ErrorCode::kUnavailable,
                     "submit: router is " + std::string(engine_state_name(state_)) +
                         " and not accepting new requests"});
@@ -140,7 +154,7 @@ struct ShardRouter::Impl {
     outstanding_[s].fetch_add(1, std::memory_order_relaxed);
     routed.add();
     engines_[static_cast<std::size_t>(s)].submit(
-        std::move(input), deadline, priority,
+        std::move(input), deadline, priority, meta,
         [this, s, done = std::move(done)](
             core::Result<std::vector<float>>&& outcome) mutable {
           // Ordering contract: relaxed — see outstanding_ declaration.
@@ -182,6 +196,7 @@ core::Result<ShardRouter> ShardRouter::create(
     core::MutexLock lock(impl->mu_);
     impl->state_ = EngineState::kServing;
   }
+  note_router_state("serving");
   return ShardRouter(std::move(impl));
 }
 
@@ -203,7 +218,7 @@ std::future<core::Result<std::vector<float>>> ShardRouter::submit(
   // through a callback because of the outstanding_ bookkeeping.)
   auto p = std::make_shared<std::promise<core::Result<std::vector<float>>>>();
   std::future<core::Result<std::vector<float>>> fut = p->get_future();
-  impl_->route(std::move(input), deadline, priority,
+  impl_->route(std::move(input), deadline, priority, RequestMeta{},
                [p = std::move(p)](core::Result<std::vector<float>>&& outcome) {
                  p->set_value(std::move(outcome));
                });
@@ -212,7 +227,12 @@ std::future<core::Result<std::vector<float>>> ShardRouter::submit(
 
 void ShardRouter::submit(Tensor input, std::chrono::milliseconds deadline,
                          Priority priority, ResponseCallback done) {
-  impl_->route(std::move(input), deadline, priority, std::move(done));
+  impl_->route(std::move(input), deadline, priority, RequestMeta{}, std::move(done));
+}
+
+void ShardRouter::submit(Tensor input, std::chrono::milliseconds deadline,
+                         Priority priority, RequestMeta meta, ResponseCallback done) {
+  impl_->route(std::move(input), deadline, priority, meta, std::move(done));
 }
 
 core::Result<std::vector<float>> ShardRouter::infer(Tensor input) {
@@ -231,6 +251,7 @@ core::Status ShardRouter::drain(std::chrono::milliseconds timeout) {
     }
     im.state_ = EngineState::kDraining;
   }
+  note_router_state("draining");
   // Parallel fan-out: each shard's drain blocks up to `timeout` before
   // escalating, so sequential drains would stack timeouts (N x timeout
   // worst case) — concurrent ones bound tier drain by the slowest shard.
@@ -248,6 +269,7 @@ core::Status ShardRouter::drain(std::chrono::milliseconds timeout) {
     core::MutexLock lock(im.mu_);
     im.state_ = EngineState::kDrained;
   }
+  note_router_state("drained");
   for (std::size_t s = 0; s < n; ++s) {
     if (!shard_status[s].is_ok()) {
       return Status{shard_status[s].code(),
@@ -271,6 +293,7 @@ core::Status ShardRouter::reload(std::shared_ptr<const graph::BinaryNetwork> net
     }
     im.state_ = EngineState::kReloading;  // admission continues in this state
   }
+  note_router_state("reloading");
   // Fail the whole swap up front on a shape mismatch instead of relying on
   // every shard rejecting it individually (they would — identically).
   Status result = Status::ok();
@@ -292,6 +315,7 @@ core::Status ShardRouter::reload(std::shared_ptr<const graph::BinaryNetwork> net
     core::MutexLock lock(im.mu_);
     im.state_ = EngineState::kServing;
   }
+  note_router_state("serving");
   return result;
 }
 
@@ -361,6 +385,23 @@ std::string plan_varz_text(const ShardRouter& router) {
     out += "layer." + l.name + ".plan isa=" + std::string(simd::isa_name(l.isa)) +
            " tile=" + std::to_string(l.tile) + " grain=" + std::to_string(l.par_grain) +
            " source=" + l.tune_source + "\n";
+  }
+  return out;
+}
+
+std::string profile_varz_text(const ShardRouter& router) {
+  const std::shared_ptr<const graph::BinaryNetwork> net = router.network();
+  if (net == nullptr) return {};
+  std::string out;
+  char buf[192];
+  for (const auto& r : net->profile_report().rows) {
+    if (r.calls == 0) continue;  // never profiled: nothing to attribute
+    std::snprintf(buf, sizeof buf,
+                  "layer.%s.perf gops=%.1f roof_gops=%.1f ait=%.1f ipc=%.2f "
+                  "llc_mpki=%.2f source=%s\n",
+                  r.name.c_str(), r.gops, r.roof_gops, r.ait, r.ipc, r.llc_mpki,
+                  r.perf_source.c_str());
+    out += buf;
   }
   return out;
 }

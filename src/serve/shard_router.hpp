@@ -106,6 +106,12 @@ class ShardRouter {
   void submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
               ResponseCallback done);
 
+  /// Wire-path submit carrying the request's observability identity
+  /// (RequestMeta) down to the shard engine — see Engine's RequestMeta
+  /// overload.  Routing decisions never consult the meta.
+  void submit(Tensor input, std::chrono::milliseconds deadline, Priority priority,
+              RequestMeta meta, ResponseCallback done);
+
   /// Blocking convenience: submit + wait (no deadline, normal priority).
   [[nodiscard]] core::Result<std::vector<float>> infer(Tensor input);
 
@@ -153,5 +159,14 @@ class ShardRouter {
 /// Lives here, not in net/, so the wire front-end reads the plan through the
 /// router instead of reaching into graph.
 [[nodiscard]] std::string plan_varz_text(const ShardRouter& router);
+
+/// One "/varz" line per profiled layer of the served generation, exposing
+/// the roofline attribution next to the plan:
+///   layer.<name>.perf gops=<G> roof_gops=<R> ait=<A> ipc=<I> llc_mpki=<M>
+///   source=<measured|calibrated>
+/// `source` is "measured" when hardware counters (perf_event_open) backed
+/// the row, "calibrated" when only the calibrated-peak model applies.
+/// Empty until a profiled inference has run.
+[[nodiscard]] std::string profile_varz_text(const ShardRouter& router);
 
 }  // namespace bitflow::serve

@@ -11,6 +11,7 @@
 
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bitflow::telemetry {
 
@@ -27,7 +28,9 @@ struct TraceEvent {
   std::uint64_t start_ns;
   std::uint64_t end_ns;
   std::int64_t arg;   // >= 0: recorded as args.n
-  std::uint64_t id;   // async pair id; kIdNone = synchronous complete event
+  std::uint64_t rid;  // != 0: recorded as args.rid (wire request id)
+  std::uint64_t id;   // async pair id; kIdNone = synchronous
+  char ph;            // 'X' complete span, 'a' async pair, 'i' instant
   static constexpr std::uint64_t kIdNone = UINT64_MAX;
 };
 
@@ -48,7 +51,8 @@ struct ThreadRing {
   std::uint32_t tid;
 
   void push(const char* name, const char* cat, std::uint64_t start_ns,
-            std::uint64_t end_ns, std::int64_t arg, std::uint64_t id) noexcept {
+            std::uint64_t end_ns, std::int64_t arg, std::uint64_t rid,
+            std::uint64_t id, char ph) noexcept {
     const std::uint32_t n = size.load(std::memory_order_relaxed);
     if (n >= slots.size()) {
       dropped.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +65,9 @@ struct ThreadRing {
     ev.start_ns = start_ns;
     ev.end_ns = end_ns;
     ev.arg = arg;
+    ev.rid = rid;
     ev.id = id;
+    ev.ph = ph;
     size.store(n + 1, std::memory_order_release);
   }
 };
@@ -72,6 +78,7 @@ struct TraceState {
   // thread_local pointer, never this struct.
   core::Mutex mu;
   bool armed BF_GUARDED_BY(mu) = false;
+  bool passive BF_GUARDED_BY(mu) = false;  // armed with no output path
   std::string path BF_GUARDED_BY(mu);
   std::size_t ring_capacity BF_GUARDED_BY(mu) = 1 << 16;
   std::uint64_t t0_ns BF_GUARDED_BY(mu) = 0;
@@ -84,7 +91,24 @@ struct TraceState {
 };
 
 TraceState& state() {
-  static TraceState* s = new TraceState();  // leaked: threads record at exit
+  static TraceState* s = [] {
+    auto* st = new TraceState();  // leaked: threads record at exit
+    // Ring overflow is otherwise silent: surface the cumulative drop count
+    // through the registry so dashboards see burst loss.  The registry and
+    // this state are both process-lifetime leaks, so the callback never
+    // dangles; it takes the trace mutex under the registry mutex (Registry
+    // mu -> trace mu, one-way — nothing holding the trace mutex calls the
+    // registry's locked API).
+    registry().add_callback_gauge(st, "telemetry.trace.dropped", "", [st] {
+      core::MutexLock lock(st->mu);
+      std::uint64_t total = 0;
+      for (const auto& r : st->rings) {
+        total += r->dropped.load(std::memory_order_relaxed);
+      }
+      return static_cast<double>(total);
+    });
+    return st;
+  }();
   return *s;
 }
 
@@ -112,6 +136,98 @@ void json_escape_into(std::string& out, const char* s) {
       out.push_back(c);
     }
   }
+}
+
+/// Serializes every published ring prefix into Chrome's JSON array format.
+/// Caller holds the trace mutex.  Reads are non-destructive: published
+/// slots are immutable and the acquire load of each ring's size bounds the
+/// scan, so this is safe against concurrent writers.
+std::string render_json_locked(TraceState& st, std::size_t* events_out) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  std::size_t written = 0;
+  std::uint64_t dropped_total = 0;
+  auto emit = [&](const TraceEvent& ev, std::uint32_t tid, double ts_us, double dur_us,
+                  const char* ph, std::uint64_t id) {
+    if (written != 0) out += ",\n";
+    out += "{\"name\":\"";
+    json_escape_into(out, ev.name);
+    out += "\",\"cat\":\"";
+    json_escape_into(out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ts_us);
+    out += buf;
+    if (ph[0] == 'X') {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", dur_us);
+      out += buf;
+    }
+    if (ph[0] == 'i') out += ",\"s\":\"t\"";
+    if (id != TraceEvent::kIdNone) {
+      out += ",\"id\":\"";
+      out += std::to_string(id);
+      out += '"';
+    }
+    if (ev.arg >= 0 || ev.rid != 0) {
+      out += ",\"args\":{";
+      bool first = true;
+      if (ev.arg >= 0) {
+        out += "\"n\":";
+        out += std::to_string(ev.arg);
+        first = false;
+      }
+      if (ev.rid != 0) {
+        if (!first) out += ',';
+        out += "\"rid\":";
+        out += std::to_string(ev.rid);
+      }
+      out += '}';
+    }
+    out += '}';
+    ++written;
+  };
+
+  for (const auto& r : st.rings) {
+    const std::uint32_t n = r->size.load(std::memory_order_acquire);
+    dropped_total += r->dropped.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const TraceEvent& ev = r->slots[i];
+      // Clamp events that straddled trace_start (a span constructed before
+      // arming records nothing, but an armed span can begin before t0 if
+      // arming raced its constructor — harmless, clamp to 0).
+      const double ts_us =
+          ev.start_ns >= st.t0_ns
+              ? static_cast<double>(ev.start_ns - st.t0_ns) / 1000.0
+              : 0.0;
+      const double dur_us = ev.end_ns >= ev.start_ns
+                                ? static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0
+                                : 0.0;
+      if (ev.ph == 'i') {
+        emit(ev, r->tid, ts_us, 0.0, "i", TraceEvent::kIdNone);
+      } else if (ev.id == TraceEvent::kIdNone) {
+        emit(ev, r->tid, ts_us, dur_us, "X", TraceEvent::kIdNone);
+      } else {
+        const double end_us = ts_us + dur_us;
+        emit(ev, r->tid, ts_us, 0.0, "b", ev.id);
+        emit(ev, r->tid, end_us, 0.0, "e", ev.id);
+      }
+    }
+  }
+  // Footer: stamp the cumulative ring-overflow drop count into the trace so
+  // a consumer knows how complete the timeline is (also exported live as
+  // the telemetry.trace.dropped registry gauge).
+  if (written != 0) out += ",\n";
+  out += "{\"name\":\"trace_dropped_events\",\"cat\":\"meta\",\"ph\":\"C\",\"pid\":1,"
+         "\"tid\":0,\"ts\":0,\"args\":{\"dropped\":";
+  out += std::to_string(dropped_total);
+  out += "}}";
+  ++written;
+  out += "\n]}\n";
+  if (events_out != nullptr) *events_out = written;
+  return out;
 }
 
 /// Applies BITFLOW_TRACE before main() and flushes at process exit, so any
@@ -148,14 +264,21 @@ std::uint64_t now_ns() noexcept {
 }
 
 void trace_record(const char* name, const char* cat, std::uint64_t start_ns,
-                  std::uint64_t end_ns, std::int64_t arg) {
-  this_thread_ring()->push(name, cat, start_ns, end_ns, arg, TraceEvent::kIdNone);
+                  std::uint64_t end_ns, std::int64_t arg, std::uint64_t rid) {
+  this_thread_ring()->push(name, cat, start_ns, end_ns, arg, rid,
+                           TraceEvent::kIdNone, 'X');
 }
 
 void trace_record_async(const char* name, const char* cat, std::uint64_t start_ns,
-                        std::uint64_t end_ns, std::uint64_t id) {
+                        std::uint64_t end_ns, std::uint64_t id, std::uint64_t rid) {
   if (id == TraceEvent::kIdNone) id -= 1;
-  this_thread_ring()->push(name, cat, start_ns, end_ns, -1, id);
+  this_thread_ring()->push(name, cat, start_ns, end_ns, -1, rid, id, 'a');
+}
+
+void trace_record_instant(const char* name, const char* cat, std::uint64_t ts_ns,
+                          std::uint64_t rid) {
+  this_thread_ring()->push(name, cat, ts_ns, ts_ns, -1, rid, TraceEvent::kIdNone,
+                           'i');
 }
 
 }  // namespace detail
@@ -167,11 +290,32 @@ void trace_start(const std::string& path, std::size_t ring_capacity) {
   core::MutexLock lock(st.mu);
   if (st.armed) throw std::logic_error("trace_start: trace already armed");
   st.path = path;
+  st.passive = false;
   st.ring_capacity = ring_capacity;
   st.t0_ns = detail::now_ns();
   // Reset rings registered by a previous session; new threads get the new
   // capacity.  Existing threads keep their (already sized) rings — events
   // from before this session are discarded by the size reset.
+  for (auto& r : st.rings) {
+    r->size.store(0, std::memory_order_relaxed);
+    r->dropped.store(0, std::memory_order_relaxed);
+    if (r->slots.size() != ring_capacity) r->slots.resize(ring_capacity);
+  }
+  st.armed = true;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_arm_passive(std::size_t ring_capacity) {
+  if (ring_capacity < 16) {
+    throw std::invalid_argument("trace_arm_passive: ring too small");
+  }
+  TraceState& st = state();
+  core::MutexLock lock(st.mu);
+  if (st.armed) return;  // existing session (either kind) serves snapshots
+  st.path.clear();
+  st.passive = true;
+  st.ring_capacity = ring_capacity;
+  st.t0_ns = detail::now_ns();
   for (auto& r : st.rings) {
     r->size.store(0, std::memory_order_relaxed);
     r->dropped.store(0, std::memory_order_relaxed);
@@ -189,6 +333,14 @@ std::uint64_t trace_dropped_events() {
   return total;
 }
 
+std::string trace_snapshot_json() {
+  TraceState& st = state();
+  core::MutexLock lock(st.mu);
+  if (!st.armed) return {};
+  std::size_t written = 0;
+  return render_json_locked(st, &written);
+}
+
 std::size_t trace_stop() {
   TraceState& st = state();
   core::MutexLock lock(st.mu);
@@ -196,87 +348,24 @@ std::size_t trace_stop() {
   detail::g_trace_enabled.store(false, std::memory_order_relaxed);
   st.armed = false;
 
-  std::FILE* f = std::fopen(st.path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "[bitflow] trace: cannot open '%s'\n", st.path.c_str());
-    return 0;
-  }
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   std::size_t written = 0;
-  std::string line;
-  std::uint64_t dropped_total = 0;
-  auto emit = [&](const TraceEvent& ev, std::uint32_t tid, double ts_us, double dur_us,
-                  const char* ph, std::uint64_t id) {
-    line.clear();
-    if (written != 0) line += ",\n";
-    line += "{\"name\":\"";
-    json_escape_into(line, ev.name);
-    line += "\",\"cat\":\"";
-    json_escape_into(line, ev.cat);
-    line += "\",\"ph\":\"";
-    line += ph;
-    line += "\",\"pid\":1,\"tid\":";
-    line += std::to_string(tid);
-    char buf[96];
-    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", ts_us);
-    line += buf;
-    if (ph[0] == 'X') {
-      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", dur_us);
-      line += buf;
+  const bool passive = st.passive;
+  st.passive = false;
+  if (!passive) {
+    const std::string json = render_json_locked(st, &written);
+    std::FILE* f = std::fopen(st.path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bitflow] trace: cannot open '%s'\n", st.path.c_str());
+      written = 0;
+    } else {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
     }
-    if (id != TraceEvent::kIdNone) {
-      line += ",\"id\":\"";
-      line += std::to_string(id);
-      line += '"';
-    }
-    if (ev.arg >= 0) {
-      line += ",\"args\":{\"n\":";
-      line += std::to_string(ev.arg);
-      line += '}';
-    }
-    line += '}';
-    std::fputs(line.c_str(), f);
-    ++written;
-  };
-
+  }
   for (const auto& r : st.rings) {
-    const std::uint32_t n = r->size.load(std::memory_order_acquire);
-    dropped_total += r->dropped.load(std::memory_order_relaxed);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const TraceEvent& ev = r->slots[i];
-      // Clamp events that straddled trace_start (a span constructed before
-      // arming records nothing, but an armed span can begin before t0 if
-      // arming raced its constructor — harmless, clamp to 0).
-      const double ts_us =
-          ev.start_ns >= st.t0_ns
-              ? static_cast<double>(ev.start_ns - st.t0_ns) / 1000.0
-              : 0.0;
-      const double dur_us = ev.end_ns >= ev.start_ns
-                                ? static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0
-                                : 0.0;
-      if (ev.id == TraceEvent::kIdNone) {
-        emit(ev, r->tid, ts_us, dur_us, "X", TraceEvent::kIdNone);
-      } else {
-        const double end_us = ts_us + dur_us;
-        emit(ev, r->tid, ts_us, 0.0, "b", ev.id);
-        emit(ev, r->tid, end_us, 0.0, "e", ev.id);
-      }
-    }
     r->size.store(0, std::memory_order_relaxed);
     r->dropped.store(0, std::memory_order_relaxed);
   }
-  if (dropped_total > 0) {
-    line.clear();
-    if (written != 0) line += ",\n";
-    line += "{\"name\":\"trace_dropped_events\",\"cat\":\"meta\",\"ph\":\"C\",\"pid\":1,"
-            "\"tid\":0,\"ts\":0,\"args\":{\"dropped\":";
-    line += std::to_string(dropped_total);
-    line += "}}";
-    std::fputs(line.c_str(), f);
-    ++written;
-  }
-  std::fputs("\n]}\n", f);
-  std::fclose(f);
   return written;
 }
 

@@ -4,28 +4,40 @@
 // its constructor and a branch on the cached result in its destructor — the
 // same discipline as core/failpoint, verified by bench_micro's span-overhead
 // rows and CI's telemetry job.  When enabled (programmatically via
-// trace_start(), or for a whole process via BITFLOW_TRACE=<path>), each span
-// records a complete event into a fixed-capacity thread-local ring buffer:
-// no locks, no allocation on the hot path after the first event of a thread.
-// trace_stop() (or process exit under BITFLOW_TRACE) merges every thread's
-// ring and writes Chrome's JSON array format, loadable in chrome://tracing
-// and Perfetto:
+// trace_start(), passively via trace_arm_passive() — the flight recorder's
+// always-on mode — or for a whole process via BITFLOW_TRACE=<path>), each
+// span records a complete event into a fixed-capacity thread-local ring
+// buffer: no locks, no allocation on the hot path after the first event of a
+// thread.  trace_stop() (or process exit under BITFLOW_TRACE) merges every
+// thread's ring and writes Chrome's JSON array format, loadable in
+// chrome://tracing and Perfetto:
 //
 //   BITFLOW_TRACE=trace.json ./examples/serving_engine
 //
 // Span vocabulary (cat / name):
-//   serve   : "serve.batch" — one micro-batch through a worker
+//   net     : "net.request" — wire frame receipt on the poll thread
+//   serve   : "serve.batch" — one micro-batch through a worker;
+//             "serve.batch.member" — instant, one request joining a batch
 //   graph   : "graph.infer_batch", "pack_input" — one pass through the chain
 //   layer   : "layer:<name>" — one network stage
-//   kernel  : "<kernel>[<isa>]" — the kernel dispatch inside a stage
+//   kernel  : "<kernel>[<isa>,tN,gN]" — the kernel dispatch inside a stage
 //   request : async "serve.request" pairs (enqueue -> resolution); async
 //             because a request's lifetime spans threads and overlaps
 //             batches, so it must not claim a slot in the nesting stack.
+//   lifecycle: instant events for state transitions, sheds, breaker trips.
+//
+// Request-scoped joining: events carry an optional request id (`rid`,
+// emitted as args.rid; for the async request pair it is also the event id),
+// so one request's wire-to-kernel timeline — net.request on the poll
+// thread, the async serve.request track, the serve.batch.member instant on
+// the worker that ran it, and the layer/kernel spans nested in that
+// worker's serve.batch window — reconstructs from a single trace.
 //
 // Ring-buffer overflow drops the *newest* events (never overwrites): a slot,
 // once published, is immutable, which is what makes the lock-free flush
 // race-free (slot write happens-before the release store of the size the
-// flusher acquires).  Dropped counts are reported in the trace metadata.
+// flusher acquires).  Dropped counts are reported in the trace metadata and
+// surfaced as the `telemetry.trace.dropped` registry gauge.
 #pragma once
 
 #include <atomic>
@@ -44,12 +56,16 @@ extern std::atomic<bool> g_trace_enabled;
 /// are steady_clock readings.  `name` is copied into the ring slot (truncated
 /// to 47 chars) so dynamic names — layer/kernel names owned by a network —
 /// stay valid even when the flush runs at process exit; `cat` must be a
-/// string literal (the pointer is kept).
+/// string literal (the pointer is kept).  `rid` (0 = none) joins the event
+/// to a wire request.
 void trace_record(const char* name, const char* cat, std::uint64_t start_ns,
-                  std::uint64_t end_ns, std::int64_t arg);
+                  std::uint64_t end_ns, std::int64_t arg, std::uint64_t rid = 0);
 /// Appends an async begin/end pair (rendered as its own track).
 void trace_record_async(const char* name, const char* cat, std::uint64_t start_ns,
-                        std::uint64_t end_ns, std::uint64_t id);
+                        std::uint64_t end_ns, std::uint64_t id, std::uint64_t rid = 0);
+/// Appends a thread-scoped instant event.
+void trace_record_instant(const char* name, const char* cat, std::uint64_t ts_ns,
+                          std::uint64_t rid);
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 }  // namespace detail
 
@@ -63,25 +79,40 @@ void trace_record_async(const char* name, const char* cat, std::uint64_t start_n
 /// (overflow drops newest).  Throws std::logic_error if already armed.
 void trace_start(const std::string& path, std::size_t ring_capacity = 1 << 16);
 
-/// Disarms the sink, merges every thread's ring and writes the JSON file.
-/// Returns the number of events written.  No-op returning 0 when not armed.
+/// Arms the sink with NO output path: events accumulate in the rings and are
+/// read non-destructively by trace_snapshot_json() — the flight recorder's
+/// always-on mode.  trace_stop() on a passive session disarms and resets
+/// without writing a file.  No-op when a session (either kind) is already
+/// armed — the existing session's rings serve the snapshots.
+void trace_arm_passive(std::size_t ring_capacity = 1 << 14);
+
+/// Disarms the sink, merges every thread's ring and writes the JSON file
+/// (unless the session was passive).  Returns the number of events written.
+/// No-op returning 0 when not armed.
 std::size_t trace_stop();
+
+/// Non-destructive snapshot: merges every thread's published ring prefix
+/// into a Chrome-trace JSON string WITHOUT disarming or resetting — safe to
+/// call while writers keep recording (published slots are immutable).
+/// Returns an empty string when not armed.
+[[nodiscard]] std::string trace_snapshot_json();
 
 /// Total events dropped to ring overflow since trace_start().
 [[nodiscard]] std::uint64_t trace_dropped_events();
 
 /// RAII scoped span.  Disarmed cost: one relaxed atomic load (constructor)
-/// plus a predictable branch (destructor).
+/// plus a predictable branch (destructor).  `rid` (0 = none) joins the span
+/// to a wire request (emitted as args.rid).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* cat = "span",
-                     std::int64_t arg = -1) noexcept
-      : name_(name), cat_(cat), arg_(arg), armed_(trace_enabled()) {
+                     std::int64_t arg = -1, std::uint64_t rid = 0) noexcept
+      : name_(name), cat_(cat), arg_(arg), rid_(rid), armed_(trace_enabled()) {
     if (armed_) [[unlikely]] start_ns_ = detail::now_ns();
   }
   ~TraceSpan() {
     if (armed_) [[unlikely]] {
-      detail::trace_record(name_, cat_, start_ns_, detail::now_ns(), arg_);
+      detail::trace_record(name_, cat_, start_ns_, detail::now_ns(), arg_, rid_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -91,6 +122,7 @@ class TraceSpan {
   const char* name_;
   const char* cat_;
   std::int64_t arg_;
+  std::uint64_t rid_;
   bool armed_;
   std::uint64_t start_ns_ = 0;
 };
@@ -99,8 +131,18 @@ class TraceSpan {
 /// nanosecond readings; used for request lifetimes.  Call only after
 /// checking trace_enabled().
 inline void trace_async(const char* name, const char* cat, std::uint64_t start_ns,
-                        std::uint64_t end_ns, std::uint64_t id) {
-  detail::trace_record_async(name, cat, start_ns, end_ns, id);
+                        std::uint64_t end_ns, std::uint64_t id, std::uint64_t rid = 0) {
+  detail::trace_record_async(name, cat, start_ns, end_ns, id, rid);
+}
+
+/// Thread-scoped instant event (Chrome ph "i"): a point in time interleaved
+/// with the surrounding spans — lifecycle transitions, shed decisions,
+/// batch membership.  One relaxed load when disarmed.
+inline void trace_instant(const char* name, const char* cat = "lifecycle",
+                          std::uint64_t rid = 0) noexcept {
+  if (trace_enabled()) [[unlikely]] {
+    detail::trace_record_instant(name, cat, detail::now_ns(), rid);
+  }
 }
 
 /// steady_clock now in nanoseconds (the time base every recorded span uses).

@@ -1,0 +1,519 @@
+// telemetry/flight_recorder under stress: concurrent event logging while the
+// serving tier drains/reloads under a chaos failpoint schedule, trigger
+// rate-limiting (exactly-one-bundle), the SLO-breach and error-rate
+// detectors, and byte-level corruption fuzzing of the bundle loader with the
+// same discipline as fuzz_tune_cache_test — truncate at every offset, flip a
+// deterministic bit in every byte, never crash, always fail closed.
+//
+// All multi-threaded sections are written to run clean under TSan: the event
+// ring is lock-free by design and this test is its data-race gate.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "bitpack/packer.hpp"
+#include "core/failpoint.hpp"
+#include "io/model.hpp"
+#include "models/vgg.hpp"
+#include "serve/engine.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace.hpp"
+#include "tensor/util.hpp"
+
+namespace bitflow::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/// Fresh temp directory per test; removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    path_ = fs::temp_directory_path() /
+            (std::string("bitflow_flight_") + tag + "_" + std::to_string(::getpid()));
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Arms the recorder for one test and guarantees disarm on every exit path
+/// (flight_start throws if a previous test left it armed).
+class ArmedRecorder {
+ public:
+  explicit ArmedRecorder(FlightRecorderConfig cfg) { flight_start(std::move(cfg)); }
+  ~ArmedRecorder() { flight_stop(); }
+};
+
+FlightRecorderConfig base_cfg(const TempDir& dir) {
+  FlightRecorderConfig cfg;
+  cfg.dir = dir.path().string();
+  cfg.event_capacity = 256;
+  cfg.min_bundle_interval = 0ms;
+  cfg.max_bundles = 64;
+  // Detectors off by default; individual tests lower these.
+  cfg.breach_threshold = 1'000'000;
+  cfg.rate_window = 1'000'000;
+  return cfg;
+}
+
+std::vector<fs::path> bundle_dirs(const TempDir& dir) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir.path(), ec)) {
+    if (e.is_directory() && e.path().filename().string().rfind("bundle-", 0) == 0) {
+      out.push_back(e.path());
+    }
+  }
+  return out;
+}
+
+io::Model make_model() {
+  io::Model m(graph::TensorDesc{8, 8, 8});
+  FilterBank filters = models::random_filters(16, 3, 3, 8, 11);
+  std::vector<float> th(16, 0.0f);
+  m.add_conv("c1", bitpack::pack_filters(filters), 1, 1, th);
+  m.add_maxpool("p1", kernels::PoolSpec{2, 2, 2});
+  const auto w = models::random_fc_weights(4 * 4 * 16, 10, 12);
+  m.add_fc("f1", bitpack::pack_transpose_fc_weights(w.data(), 4 * 4 * 16, 10));
+  return m;
+}
+
+Tensor make_input(std::uint64_t seed) {
+  Tensor t = Tensor::hwc(8, 8, 8);
+  fill_uniform(t, seed);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Event ring.
+
+TEST(FlightEvents, DisarmedIsANoOpAndSnapshotIsEmpty) {
+  ASSERT_FALSE(flight_armed());
+  flight_event("shed", "nobody listening", 42);  // must not crash
+  EXPECT_FALSE(flight_trigger(FlightTrigger::kManual, "disarmed"));
+  EXPECT_TRUE(flight_events_snapshot().empty());
+}
+
+TEST(FlightEvents, OrderedSnapshotWithTicketsAndRids) {
+  TempDir dir("ordered");
+  ArmedRecorder armed(base_cfg(dir));
+  flight_event("shed", "first", 1);
+  flight_event("deadline", "second", 2);
+  flight_event("reload", "third");
+  const std::vector<FlightEvent> got = flight_events_snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].kind, "shed");
+  EXPECT_EQ(got[0].detail, "first");
+  EXPECT_EQ(got[0].rid, 1u);
+  EXPECT_EQ(got[2].kind, "reload");
+  EXPECT_EQ(got[2].rid, 0u);
+  EXPECT_LT(got[0].ticket, got[1].ticket);
+  EXPECT_LT(got[1].ticket, got[2].ticket);
+  EXPECT_LE(got[0].ts_ns, got[2].ts_ns);
+}
+
+TEST(FlightEvents, RingWrapKeepsNewestAndCountsNothingDroppedWhenUncontended) {
+  TempDir dir("wrap");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.event_capacity = 16;
+  ArmedRecorder armed(cfg);
+  for (int i = 0; i < 100; ++i) flight_event("lifecycle", "tick", static_cast<std::uint64_t>(i));
+  const std::vector<FlightEvent> got = flight_events_snapshot();
+  ASSERT_EQ(got.size(), 16u);
+  // Newest 16 survive, oldest first.
+  EXPECT_EQ(got.front().rid, 84u);
+  EXPECT_EQ(got.back().rid, 99u);
+  EXPECT_EQ(flight_events_dropped(), 0u);
+}
+
+TEST(FlightEvents, ConcurrentWritersAndSnapshottersAreRaceFree) {
+  TempDir dir("concurrent");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.event_capacity = 128;
+  ArmedRecorder armed(cfg);
+
+  std::atomic<bool> stop{false};
+  // Ordering contract: relaxed — independent progress counters; the joins
+  // below are the synchronization points.
+  std::atomic<std::uint64_t> logged{0};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&stop, &logged, w] {
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        flight_event("shed", "writer pressure", static_cast<std::uint64_t>(w) * 1'000'000 + n);
+        ++n;
+      }
+      logged.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+  std::thread reader([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<FlightEvent> snap = flight_events_snapshot();
+      // Snapshot invariant: tickets strictly increase — a torn slot would
+      // show duplicated or reordered tickets.
+      for (std::size_t i = 1; i < snap.size(); ++i) {
+        ASSERT_LT(snap[i - 1].ticket, snap[i].ticket);
+      }
+    }
+  });
+  std::this_thread::sleep_for(200ms);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  reader.join();
+  EXPECT_GT(logged.load(std::memory_order_relaxed), 0u);
+  // Contention may drop events (drop-newest by seqlock CAS failure), but the
+  // ring plus drop counter must account for a sane world: snapshot is
+  // well-formed and bounded by capacity.
+  EXPECT_LE(flight_events_snapshot().size(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Triggers, rate limiting, detectors.
+
+TEST(FlightTriggers, RateLimitYieldsExactlyOneBundle) {
+  TempDir dir("ratelimit");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.min_bundle_interval = std::chrono::milliseconds(3'600'000);  // 1h: once
+  ArmedRecorder armed(cfg);
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (flight_trigger(FlightTrigger::kManual, "burst")) ++accepted;
+  }
+  EXPECT_EQ(accepted, 1);
+  EXPECT_EQ(flight_bundles_written(), 1u);
+  EXPECT_EQ(flight_bundles_suppressed(), 4u);
+  EXPECT_EQ(bundle_dirs(dir).size(), 1u);
+}
+
+TEST(FlightTriggers, MaxBundlesCapsTheSession) {
+  TempDir dir("maxcap");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.max_bundles = 2;
+  ArmedRecorder armed(cfg);
+  int accepted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (flight_trigger(FlightTrigger::kManual, "cap")) ++accepted;
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(bundle_dirs(dir).size(), 2u);
+  EXPECT_EQ(flight_bundles_suppressed(), 4u);
+}
+
+TEST(FlightTriggers, ConcurrentTriggersDedupToOneBundle) {
+  TempDir dir("race");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.min_bundle_interval = std::chrono::milliseconds(3'600'000);
+  ArmedRecorder armed(cfg);
+  // Ordering contract: relaxed — a plain tally; thread joins order it.
+  std::atomic<int> written{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&written] {
+      if (flight_trigger(FlightTrigger::kSloBreach, "racing trigger")) {
+        written.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(written.load(std::memory_order_relaxed), 1);
+  EXPECT_EQ(bundle_dirs(dir).size(), 1u);
+}
+
+TEST(FlightDetectors, BreachThresholdFiresOnceThenRearms) {
+  TempDir dir("breach");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.breach_threshold = 4;
+  cfg.min_bundle_interval = 0ms;
+  ArmedRecorder armed(cfg);
+  for (int i = 0; i < 3; ++i) flight_observe_outcome(false, /*deadline_breach=*/true);
+  EXPECT_EQ(flight_bundles_written(), 0u);
+  flight_observe_outcome(false, true);  // 4th breach trips the detector
+  EXPECT_EQ(flight_bundles_written(), 1u);
+  // The counter reset on trip: 4 more breaches fire again.
+  for (int i = 0; i < 4; ++i) flight_observe_outcome(false, true);
+  EXPECT_EQ(flight_bundles_written(), 2u);
+}
+
+TEST(FlightDetectors, ErrorRateWindowFires) {
+  TempDir dir("errrate");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.rate_window = 16;
+  cfg.error_rate_threshold = 0.5;
+  ArmedRecorder armed(cfg);
+  // A healthy window: no trigger.
+  for (int i = 0; i < 16; ++i) flight_observe_outcome(true, false);
+  EXPECT_EQ(flight_bundles_written(), 0u);
+  // A failing window: >= 50% errors trips it.
+  for (int i = 0; i < 16; ++i) flight_observe_outcome(i % 2 == 0, false);
+  EXPECT_EQ(flight_bundles_written(), 1u);
+}
+
+TEST(FlightBundles, ContainTraceEventsAndContextSections) {
+  TempDir dir("contents");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  ArmedRecorder armed(cfg);
+  flight_add_context(&cfg, "lifecycle", [] { return std::string("state: serving\n"); });
+  {
+    TraceSpan span("flight.test.work", "span", 7, 99);
+    std::this_thread::sleep_for(1ms);
+  }
+  trace_instant("flight.test.mark", "lifecycle", 99);
+  flight_event("deadline", "synthetic breach", 99);
+  ASSERT_TRUE(flight_trigger(FlightTrigger::kManual, "contents check"));
+  flight_remove_contexts(&cfg);
+
+  const std::vector<fs::path> dirs = bundle_dirs(dir);
+  ASSERT_EQ(dirs.size(), 1u);
+  auto loaded = load_bundle(dirs[0].string());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const Bundle b = std::move(loaded).value();
+  ASSERT_TRUE(validate_bundle(b).ok());
+  EXPECT_EQ(b.manifest.trigger, "manual");
+  EXPECT_EQ(b.manifest.reason, "contents check");
+  ASSERT_EQ(b.sections.count("lifecycle.txt"), 1u);
+  EXPECT_EQ(b.sections.at("lifecycle.txt"), "state: serving\n");
+  EXPECT_NE(b.sections.at("events.log").find("synthetic breach"), std::string::npos);
+
+  auto events = parse_bundle_trace(b);
+  ASSERT_TRUE(events.is_ok());
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (const ParsedTraceEvent& e : events.value()) {
+    if (e.name == "flight.test.work" && e.ph == 'X' && e.rid == 99) saw_span = true;
+    if (e.name == "flight.test.mark" && e.ph == 'i' && e.rid == 99) saw_instant = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: concurrent event logging while a real engine drains and reloads
+// under the chaos failpoint schedule.  TSan gate for every lock-free path
+// the serving layer exercises in production.
+
+TEST(FlightChaos, EventLoggingSurvivesDrainReloadAndFailpoints) {
+  failpoint::disarm_all();
+  TempDir dir("chaos");
+  FlightRecorderConfig cfg = base_cfg(dir);
+  cfg.event_capacity = 512;
+  cfg.breach_threshold = 32;  // let real breaches trigger too
+  cfg.rate_window = 64;
+  cfg.min_bundle_interval = std::chrono::milliseconds(3'600'000);
+  ArmedRecorder armed(cfg);
+
+  const io::Model model = make_model();
+  serve::EngineConfig ec;
+  ec.workers = 2;
+  ec.max_batch = 4;
+  ec.net.num_threads = 1;
+  auto created = serve::Engine::create(model, ec);
+  ASSERT_TRUE(created.is_ok());
+  serve::Engine engine = std::move(created).value();
+
+  std::atomic<bool> stop{false};
+  // Ordering contract: relaxed — progress tallies; joins synchronize.
+  std::atomic<std::uint64_t> submitted{0};
+
+  // Traffic threads: real submits whose resolution paths emit flight events
+  // (sheds, deadline breaches, errors) from engine worker threads.
+  std::vector<std::thread> traffic;
+  traffic.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&engine, &stop, &submitted, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 7919 + 13);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto deadline =
+            rng() % 4 == 0 ? std::chrono::milliseconds(1) : std::chrono::milliseconds(2000);
+        engine.submit(make_input(n), deadline, serve::Priority::kNormal,
+                      serve::RequestMeta{n + 1, 0},
+                      [](core::Result<std::vector<float>>) noexcept {});
+        ++n;
+        if (n % 8 == 0) std::this_thread::sleep_for(1ms);
+      }
+      submitted.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+
+  // Chaos thread: the chaos_test failpoint catalog plus drain/reload flips.
+  std::thread chaos([&engine, &model, &stop] {
+    struct Entry {
+      const char* point;
+      failpoint::Action action;
+      std::uint64_t stall_ms;
+    };
+    static constexpr Entry kSchedule[] = {
+        {"serve.infer", failpoint::Action::kError, 0},
+        {"serve.infer", failpoint::Action::kStall, 5},
+        {"serve.queue_admit", failpoint::Action::kError, 0},
+        {"serve.shed", failpoint::Action::kSite, 0},
+        {"serve.cancel_checkpoint", failpoint::Action::kSite, 0},
+    };
+    std::mt19937 rng(1234);
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Entry& e = kSchedule[rng() % std::size(kSchedule)];
+      failpoint::Config c;
+      c.action = e.action;
+      c.stall_ms = e.stall_ms;
+      c.trigger = failpoint::Trigger::kCounted;
+      c.n = 1 + rng() % 3;
+      failpoint::arm(e.point, c);
+      std::this_thread::sleep_for(10ms);
+      if (++round % 5 == 0) {
+        failpoint::disarm_all();
+        (void)engine.reload(model);
+      }
+    }
+    failpoint::disarm_all();
+  });
+
+  // Snapshot thread: continuous consistent reads while everything churns.
+  std::thread reader([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<FlightEvent> snap = flight_events_snapshot();
+      for (std::size_t i = 1; i < snap.size(); ++i) {
+        ASSERT_LT(snap[i - 1].ticket, snap[i].ticket);
+      }
+      (void)flight_status_text();
+      std::this_thread::sleep_for(5ms);
+    }
+  });
+
+  std::this_thread::sleep_for(400ms);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : traffic) t.join();
+  chaos.join();
+  reader.join();
+  failpoint::disarm_all();
+  engine.shutdown();
+
+  EXPECT_GT(submitted.load(std::memory_order_relaxed), 0u);
+  // The chaos produced flight events (sheds / errors / reloads / breaches).
+  EXPECT_FALSE(flight_events_snapshot().empty());
+  // At most one bundle despite sustained trigger pressure: the 1h interval
+  // rate limit held under full concurrency.
+  EXPECT_LE(bundle_dirs(dir).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Loader fuzzing: fuzz_tune_cache_test discipline — deterministic, every
+// offset, fail closed, never crash.
+
+class BundleFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("fuzz");
+    FlightRecorderConfig cfg = base_cfg(*dir_);
+    flight_start(cfg);
+    flight_event("shed", "fuzz seed event", 3);
+    trace_instant("fuzz.mark", "lifecycle", 3);
+    ASSERT_TRUE(flight_trigger(FlightTrigger::kManual, "fuzz fixture"));
+    flight_stop();
+    const std::vector<fs::path> dirs = bundle_dirs(*dir_);
+    ASSERT_EQ(dirs.size(), 1u);
+    bundle_dir_ = dirs[0];
+    manifest_ = slurp(bundle_dir_ / "MANIFEST.json");
+    ASSERT_FALSE(manifest_.empty());
+  }
+
+  static std::string slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void spit(const fs::path& p, const std::string& body) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  fs::path bundle_dir_;
+  std::string manifest_;
+};
+
+TEST_F(BundleFuzz, ManifestTruncationAtEveryOffsetFailsClosed) {
+  const fs::path manifest_path = bundle_dir_ / "MANIFEST.json";
+  // Cutting after the closing '}' only strips trailing whitespace — still a
+  // complete manifest, legitimately accepted.  Every cut at or before the
+  // closing brace loses structure and must fail.
+  const std::size_t last_brace = manifest_.find_last_of('}');
+  ASSERT_NE(last_brace, std::string::npos);
+  for (std::size_t cut = 0; cut <= last_brace; ++cut) {
+    spit(manifest_path, manifest_.substr(0, cut));
+    const auto got = load_bundle(bundle_dir_.string());
+    ASSERT_FALSE(got.is_ok()) << "truncation at offset " << cut << " was accepted";
+  }
+  spit(manifest_path, manifest_);
+  ASSERT_TRUE(load_bundle(bundle_dir_.string()).is_ok());
+}
+
+TEST_F(BundleFuzz, ManifestBitFlipsNeverCrashAndNeverForgeChecksums) {
+  const fs::path manifest_path = bundle_dir_ / "MANIFEST.json";
+  for (std::size_t pos = 0; pos < manifest_.size(); ++pos) {
+    std::string mutated = manifest_;
+    // Deterministic bit: position-dependent, same discipline as
+    // fuzz_tune_cache_test — a failure reproduces from the offset alone.
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    spit(manifest_path, mutated);
+    const auto got = load_bundle(bundle_dir_.string());
+    if (got.is_ok()) {
+      // A flip that still parses (e.g. inside the free-text reason) must
+      // still verify every checksum — sections were not touched, so the
+      // loaded bundle must match the originals byte for byte.
+      const core::Status st = validate_bundle(got.value());
+      // Structural validity may legitimately survive a benign flip; the
+      // invariant is no crash and intact section payloads.
+      (void)st;
+      for (const auto& [name, body] : got.value().sections) {
+        EXPECT_EQ(fnv1a64(body.data(), body.size()),
+                  fnv1a64(slurp(bundle_dir_ / name).data(),
+                          slurp(bundle_dir_ / name).size()))
+            << "flip at " << pos << " forged section " << name;
+      }
+    }
+  }
+  spit(manifest_path, manifest_);
+}
+
+TEST_F(BundleFuzz, SectionBitFlipsAreAlwaysDetected) {
+  const fs::path victim = bundle_dir_ / "trace.json";
+  const std::string original = slurp(victim);
+  ASSERT_FALSE(original.empty());
+  // Stride through the section; every flip must be caught by FNV-1a.
+  for (std::size_t pos = 0; pos < original.size(); pos += 7) {
+    std::string mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    spit(victim, mutated);
+    EXPECT_FALSE(load_bundle(bundle_dir_.string()).is_ok())
+        << "flip at offset " << pos << " was accepted";
+  }
+  spit(victim, original);
+  ASSERT_TRUE(load_bundle(bundle_dir_.string()).is_ok());
+}
+
+}  // namespace
+}  // namespace bitflow::telemetry

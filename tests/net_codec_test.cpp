@@ -106,6 +106,92 @@ TEST(NetCodec, EmptyErrorMessageRoundtrips) {
   EXPECT_EQ(std::get<ErrorFrame>(decoded.value()).message, "");
 }
 
+// --- trace-id header extension ----------------------------------------------
+
+TEST(NetCodec, TraceIdFlagRoundtrips) {
+  RequestFrame req = make_request();
+  req.trace_id = 0xCAFEBABE12345678ull;
+  const std::vector<std::uint8_t> bytes = encode(req);
+  // The trailing u64 is covered by the declared length.
+  ASSERT_EQ(bytes.size(), kHeaderSize + 12 + req.data.size() * 4 + 8);
+  EXPECT_EQ(bytes[6] & kFlagTraceId, kFlagTraceId);
+
+  auto decoded = decode_frame(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  auto* out = std::get_if<RequestFrame>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->trace_id, req.trace_id);
+  EXPECT_EQ(out->data, req.data);  // payload floats unaffected by the trailer
+}
+
+TEST(NetCodec, ZeroTraceIdEncodesWithoutTheFlag) {
+  // trace_id == 0 means "absent": pre-extension consumers must see a frame
+  // that is byte-identical to one encoded before the extension existed.
+  const RequestFrame req = make_request();
+  const std::vector<std::uint8_t> bytes = encode(req);
+  EXPECT_EQ(bytes[6], 0);
+  auto decoded = decode_frame(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(std::get<RequestFrame>(decoded.value()).trace_id, 0u);
+}
+
+TEST(NetCodec, UnknownFlagBitsAreRejected) {
+  std::vector<std::uint8_t> bytes = encode(make_request());
+  for (int bit = 1; bit < 8; ++bit) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[6] = static_cast<std::uint8_t>(1u << bit);
+    auto decoded = decode_frame(mutated.data(), mutated.size());
+    ASSERT_FALSE(decoded.is_ok()) << "unknown flag bit " << bit << " accepted";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kBadInput);
+  }
+}
+
+TEST(NetCodec, TraceIdFlagOnNonRequestFramesIsRejected) {
+  std::vector<std::uint8_t> resp;
+  const float score = 1.0f;
+  append_response(resp, 9, &score, 1);
+  resp[6] = kFlagTraceId;
+  EXPECT_FALSE(decode_frame(resp.data(), resp.size()).is_ok());
+
+  std::vector<std::uint8_t> err;
+  append_error(err, 9, ErrorCode::kInternal, "x");
+  err[6] = kFlagTraceId;
+  EXPECT_FALSE(decode_frame(err.data(), err.size()).is_ok());
+}
+
+TEST(NetCodec, TraceIdFlagWithoutTrailerIsRejected) {
+  // Set the flag on a frame whose length does NOT cover the 8-byte trailer:
+  // the dims+floats now disagree with the declared length.
+  std::vector<std::uint8_t> bytes = encode(make_request());
+  bytes[6] = kFlagTraceId;
+  auto decoded = decode_frame(bytes.data(), bytes.size());
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kBadInput);
+}
+
+TEST(NetCodec, TraceIdTrailerTruncationFailsClosed) {
+  RequestFrame req = make_request();
+  req.trace_id = 77;
+  const std::vector<std::uint8_t> bytes = encode(req);
+  // Cut anywhere inside the trailing u64 (and its length accounting).
+  for (std::size_t cut = bytes.size() - 8; cut < bytes.size(); ++cut) {
+    auto decoded = decode_frame(bytes.data(), cut);
+    ASSERT_FALSE(decoded.is_ok()) << "cut at " << cut << " decoded";
+  }
+}
+
+TEST(NetCodec, ReaderDecodesTraceIdFrames) {
+  RequestFrame req = make_request();
+  req.trace_id = 0xDEADBEEFull;
+  const std::vector<std::uint8_t> bytes = encode(req);
+  FrameReader reader;
+  for (std::uint8_t b : bytes) ASSERT_TRUE(reader.feed(&b, 1).ok());
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(std::get<RequestFrame>(*frame).trace_id, 0xDEADBEEFull);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
 // --- truncation -------------------------------------------------------------
 
 TEST(NetCodec, TruncationAtEveryOffsetFailsClosed) {

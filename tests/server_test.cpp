@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <variant>
@@ -42,6 +43,7 @@
 #include "net/frame.hpp"
 #include "net/server.hpp"
 #include "serve/shard_router.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "tensor/util.hpp"
 
 namespace bitflow::net {
@@ -474,6 +476,108 @@ TEST_F(ServerTest, StopWithRequestsInFlightIsCleanAndIdempotent) {
   }
   // The router is untouched by the front-end's death.
   EXPECT_TRUE(router_->infer(make_input(0)).is_ok());
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+/// The PR's acceptance scenario end to end: a failpoint-induced SLO breach
+/// over real loopback sockets produces EXACTLY ONE rate-limited diagnostic
+/// bundle whose trace joins the offending traffic's wire-to-kernel span
+/// chain by request id.
+TEST_F(ServerTest, InducedSloBreachWritesOneBundleWithRequestChain) {
+  namespace fs = std::filesystem;
+  const fs::path flight_dir =
+      fs::temp_directory_path() / ("bitflow_server_flight_" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(flight_dir, ec);
+
+  telemetry::FlightRecorderConfig cfg;
+  cfg.dir = flight_dir.string();
+  cfg.breach_threshold = 3;
+  cfg.rate_window = 1'000'000;                              // error-rate detector off
+  cfg.min_bundle_interval = std::chrono::milliseconds(3'600'000);  // once per hour
+  cfg.max_bundles = 8;
+  telemetry::flight_start(cfg);
+  struct Disarm {
+    fs::path dir;
+    ~Disarm() {
+      telemetry::flight_stop();
+      std::error_code ec2;
+      fs::remove_all(dir, ec2);
+    }
+  } disarm{flight_dir};
+
+  auto c = Client::connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(c.is_ok());
+  Client client = std::move(c.value());
+
+  // Phase 1 — healthy traffic while the recorder passively traces.  Request
+  // 0x51 carries a client trace id through the wire extension; its spans are
+  // the chain the bundle must contain.
+  constexpr std::uint64_t kChainRid = 0x51;
+  {
+    RequestFrame req = make_request(kChainRid, 3, /*deadline_ms=*/5000);
+    req.trace_id = 0xABCDEF0102030405ull;
+    auto got = client.infer(req, 5000ms);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_EQ(got.value(), direct_scores(3));
+  }
+
+  // Phase 2 — induce the breach: every inference stalls 30 ms against a 5 ms
+  // deadline, so each request completes past its contract (a deadline breach
+  // observed by the detector), until the threshold of 3 trips a bundle.
+  failpoint::Config stall;
+  stall.action = failpoint::Action::kStall;
+  stall.trigger = failpoint::Trigger::kAlways;
+  stall.stall_ms = 30;
+  failpoint::arm("serve.infer", stall);
+  constexpr std::uint64_t kBreachers = 6;
+  for (std::uint64_t i = 0; i < kBreachers; ++i) {
+    ASSERT_TRUE(client.send(make_request(0x100 + i, i, /*deadline_ms=*/5)).is_ok());
+  }
+  int breached = 0;
+  for (std::uint64_t i = 0; i < kBreachers; ++i) {
+    auto f = client.recv(5000ms);
+    ASSERT_TRUE(f.is_ok()) << f.status().to_string();
+    if (auto* err = std::get_if<ErrorFrame>(&f.value())) {
+      EXPECT_EQ(err->code, ErrorCode::kDeadlineExceeded);
+      ++breached;
+    }
+  }
+  failpoint::disarm_all();
+  ASSERT_GE(breached, 3) << "stall failpoint failed to induce the SLO breach";
+
+  // Exactly one bundle despite every breach past the 3rd re-pressuring the
+  // trigger: the rate limit held.
+  EXPECT_EQ(telemetry::flight_bundles_written(), 1u);
+  std::vector<fs::path> bundles;
+  for (const auto& e : fs::directory_iterator(flight_dir, ec)) {
+    if (e.is_directory()) bundles.push_back(e.path());
+  }
+  ASSERT_EQ(bundles.size(), 1u);
+
+  // The bundle is valid and joins request 0x51's wire-to-kernel chain.
+  auto loaded = telemetry::load_bundle(bundles[0].string());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const telemetry::Bundle bundle = std::move(loaded).value();
+  ASSERT_TRUE(telemetry::validate_bundle(bundle).ok());
+  EXPECT_EQ(bundle.manifest.trigger, "slo_breach");
+  EXPECT_TRUE(telemetry::bundle_has_request_chain(bundle, kChainRid))
+      << telemetry::bundle_summary(bundle);
+  // The server registered /varz and profile-report context sections.
+  EXPECT_EQ(bundle.sections.count("varz.txt"), 1u);
+  EXPECT_EQ(bundle.sections.count("profile.txt"), 1u);
+  // The breach events are in the recent-events log, rid-joined.
+  EXPECT_NE(bundle.sections.at("events.log").find("deadline"), std::string::npos);
+}
+
+/// /varz carries the flight recorder's status block and the trace drop
+/// counter (satellite: telemetry.trace.dropped is first-class).
+TEST_F(ServerTest, VarzExposesFlightStatusAndTraceDropCounter) {
+  auto body = Client::http_get("127.0.0.1", server_->port(), "/varz");
+  ASSERT_TRUE(body.is_ok()) << body.status().to_string();
+  EXPECT_NE(body.value().find("flight.armed"), std::string::npos);
+  EXPECT_NE(body.value().find("telemetry.trace.dropped "), std::string::npos);
 }
 
 }  // namespace
